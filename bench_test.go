@@ -1,0 +1,123 @@
+package icn
+
+// This file is the benchmark harness of deliverable (d): one testing.B
+// benchmark per table and figure of the paper's evaluation (T1, F1..F11)
+// plus the ablation benches called out in DESIGN.md (A1..A3). Each bench
+// regenerates its artifact from a shared pipeline run and asserts the
+// paper-shape checks hold. Benches run at a reduced scale so the suite
+// completes quickly; cmd/icnbench reproduces the same artifacts at full
+// paper scale.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *Suite
+)
+
+func sharedSuite() *Suite {
+	benchOnce.Do(func() {
+		benchSuite = NewSuite(Config{
+			Seed:         7,
+			Scale:        0.12,
+			OutdoorCount: 600,
+			ForestTrees:  40,
+		})
+		benchSuite.TemporalAntennasPerCluster = 20
+	})
+	return benchSuite
+}
+
+func benchArtifact(b *testing.B, gen func(*Suite) Artifact) {
+	s := sharedSuite()
+	b.ResetTimer()
+	var art Artifact
+	for i := 0; i < b.N; i++ {
+		art = gen(s)
+	}
+	b.StopTimer()
+	for _, c := range art.Checks {
+		if !c.Pass {
+			b.Fatalf("%s check %q failed: %s", art.ID, c.Name, c.Detail)
+		}
+	}
+}
+
+func BenchmarkTable1EnvironmentInventory(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Table1() })
+}
+
+func BenchmarkFigure1Transforms(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure1() })
+}
+
+func BenchmarkFigure2ClusterSelection(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure2() })
+}
+
+func BenchmarkFigure3Dendrogram(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure3() })
+}
+
+func BenchmarkFigure4RSCAHeatmap(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure4() })
+}
+
+func BenchmarkFigure5SHAP(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure5() })
+}
+
+func BenchmarkFigure6Sankey(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure6() })
+}
+
+func BenchmarkFigure7ClusterComposition(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure7() })
+}
+
+func BenchmarkFigure8EnvDistribution(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure8() })
+}
+
+func BenchmarkFigure9OutdoorClassification(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure9() })
+}
+
+func BenchmarkFigure10ClusterTemporal(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure10() })
+}
+
+func BenchmarkFigure11ServiceTemporal(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.Figure11() })
+}
+
+func BenchmarkAblationFeatureTransform(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.AblationFeatureTransform() })
+}
+
+func BenchmarkAblationWardVsKMeans(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.AblationWardVsKMeans() })
+}
+
+func BenchmarkAblationTreeVsKernelSHAP(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.AblationTreeVsKernelSHAP() })
+}
+
+func BenchmarkAblationLinkages(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.AblationLinkages() })
+}
+
+func BenchmarkAblationStability(b *testing.B) {
+	benchArtifact(b, func(s *Suite) Artifact { return s.AblationStability() })
+}
+
+// BenchmarkFullPipeline measures an end-to-end run (generation through
+// outdoor classification) at bench scale.
+func BenchmarkFullPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Run(Config{Seed: 7, Scale: 0.05, OutdoorCount: 200, ForestTrees: 20})
+	}
+}

@@ -1,0 +1,104 @@
+// Command icncluster clusters an arbitrary antenna × service traffic CSV
+// (as produced by icngen, or any matrix with an antenna_id column followed
+// by per-service traffic columns): it computes RSCA features, runs Ward
+// agglomerative clustering, reports the Silhouette/Dunn sweep, and prints
+// cluster assignments and per-cluster service signatures.
+//
+// Usage:
+//
+//	icncluster [-k N] [-kmax N] [-top N] traffic.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/rca"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	k := flag.Int("k", 9, "number of flat clusters")
+	kmax := flag.Int("kmax", 14, "upper bound of the model-selection sweep")
+	top := flag.Int("top", 5, "signature services printed per cluster")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: icncluster [-k N] [-kmax N] traffic.csv")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	table, err := dataio.ReadTraffic(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d antennas × %d services\n", table.Traffic.Rows(), table.Traffic.Cols())
+
+	features := rca.RSCA(table.Traffic)
+	if err := rca.Validate(features); err != nil {
+		fatal(err)
+	}
+	linkage := cluster.Ward(features)
+	dists := cluster.PairwiseDistances(features)
+
+	sweepMax := *kmax
+	if sweepMax > table.Traffic.Rows() {
+		sweepMax = table.Traffic.Rows()
+	}
+	tb := report.NewTable("model selection", "k", "silhouette", "dunn")
+	for _, p := range cluster.SweepK(linkage, dists, 2, sweepMax) {
+		tb.AddRow(p.K, p.Silhouette, p.Dunn)
+	}
+	fmt.Println(tb.String())
+
+	kk := *k
+	if kk > table.Traffic.Rows() {
+		kk = table.Traffic.Rows()
+	}
+	labels := linkage.CutK(kk)
+	sizes := make([]int, kk)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for c := 0; c < kk; c++ {
+		var members []int
+		for i, l := range labels {
+			if l == c {
+				members = append(members, i)
+			}
+		}
+		mean := features.MeanRows(members)
+		rank := stats.RankDescending(mean)
+		var over []string
+		for _, j := range rank {
+			if len(over) == *top || mean[j] <= 0 {
+				break
+			}
+			over = append(over, table.Services[j])
+		}
+		fmt.Printf("cluster %d: %d antennas; over-utilized: %s\n",
+			c, sizes[c], strings.Join(over, ", "))
+	}
+
+	fmt.Println("\nassignments (antenna_id,cluster):")
+	w := bufio.NewWriter(os.Stdout)
+	for i, l := range labels {
+		fmt.Fprintf(w, "%s,%d\n", table.AntennaIDs[i], l)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "icncluster: %v\n", err)
+	os.Exit(1)
+}

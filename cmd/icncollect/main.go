@@ -1,0 +1,115 @@
+// Command icncollect runs the measurement collection service: a TCP server
+// accepting probe record streams and aggregating per-hour, per-antenna,
+// per-service traffic — the central platform of the paper's Section 3
+// measurement architecture. With -replay it instead acts as a probe,
+// generating one day of sessions for a synthetic deployment and exporting
+// them to a collector.
+//
+// Usage:
+//
+//	icncollect -listen 127.0.0.1:9400                   # server
+//	icncollect -replay 127.0.0.1:9400 [-antennas N]     # probe client
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/synth"
+)
+
+func main() {
+	listen := flag.String("listen", "", "address to serve a collector on")
+	replay := flag.String("replay", "", "collector address to replay synthetic probe traffic to")
+	antennas := flag.Int("antennas", 5, "antennas to replay (with -replay)")
+	seed := flag.Uint64("seed", 1, "synthetic dataset seed (with -replay)")
+	interval := flag.Duration("report", 2*time.Second, "stats reporting interval (with -listen)")
+	flag.Parse()
+
+	switch {
+	case *listen != "" && *replay == "":
+		runCollector(*listen, *interval)
+	case *replay != "" && *listen == "":
+		runReplay(*replay, *antennas, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: icncollect -listen ADDR | -replay ADDR")
+		os.Exit(2)
+	}
+}
+
+func runCollector(addr string, interval time.Duration) {
+	c, err := collect.Listen(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("icncollect: listening on %s (SIGINT to stop)\n", c.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var last collect.Stats
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				st := c.Snapshot()
+				if st != last {
+					fmt.Printf("icncollect: conns=%d records=%d malformed=%d unclassified=%.2fMB\n",
+						st.Connections, st.Records, st.MalformedStreams, st.UnclassifiedMB)
+					last = st
+				}
+			}
+		}
+	}()
+
+	err = c.Serve(ctx)
+	st := c.Snapshot()
+	fmt.Printf("icncollect: stopped (%v) — %d connections, %d records aggregated\n",
+		err, st.Connections, st.Records)
+}
+
+func runReplay(addr string, antennas int, seed uint64) {
+	ds := synth.Generate(synth.Config{Seed: seed, Scale: 0.02, OutdoorCount: 1})
+	if antennas > len(ds.Indoor) {
+		antennas = len(ds.Indoor)
+	}
+	r := rng.New(seed + 1)
+	var records []probe.Record
+	for _, a := range ds.Indoor[:antennas] {
+		perService := make([]float64, services.M)
+		for j := 0; j < services.M; j++ {
+			series := ds.HourlyService(a, j)
+			for h := 0; h < 24; h++ {
+				perService[j] = series[h]
+				records = append(records, probe.GenerateSessions(uint32(h), uint32(a.ID), perService, r)...)
+				perService[j] = 0
+			}
+		}
+	}
+	fmt.Printf("icncollect: exporting %d session records from %d antennas to %s\n",
+		len(records), antennas, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := collect.Export(ctx, addr, records); err != nil {
+		fatal(err)
+	}
+	fmt.Println("icncollect: export complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "icncollect: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command icngen emits a synthetic nationwide ICN measurement dataset as
+// CSV: an antenna inventory and the per-antenna per-service traffic
+// matrix, in the shape of the "processed service consumption data" the
+// paper releases. With -sessions it additionally replays a day of traffic
+// through the probe pipeline (session records → binary stream →
+// classification → hourly aggregation) and writes the hourly CSV.
+//
+// Usage:
+//
+//	icngen [-seed N] [-scale F] [-out DIR] [-sessions]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataio"
+	"repro/internal/probe"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/synth"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	scale := flag.Float64("scale", 0.25, "fraction of the paper's antenna population")
+	outDir := flag.String("out", "icn-dataset", "output directory")
+	sessions := flag.Bool("sessions", false, "also replay one day through the probe pipeline")
+	flag.Parse()
+
+	ds := synth.Generate(synth.Config{Seed: *seed, Scale: *scale})
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	if err := writeAntennas(filepath.Join(*outDir, "antennas.csv"), ds); err != nil {
+		fatal(err)
+	}
+	if err := writeTraffic(filepath.Join(*outDir, "traffic.csv"), ds); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("icngen: wrote %d indoor antennas, %d services to %s\n",
+		len(ds.Indoor), services.M, *outDir)
+
+	if *sessions {
+		path := filepath.Join(*outDir, "hourly_day0.csv")
+		n, err := replayDay(path, ds)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("icngen: replayed %d probe sessions into %s\n", n, path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "icngen: %v\n", err)
+	os.Exit(1)
+}
+
+func writeAntennas(path string, ds *synth.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "antenna_id,name,environment,city,paris,site,lat,lon")
+	for _, a := range ds.Indoor {
+		fmt.Fprintf(w, "%d,%s,%s,%s,%v,%d,%.5f,%.5f\n",
+			a.ID, a.Name, a.Env, a.City, a.Paris, a.Site, a.Location.Lat, a.Location.Lon)
+	}
+	return w.Flush()
+}
+
+func writeTraffic(path string, ds *synth.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ids := make([]string, len(ds.Indoor))
+	for i, a := range ds.Indoor {
+		ids[i] = fmt.Sprintf("%d", a.ID)
+	}
+	return dataio.WriteTraffic(f, &dataio.TrafficTable{
+		AntennaIDs: ids,
+		Services:   services.Names(),
+		Traffic:    ds.Traffic,
+	})
+}
+
+// replayDay pushes the first day of the first few antennas through the
+// probe pipeline and writes the aggregated hourly traffic.
+func replayDay(path string, ds *synth.Dataset) (int, error) {
+	r := rng.New(99)
+	agg := probe.NewAggregator(probe.NewClassifier())
+	limit := 10
+	if len(ds.Indoor) < limit {
+		limit = len(ds.Indoor)
+	}
+	for _, a := range ds.Indoor[:limit] {
+		perService := make([][]float64, 24)
+		for h := range perService {
+			perService[h] = make([]float64, services.M)
+		}
+		for j := 0; j < services.M; j++ {
+			series := ds.HourlyService(a, j)
+			for h := 0; h < 24; h++ {
+				perService[h][j] = series[h]
+			}
+		}
+		for h := 0; h < 24; h++ {
+			for _, rec := range probe.GenerateSessions(uint32(h), uint32(a.ID), perService[h], r) {
+				agg.Add(rec)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "antenna_id,hour,service,mb")
+	for _, a := range ds.Indoor[:limit] {
+		for h := uint32(0); h < 24; h++ {
+			for j := 0; j < services.M; j++ {
+				mb := agg.HourlyMB(uint32(a.ID), j, h)
+				if mb > 0 {
+					fmt.Fprintf(w, "%d,%d,%q,%.4f\n", a.ID, h, services.Get(j).Name, mb)
+				}
+			}
+		}
+	}
+	return agg.Sessions, w.Flush()
+}

@@ -1,0 +1,105 @@
+// Forecasting: the proactive-management roadmap of Sections 6-7. The paper
+// shows each cluster has a distinctive temporal demand pattern and argues
+// this "paves the way for the proactive management of ICN traffic by
+// mobile network operators". This example fits a Holt-Winters model with
+// hour-of-week seasonality to each cluster's median hourly demand, holds
+// out the final three days, and compares against the seasonal-naive
+// baseline — per cluster, because a single network-wide forecast would mix
+// commute peaks with office hours and event bursts.
+package main
+
+import (
+	"fmt"
+
+	icn "repro"
+	"repro/internal/envmodel"
+	"repro/internal/forecast"
+	"repro/internal/rng"
+)
+
+func main() {
+	result := icn.Run(icn.Config{
+		Seed:        21,
+		Scale:       0.1,
+		ForestTrees: 40,
+	})
+
+	// The synthetic generator's weekly envelope is deterministic, so we
+	// overlay the multiplicative hour-level jitter a production network
+	// exhibits (~18% lognormal); without it, repeating last week would be
+	// a perfect forecast and the comparison would be vacuous.
+	noise := rng.New(99)
+	jitter := func(series []float64) []float64 {
+		out := make([]float64, len(series))
+		for i, v := range series {
+			out[i] = v * noise.LogNormal(0, 0.18)
+		}
+		return out
+	}
+
+	const holdout = 72 // three days
+	fmt.Println("per-cluster demand forecasting (Holt-Winters, hour-of-week season)")
+	fmt.Println("cluster  group   SMAPE(HW)  SMAPE(naive)  peak-hour-hit")
+	var hwBetter int
+	for c := 0; c < result.K; c++ {
+		series := jitter(result.ClusterHourlySeries(c, 30))
+		// Traffic volumes are multiplicative: fit in log space so the
+		// model smooths relative (not absolute) variation.
+		hw, err := forecast.BacktestLog(series, holdout, forecast.Config{Alpha: 0.15, Beta: 0.02, Gamma: 0.1})
+		if err != nil {
+			fmt.Printf("cluster %d: %v\n", c, err)
+			continue
+		}
+		naive, err := forecast.BacktestNaive(series, holdout, forecast.SeasonLength)
+		if err != nil {
+			fmt.Printf("cluster %d: %v\n", c, err)
+			continue
+		}
+		marker := ""
+		if hw.SMAPE <= naive.SMAPE {
+			hwBetter++
+			marker = "  <- HW wins"
+		}
+		fmt.Printf("   %d     %-7s   %6.3f      %6.3f       %-5v%s\n",
+			c, envmodel.GroupOf(c), hw.SMAPE, naive.SMAPE, hw.PeakHourHit, marker)
+	}
+	fmt.Printf("\nHolt-Winters beats the seasonal-naive baseline on %d/%d clusters\n", hwBetter, result.K)
+	fmt.Println("note: the green (event-venue) clusters resist seasonal forecasting —")
+	fmt.Println("their traffic is sporadic and event-driven (Section 6), so proactive")
+	fmt.Println("management there needs the event calendar (see examples/eventdetection),")
+	fmt.Println("not a seasonal model.")
+
+	// Operational view: next-morning capacity for the commuter cluster.
+	series := result.ClusterHourlySeries(0, 30)
+	m, err := forecast.Fit(series, forecast.Config{})
+	if err != nil {
+		panic(err)
+	}
+	next := m.Forecast(24)
+	fmt.Println("\nnext-day hourly forecast for the Paris commuter cluster (MB, median antenna):")
+	for h, v := range next {
+		bar := int(v / maxOf(next) * 40)
+		fmt.Printf("  %02d:00 %8.1f %s\n", h, v, repeat('#', bar))
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := 1e-9
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func repeat(c byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,86 @@
+// Package icn is the public API of the reproduction of "Characterizing
+// Mobile Service Demands at Indoor Cellular Networks" (IMC '23). It exposes
+// the full analysis pipeline — synthetic nationwide dataset generation,
+// RCA/RSCA feature transformation, Ward agglomerative clustering with
+// Silhouette/Dunn model selection, a random-forest surrogate explained with
+// TreeSHAP, environment association, the indoor/outdoor comparison, and
+// temporal profiling — plus an experiment suite that regenerates every
+// table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	result := icn.Run(icn.Config{Seed: 1, Scale: 0.1})
+//	fmt.Println("clusters:", result.ClusterSizes())
+//	fmt.Println("purity vs ground truth:", result.Purity())
+//
+// To regenerate the paper's artifacts:
+//
+//	suite := icn.NewSuite(icn.Config{Seed: 1, Scale: 0.1})
+//	for _, artifact := range suite.All() {
+//		fmt.Println(artifact.Title)
+//		fmt.Println(artifact.Text)
+//	}
+package icn
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+// Config parameterizes a pipeline run. The zero value runs the paper's
+// full scale (4,762 indoor antennas, 22,000 outdoor, k = 9, 100 trees).
+type Config = analysis.Config
+
+// Result is the full pipeline output: features, dendrogram, clusters,
+// surrogate model, environment association and outdoor classification.
+type Result = analysis.Result
+
+// Suite regenerates the paper's tables and figures from a pipeline run.
+type Suite = experiments.Suite
+
+// Artifact is one regenerated table or figure with its shape checks.
+type Artifact = experiments.Artifact
+
+// Check is one paper-shape assertion attached to an artifact.
+type Check = experiments.Check
+
+// Dataset is a generated synthetic measurement campaign.
+type Dataset = synth.Dataset
+
+// DatasetConfig parameterizes standalone dataset generation.
+type DatasetConfig = synth.Config
+
+// Run executes the full pipeline on a freshly generated dataset.
+func Run(cfg Config) *Result { return analysis.Run(cfg) }
+
+// RunOnDataset executes the pipeline on an existing dataset, allowing the
+// dataset to be shared across experiments.
+func RunOnDataset(ds *Dataset, cfg Config) *Result { return analysis.RunOnDataset(ds, cfg) }
+
+// NewSuite runs the pipeline and wraps it in the experiment suite.
+func NewSuite(cfg Config) *Suite { return experiments.NewSuite(cfg) }
+
+// GenerateDataset builds a synthetic nationwide measurement dataset
+// without running the analysis.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return synth.Generate(cfg) }
+
+// Profile is one cluster's demand profile: characterizing services,
+// environment composition, and temporal signature.
+type Profile = core.Profile
+
+// ProfileOptions bounds profile construction.
+type ProfileOptions = core.Options
+
+// SlicePlan is an environment-aware network-slice recommendation derived
+// from a cluster profile (the Section 7 roadmap of the paper).
+type SlicePlan = core.SlicePlan
+
+// BuildProfiles derives one Profile per discovered cluster.
+func BuildProfiles(res *Result, opts ProfileOptions) []Profile {
+	return core.BuildProfiles(res, opts)
+}
+
+// PlanSlices derives a network-slice plan per cluster profile.
+func PlanSlices(profiles []Profile) []SlicePlan { return core.PlanSlices(profiles) }

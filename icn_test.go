@@ -1,0 +1,54 @@
+package icn
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end at a small scale;
+// detailed behavioural tests live with the internal packages.
+
+func TestRunEndToEnd(t *testing.T) {
+	res := Run(Config{Seed: 3, Scale: 0.05, OutdoorCount: 150, ForestTrees: 25})
+	if res.K != 9 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if len(res.Labels) != len(res.Dataset.Indoor) {
+		t.Fatal("label count mismatch")
+	}
+	if res.Purity() < 0.7 {
+		t.Fatalf("purity %.2f at small scale", res.Purity())
+	}
+	if res.SurrogateAccuracy < 0.9 {
+		t.Fatalf("surrogate accuracy %.2f", res.SurrogateAccuracy)
+	}
+}
+
+func TestRunOnSharedDataset(t *testing.T) {
+	ds := GenerateDataset(DatasetConfig{Seed: 5, Scale: 0.05, OutdoorCount: 100})
+	a := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	b := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("pipeline on same dataset should be deterministic")
+		}
+	}
+}
+
+func TestSuiteArtifacts(t *testing.T) {
+	s := sharedSuite()
+	arts := s.All()
+	if len(arts) != 17 {
+		t.Fatalf("%d artifacts", len(arts))
+	}
+	for _, a := range arts {
+		if strings.TrimSpace(a.Text) == "" {
+			t.Fatalf("%s has empty text", a.ID)
+		}
+		for _, c := range a.Checks {
+			if !c.Pass {
+				t.Errorf("%s check %q failed: %s", a.ID, c.Name, c.Detail)
+			}
+		}
+	}
+}

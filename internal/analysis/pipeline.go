@@ -1,0 +1,547 @@
+// Package analysis wires the substrates and core algorithms into the
+// paper's full pipeline: synthetic nationwide dataset → RSCA features →
+// Ward clustering with Silhouette/Dunn model selection → surrogate random
+// forest → TreeSHAP interpretation → environment association → outdoor
+// comparison → temporal profiles. Every experiment of the evaluation maps
+// to a method of this package (see DESIGN.md's per-experiment index).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/envmodel"
+	"repro/internal/forest"
+	"repro/internal/geo"
+	"repro/internal/mat"
+	"repro/internal/rca"
+	"repro/internal/rng"
+	"repro/internal/shap"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Config parameterizes a full pipeline run.
+type Config struct {
+	// Seed drives dataset generation and every stochastic algorithm.
+	Seed uint64
+	// Scale multiplies the paper's antenna counts (1.0 = full scale).
+	Scale float64
+	// OutdoorCount overrides the outdoor population size (0 = default).
+	OutdoorCount int
+	// K is the flat cluster count; the paper selects 9.
+	K int
+	// SweepKMax bounds the Fig. 2 model-selection sweep (default 14).
+	SweepKMax int
+	// ForestTrees sizes the surrogate (default 100, as in the paper).
+	ForestTrees int
+	// ForestDepth bounds surrogate tree depth (default 12).
+	ForestDepth int
+	// SHAPSamplesPerCluster bounds the per-cluster explained sample count
+	// (default 30 members plus 15 contrast samples).
+	SHAPSamplesPerCluster int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.K <= 0 {
+		c.K = 9
+	}
+	if c.SweepKMax <= 0 {
+		c.SweepKMax = 14
+	}
+	if c.ForestTrees <= 0 {
+		c.ForestTrees = 100
+	}
+	if c.ForestDepth <= 0 {
+		c.ForestDepth = 12
+	}
+	if c.SHAPSamplesPerCluster <= 0 {
+		c.SHAPSamplesPerCluster = 30
+	}
+	return c
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	Config  Config
+	Dataset *synth.Dataset
+
+	// RSCA is the N × M clustering feature matrix (Section 4.1).
+	RSCA *mat.Dense
+	// Linkage is the Ward dendrogram (Fig. 3).
+	Linkage *cluster.Linkage
+	// Selection is the Fig. 2 sweep of Silhouette and Dunn versus k.
+	Selection []cluster.SelectionPoint
+	// Knees are the candidate k values by steepest post-peak drop.
+	Knees []int
+	// K is the flat cluster count used downstream.
+	K int
+	// Labels holds one cluster id per indoor antenna, aligned to the
+	// paper's numbering (0-8) via majority ground-truth archetype.
+	Labels []int
+	// LabelAlignment maps raw CutK labels to aligned paper ids.
+	LabelAlignment []int
+
+	// Surrogate is the random forest of Section 5.1.2.
+	Surrogate *forest.Forest
+	// SurrogateAccuracy is the surrogate's training accuracy on the
+	// cluster labels.
+	SurrogateAccuracy float64
+
+	// Contingency is the cluster × environment table behind Figs. 6-8.
+	Contingency *stats.Contingency
+
+	// OutdoorLabels holds the inferred cluster of every outdoor antenna
+	// (Fig. 9) and OutdoorShare the per-cluster fraction.
+	OutdoorLabels []int
+	OutdoorShare  []float64
+}
+
+// Run executes the full pipeline on a freshly generated dataset.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	ds := synth.Generate(synth.Config{
+		Seed:         cfg.Seed,
+		Scale:        cfg.Scale,
+		OutdoorCount: cfg.OutdoorCount,
+	})
+	return RunOnDataset(ds, cfg)
+}
+
+// RunOnDataset executes the pipeline on an existing dataset.
+func RunOnDataset(ds *synth.Dataset, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Config: cfg, Dataset: ds}
+
+	// Section 4.1: feature transformation.
+	res.RSCA = rca.RSCA(ds.Traffic)
+	if err := rca.Validate(res.RSCA); err != nil {
+		panic(fmt.Sprintf("analysis: invalid RSCA: %v", err))
+	}
+
+	// Section 4.2: Ward clustering and model selection.
+	res.Linkage = cluster.Ward(res.RSCA)
+	dists := cluster.PairwiseDistances(res.RSCA)
+	res.Selection = cluster.SweepK(res.Linkage, dists, 2, cfg.SweepKMax)
+	res.Knees = cluster.Knees(res.Selection, 3)
+	res.K = cfg.K
+	rawLabels := res.Linkage.CutK(res.K)
+
+	// Align discovered labels to the paper's cluster numbering through
+	// the ground-truth archetypes (validation/reporting only).
+	res.LabelAlignment = alignLabels(rawLabels, ds, res.K)
+	res.Labels = make([]int, len(rawLabels))
+	for i, l := range rawLabels {
+		res.Labels[i] = res.LabelAlignment[l]
+	}
+
+	// Section 5.1.2: surrogate forest on the cluster labels.
+	res.Surrogate = forest.Train(res.RSCA, res.Labels, res.K, forest.Config{
+		Trees:    cfg.ForestTrees,
+		MaxDepth: cfg.ForestDepth,
+		Seed:     cfg.Seed + 1,
+	})
+	res.SurrogateAccuracy = res.Surrogate.Accuracy(res.RSCA, res.Labels)
+
+	// Section 5.2: environment association.
+	res.Contingency = EnvContingency(res.Labels, ds, res.K)
+
+	// Section 5.3: outdoor antennas against the indoor reference.
+	res.classifyOutdoor()
+
+	return res
+}
+
+// alignLabels maps raw cluster labels to paper archetype ids by greedy
+// majority matching on the label × archetype count matrix. When k differs
+// from the archetype count, surplus labels keep fresh ids.
+func alignLabels(rawLabels []int, ds *synth.Dataset, k int) []int {
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, envmodel.NumArchetypes)
+	}
+	for i, l := range rawLabels {
+		a := ds.Indoor[i].Archetype
+		if a >= 0 {
+			counts[l][a]++
+		}
+	}
+	mapping := make([]int, k)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedArch := make([]bool, envmodel.NumArchetypes)
+	for assigned := 0; assigned < k && assigned < envmodel.NumArchetypes; assigned++ {
+		bestL, bestA, best := -1, -1, -1
+		for l := 0; l < k; l++ {
+			if mapping[l] >= 0 {
+				continue
+			}
+			for a := 0; a < envmodel.NumArchetypes; a++ {
+				if usedArch[a] {
+					continue
+				}
+				if counts[l][a] > best {
+					best = counts[l][a]
+					bestL, bestA = l, a
+				}
+			}
+		}
+		if bestL < 0 {
+			break
+		}
+		mapping[bestL] = bestA
+		usedArch[bestA] = true
+	}
+	// Any unmapped labels take the remaining ids deterministically.
+	next := 0
+	for l := 0; l < k; l++ {
+		if mapping[l] >= 0 {
+			continue
+		}
+		for next < len(usedArch) && usedArch[next] {
+			next++
+		}
+		if next < len(usedArch) {
+			mapping[l] = next
+			usedArch[next] = true
+		} else {
+			mapping[l] = l
+		}
+	}
+	return mapping
+}
+
+// EnvContingency cross-tabulates cluster labels against ground-truth
+// environment types.
+func EnvContingency(labels []int, ds *synth.Dataset, k int) *stats.Contingency {
+	rowLabels := make([]string, k)
+	for i := range rowLabels {
+		rowLabels[i] = fmt.Sprintf("cluster %d", i)
+	}
+	colLabels := make([]string, envmodel.NumEnvTypes)
+	for i, e := range envmodel.AllEnvTypes() {
+		colLabels[i] = e.String()
+	}
+	c := stats.NewContingency(rowLabels, colLabels)
+	for i, l := range labels {
+		env, ok := envmodel.ClassifyName(ds.Indoor[i].Name)
+		if !ok {
+			env = ds.Indoor[i].Env // fall back to ground truth
+		}
+		c.Add(l, int(env))
+	}
+	return c
+}
+
+// classifyOutdoor computes Eq. 5 RSCA for the outdoor population and runs
+// it through the surrogate forest.
+func (r *Result) classifyOutdoor() {
+	if len(r.Dataset.Outdoor) == 0 {
+		r.OutdoorShare = make([]float64, r.K)
+		return
+	}
+	ref, err := rca.NewOutdoorReference(r.Dataset.Traffic)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: outdoor reference: %v", err))
+	}
+	outRSCA, err := ref.RSCAOutdoor(r.Dataset.OutdoorTraffic)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: outdoor RSCA: %v", err))
+	}
+	r.OutdoorLabels = r.Surrogate.PredictAll(outRSCA)
+	r.OutdoorShare = make([]float64, r.K)
+	for _, l := range r.OutdoorLabels {
+		r.OutdoorShare[l]++
+	}
+	for i := range r.OutdoorShare {
+		r.OutdoorShare[i] /= float64(len(r.OutdoorLabels))
+	}
+}
+
+// ParisShareByCluster returns the fraction of each cluster's antennas
+// located in the Paris region — the geography the paper reports in
+// Section 5.2.2 (clusters 0 and 4 above 92% Parisian, cluster 7 entirely
+// outside the capital, cluster 2 at ~92% outside Paris, cluster 3 ~70%
+// Parisian).
+func (r *Result) ParisShareByCluster() []float64 {
+	counts := make([]int, r.K)
+	paris := make([]int, r.K)
+	for i, l := range r.Labels {
+		counts[l]++
+		if r.Dataset.Indoor[i].Paris {
+			paris[l]++
+		}
+	}
+	out := make([]float64, r.K)
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = float64(paris[c]) / float64(counts[c])
+		}
+	}
+	return out
+}
+
+// ProximityContrast quantifies Section 5.3's observation that "the same
+// mobile applications manifest very heterogeneous behaviors between ICNs
+// and outdoor BSs, even for antennas in proximity": for every indoor
+// antenna with at least one outdoor neighbour within radiusMeters, it
+// reports whether the majority of those neighbours carries a different
+// inferred cluster.
+type ProximityContrast struct {
+	// IndoorWithNeighbours counts indoor antennas having ≥1 outdoor
+	// neighbour within the radius.
+	IndoorWithNeighbours int
+	// DisagreeFraction is the fraction of those antennas whose own
+	// cluster differs from the majority cluster of their neighbours.
+	DisagreeFraction float64
+	// MeanNeighbours is the average outdoor-neighbour count.
+	MeanNeighbours float64
+}
+
+// Proximity computes the indoor/outdoor cluster contrast at the given
+// radius (the paper uses 1 km).
+func (r *Result) Proximity(radiusMeters float64) ProximityContrast {
+	var pc ProximityContrast
+	if len(r.Dataset.Outdoor) == 0 || r.OutdoorLabels == nil {
+		return pc
+	}
+	idx := geo.NewIndex(r.Dataset.OutdoorLocations(), radiusMeters)
+	totalNeighbours := 0
+	disagree := 0
+	for i, ant := range r.Dataset.Indoor {
+		neighbours := idx.Within(ant.Location, radiusMeters)
+		if len(neighbours) == 0 {
+			continue
+		}
+		pc.IndoorWithNeighbours++
+		totalNeighbours += len(neighbours)
+		counts := map[int]int{}
+		for _, o := range neighbours {
+			counts[r.OutdoorLabels[o]]++
+		}
+		best, bestC := -1, -1
+		for cl, c := range counts {
+			if c > bestC {
+				bestC = c
+				best = cl
+			}
+		}
+		if best != r.Labels[i] {
+			disagree++
+		}
+	}
+	if pc.IndoorWithNeighbours > 0 {
+		pc.DisagreeFraction = float64(disagree) / float64(pc.IndoorWithNeighbours)
+		pc.MeanNeighbours = float64(totalNeighbours) / float64(pc.IndoorWithNeighbours)
+	}
+	return pc
+}
+
+// ClusterMembers returns the indoor antenna indices of one cluster.
+func (r *Result) ClusterMembers(clusterID int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == clusterID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ClusterSizes returns the antenna count per cluster.
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.K)
+	for _, l := range r.Labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// MeanRSCAByCluster returns, per cluster, the mean RSCA per service — the
+// row blocks of the Fig. 4 heatmap.
+func (r *Result) MeanRSCAByCluster() [][]float64 {
+	out := make([][]float64, r.K)
+	for c := 0; c < r.K; c++ {
+		out[c] = r.RSCA.MeanRows(r.ClusterMembers(c))
+	}
+	return out
+}
+
+// ExplainCluster computes the Fig. 5 beeswarm summary of one cluster: up
+// to SHAPSamplesPerCluster member antennas plus half as many non-member
+// contrast antennas, explained for the cluster's class output with
+// TreeSHAP. topK bounds the returned feature list (the paper shows 25).
+func (r *Result) ExplainCluster(clusterID, topK int) shap.ClassSummary {
+	members := r.ClusterMembers(clusterID)
+	budget := r.Config.SHAPSamplesPerCluster
+	samples := subsample(members, budget)
+	// Deterministic contrast sample: non-members at a stride.
+	var others []int
+	for i, l := range r.Labels {
+		if l != clusterID {
+			others = append(others, i)
+		}
+	}
+	samples = append(samples, subsample(others, budget/2)...)
+	sort.Ints(samples)
+	return shap.SummarizeClass(r.Surrogate, r.RSCA, clusterID, samples, topK)
+}
+
+// subsample picks up to n elements at an even stride (deterministic).
+func subsample(idx []int, n int) []int {
+	if len(idx) <= n || n <= 0 {
+		out := make([]int, len(idx))
+		copy(out, idx)
+		return out
+	}
+	out := make([]int, 0, n)
+	stride := float64(len(idx)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, idx[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// Purity returns the fraction of antennas whose cluster's majority
+// ground-truth archetype matches their own — the headline validation that
+// the unsupervised pipeline re-discovers the generative structure.
+func (r *Result) Purity() float64 {
+	majority := make(map[int]map[int]int)
+	for i, l := range r.Labels {
+		if majority[l] == nil {
+			majority[l] = make(map[int]int)
+		}
+		majority[l][r.Dataset.Indoor[i].Archetype]++
+	}
+	major := make(map[int]int)
+	for l, counts := range majority {
+		best, bestC := -1, -1
+		for a, c := range counts {
+			if c > bestC {
+				bestC = c
+				best = a
+			}
+		}
+		major[l] = best
+	}
+	ok := 0
+	for i, l := range r.Labels {
+		if major[l] == r.Dataset.Indoor[i].Archetype {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.Labels))
+}
+
+// AdjustedRandIndex measures agreement between the discovered clusters and
+// the ground-truth archetypes, corrected for chance (1 = perfect).
+func (r *Result) AdjustedRandIndex() float64 {
+	truth := make([]int, len(r.Labels))
+	for i := range truth {
+		truth[i] = r.Dataset.Indoor[i].Archetype
+	}
+	return ARI(r.Labels, truth)
+}
+
+// StabilityReport summarizes the robustness of the clustering under
+// antenna subsampling: how consistently a fresh Ward run on a random
+// subset reproduces the full-population labels.
+type StabilityReport struct {
+	// Rounds is the number of subsample repetitions.
+	Rounds int
+	// MeanARI and MinARI aggregate the per-round agreement between the
+	// subsample clustering and the full clustering (restricted to the
+	// sampled antennas).
+	MeanARI, MinARI float64
+}
+
+// Stability reclusters `rounds` random subsamples of the antennas
+// (fraction frac of the population, without replacement) and measures the
+// adjusted Rand index against the full-run labels. The RSCA features are
+// recomputed from the traffic submatrix each round, so the subsample sees
+// exactly what a smaller measurement campaign would have seen.
+func (r *Result) Stability(rounds int, frac float64, seed uint64) StabilityReport {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 0.7
+	}
+	n := len(r.Labels)
+	size := int(float64(n) * frac)
+	if size < r.K*2 {
+		size = minInt(n, r.K*2)
+	}
+	rep := StabilityReport{Rounds: rounds, MinARI: 2}
+	src := rng.New(seed)
+	var sum float64
+	for round := 0; round < rounds; round++ {
+		perm := src.Perm(n)[:size]
+		sort.Ints(perm)
+		sub := mat.NewDense(size, r.Dataset.Traffic.Cols())
+		ref := make([]int, size)
+		for i, idx := range perm {
+			copy(sub.Row(i), r.Dataset.Traffic.Row(idx))
+			ref[i] = r.Labels[idx]
+		}
+		features := rca.RSCA(sub)
+		labels := cluster.Ward(features).CutK(r.K)
+		ari := ARI(labels, ref)
+		sum += ari
+		if ari < rep.MinARI {
+			rep.MinARI = ari
+		}
+	}
+	rep.MeanARI = sum / float64(rounds)
+	return rep
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ARI computes the adjusted Rand index between two labelings.
+func ARI(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("analysis: ARI length mismatch")
+	}
+	n := len(a)
+	type pair struct{ x, y int }
+	cont := map[pair]int{}
+	aCount := map[int]int{}
+	bCount := map[int]int{}
+	for i := 0; i < n; i++ {
+		cont[pair{a[i], b[i]}]++
+		aCount[a[i]]++
+		bCount[b[i]]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumCont, sumA, sumB float64
+	for _, c := range cont {
+		sumCont += choose2(c)
+	}
+	for _, c := range aCount {
+		sumA += choose2(c)
+	}
+	for _, c := range bCount {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 1
+	}
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

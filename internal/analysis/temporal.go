@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// TemporalProfile is the Fig. 10/11 artifact for one cluster: the
+// normalized median traffic per hour across the cluster's antennas over
+// the analysis window (2023-01-04 → 2023-01-24).
+type TemporalProfile struct {
+	Cluster int
+	// Hours holds one value per hour of the window, normalized to the
+	// profile's own maximum (as the paper's heatmaps are).
+	Hours []float64
+	// FirstDay is the calendar day index the window starts at.
+	FirstDay int
+}
+
+// windowBounds returns the analysis window and its hour count.
+func (r *Result) windowBounds() (firstDay, lastDay, hours int) {
+	firstDay, lastDay = r.Dataset.Cal.AnalysisWindow()
+	hours = (lastDay - firstDay + 1) * 24
+	return firstDay, lastDay, hours
+}
+
+// ClusterTemporalProfiles computes the Fig. 10 per-cluster heatmaps: for
+// every cluster, the median across member antennas of hourly total
+// traffic, normalized to the cluster's maximum. maxAntennasPerCluster
+// bounds the per-cluster sample for tractability (0 = all members).
+func (r *Result) ClusterTemporalProfiles(maxAntennasPerCluster int) []TemporalProfile {
+	firstDay, _, hours := r.windowBounds()
+	out := make([]TemporalProfile, r.K)
+	for c := 0; c < r.K; c++ {
+		members := subsample(r.ClusterMembers(c), maxAntennasPerCluster)
+		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: medianSeries(r, members, -1, firstDay, hours)}
+	}
+	return out
+}
+
+// ServiceTemporalProfiles computes the Fig. 11 heatmaps for one service:
+// per cluster, the normalized median of the service's hourly traffic.
+func (r *Result) ServiceTemporalProfiles(serviceID int, maxAntennasPerCluster int) []TemporalProfile {
+	firstDay, _, hours := r.windowBounds()
+	out := make([]TemporalProfile, r.K)
+	for c := 0; c < r.K; c++ {
+		members := subsample(r.ClusterMembers(c), maxAntennasPerCluster)
+		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: medianSeries(r, members, serviceID, firstDay, hours)}
+	}
+	return out
+}
+
+// ClusterHourlySeries returns the un-normalized per-hour median traffic of
+// a cluster's antennas over the *entire* measurement calendar (65 days),
+// the input needed by seasonal forecasting models (the proactive
+// management roadmap of Section 7). maxAntennas bounds the median sample.
+func (r *Result) ClusterHourlySeries(clusterID, maxAntennas int) []float64 {
+	members := subsample(r.ClusterMembers(clusterID), maxAntennas)
+	hours := r.Dataset.Cal.Hours()
+	if len(members) == 0 {
+		return make([]float64, hours)
+	}
+	perHour := make([][]float64, hours)
+	for h := range perHour {
+		perHour[h] = make([]float64, 0, len(members))
+	}
+	for _, idx := range members {
+		series := r.Dataset.HourlyTotals(r.Dataset.Indoor[idx])
+		for h := 0; h < hours; h++ {
+			perHour[h] = append(perHour[h], series[h])
+		}
+	}
+	med := make([]float64, hours)
+	for h := range med {
+		med[h] = stats.Median(perHour[h])
+	}
+	return med
+}
+
+// medianSeries computes the per-hour median over the given antennas of
+// total traffic (serviceID < 0) or one service's traffic, normalized to
+// the series maximum. The per-antenna hourly series (the expensive part)
+// are computed in parallel; each worker fills its own slot.
+func medianSeries(r *Result, members []int, serviceID, firstDay, hours int) []float64 {
+	if len(members) == 0 {
+		return make([]float64, hours)
+	}
+	perAntenna := make([][]float64, len(members))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(members) {
+		workers = len(members)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for mi := range jobs {
+				ant := r.Dataset.Indoor[members[mi]]
+				if serviceID < 0 {
+					perAntenna[mi] = r.Dataset.HourlyTotals(ant)
+				} else {
+					perAntenna[mi] = r.Dataset.HourlyService(ant, serviceID)
+				}
+			}
+		}()
+	}
+	for mi := range members {
+		jobs <- mi
+	}
+	close(jobs)
+	wg.Wait()
+
+	offset := firstDay * 24
+	med := make([]float64, hours)
+	column := make([]float64, len(members))
+	for h := 0; h < hours; h++ {
+		for mi := range members {
+			column[mi] = perAntenna[mi][offset+h]
+		}
+		med[h] = stats.Median(column)
+	}
+	return stats.Normalize(med)
+}
+
+// DayNight splits a profile into per-day rows of 24 hours, for heatmap
+// rendering (days as rows).
+func (p TemporalProfile) DayRows() [][]float64 {
+	days := len(p.Hours) / 24
+	out := make([][]float64, days)
+	for d := 0; d < days; d++ {
+		out[d] = p.Hours[d*24 : (d+1)*24]
+	}
+	return out
+}
+
+// PeakHour returns the hour-of-day at which the profile's weekday mass
+// peaks, aggregated across days.
+func (p TemporalProfile) PeakHour() int {
+	var byHour [24]float64
+	for h, v := range p.Hours {
+		byHour[h%24] += v
+	}
+	best, bestV := 0, -1.0
+	for h, v := range byHour {
+		if v > bestV {
+			bestV = v
+			best = h
+		}
+	}
+	return best
+}
+
+// WeekendWeekdayRatio returns the ratio of mean weekend traffic to mean
+// weekday traffic over the profile window — near zero for offices, around
+// one for retail.
+func (p TemporalProfile) WeekendWeekdayRatio(r *Result) float64 {
+	cal := r.Dataset.Cal
+	var we, wd float64
+	var weN, wdN int
+	for h, v := range p.Hours {
+		day := p.FirstDay + h/24
+		if cal.IsWeekend(day) {
+			we += v
+			weN++
+		} else {
+			wd += v
+			wdN++
+		}
+	}
+	if wdN == 0 || wd == 0 {
+		return 0
+	}
+	return (we / float64(weN)) / (wd / float64(wdN))
+}
+
+// StrikeDip returns the ratio of strike-day traffic to the same weekday
+// one week earlier (both within the window); values near 0 indicate the
+// deep commuter trough of Fig. 10.
+func (p TemporalProfile) StrikeDip(r *Result) float64 {
+	sd := r.Dataset.Cal.StrikeDay()
+	ref := sd - 7
+	if sd < p.FirstDay || ref < p.FirstDay {
+		return 1
+	}
+	var strike, refSum float64
+	for h := 0; h < 24; h++ {
+		strike += p.Hours[(sd-p.FirstDay)*24+h]
+		refSum += p.Hours[(ref-p.FirstDay)*24+h]
+	}
+	if refSum == 0 {
+		return 1
+	}
+	return strike / refSum
+}
+
+// SankeyFlows converts the contingency table into Fig. 6 flows.
+func (r *Result) SankeyFlows() []report.Flow {
+	var flows []report.Flow
+	for i, row := range r.Contingency.Counts {
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			flows = append(flows, report.Flow{
+				From:  r.Contingency.RowLabels[i],
+				To:    r.Contingency.ColLabels[j],
+				Count: v,
+			})
+		}
+	}
+	return flows
+}

@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// blobs generates k well-separated Gaussian blobs of the given size.
+func blobs(k, perCluster, dims int, sep float64, seed uint64) (*mat.Dense, []int) {
+	r := rng.New(seed)
+	n := k * perCluster
+	x := mat.NewDense(n, dims)
+	truth := make([]int, n)
+	for c := 0; c < k; c++ {
+		center := make([]float64, dims)
+		for d := range center {
+			center[d] = float64(c) * sep * float64((d%2)*2-1)
+		}
+		center[c%dims] += sep * float64(c+1)
+		for i := 0; i < perCluster; i++ {
+			idx := c*perCluster + i
+			truth[idx] = c
+			row := x.Row(idx)
+			for d := range row {
+				row[d] = center[d] + r.Normal()*0.3
+			}
+		}
+	}
+	return x, truth
+}
+
+// agreement measures label agreement up to permutation via majority map.
+func agreement(got, want []int) float64 {
+	// For each got-cluster find its majority want-cluster.
+	type key struct{ g, w int }
+	counts := map[key]int{}
+	for i := range got {
+		counts[key{got[i], want[i]}]++
+	}
+	major := map[int]int{}
+	best := map[int]int{}
+	for k, c := range counts {
+		if c > best[k.g] {
+			best[k.g] = c
+			major[k.g] = k.w
+		}
+	}
+	ok := 0
+	for i := range got {
+		if major[got[i]] == want[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(got))
+}
+
+func TestWardRecoversBlobs(t *testing.T) {
+	x, truth := blobs(4, 25, 5, 4, 42)
+	l := Ward(x)
+	labels := l.CutK(4)
+	if agreement(labels, truth) < 0.99 {
+		t.Fatalf("Ward recovered only %.2f of blob structure", agreement(labels, truth))
+	}
+}
+
+func TestWardSingle(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}})
+	l := Ward(x)
+	if l.N != 1 || len(l.Merges) != 0 {
+		t.Fatal("single point linkage")
+	}
+	labels := l.CutK(1)
+	if labels[0] != 0 {
+		t.Fatal("single point label")
+	}
+}
+
+func TestWardTwoPoints(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 0}, {3, 4}})
+	l := Ward(x)
+	if len(l.Merges) != 1 {
+		t.Fatalf("%d merges", len(l.Merges))
+	}
+	if math.Abs(l.Merges[0].Height-5) > 1e-9 {
+		t.Fatalf("two-point merge height %v, want 5", l.Merges[0].Height)
+	}
+	if l.Merges[0].Size != 2 {
+		t.Fatal("merge size")
+	}
+}
+
+func TestLinkageInvariants(t *testing.T) {
+	x, _ := blobs(3, 15, 4, 3, 7)
+	l := Ward(x)
+	if len(l.Merges) != l.N-1 {
+		t.Fatalf("%d merges for N=%d", len(l.Merges), l.N)
+	}
+	if !l.HeightsMonotone() {
+		t.Fatal("Ward heights must be monotone after sorting")
+	}
+	// The last merge must cover all leaves.
+	if l.Merges[len(l.Merges)-1].Size != l.N {
+		t.Fatalf("root size %d", l.Merges[len(l.Merges)-1].Size)
+	}
+	// Every node id must be referenced at most once as a child.
+	seen := map[int]bool{}
+	for _, m := range l.Merges {
+		if seen[m.A] || seen[m.B] {
+			t.Fatal("node used as child twice")
+		}
+		seen[m.A], seen[m.B] = true, true
+	}
+	// Leaves of the root enumerate every observation exactly once.
+	root := l.N + len(l.Merges) - 1
+	leaves := l.Leaves(root)
+	if len(leaves) != l.N {
+		t.Fatalf("root has %d leaves", len(leaves))
+	}
+	mark := make([]bool, l.N)
+	for _, lf := range leaves {
+		if mark[lf] {
+			t.Fatal("duplicate leaf")
+		}
+		mark[lf] = true
+	}
+}
+
+func TestCutKProperties(t *testing.T) {
+	x, _ := blobs(3, 10, 3, 3, 11)
+	l := Ward(x)
+	for k := 1; k <= 6; k++ {
+		labels := l.CutK(k)
+		distinct := map[int]bool{}
+		for _, lab := range labels {
+			distinct[lab] = true
+		}
+		if len(distinct) != k {
+			t.Fatalf("CutK(%d) produced %d clusters", k, len(distinct))
+		}
+	}
+	if l.CutK(l.N)[0] != 0 {
+		t.Fatal("full cut labels")
+	}
+}
+
+func TestCutKNested(t *testing.T) {
+	// Cuts must be hierarchical: clusters at k+1 refine clusters at k.
+	x, _ := blobs(4, 12, 4, 3, 13)
+	l := Ward(x)
+	for k := 2; k < 8; k++ {
+		coarse := l.CutK(k)
+		fine := l.CutK(k + 1)
+		parent := map[int]int{}
+		for i := range fine {
+			if p, ok := parent[fine[i]]; ok {
+				if p != coarse[i] {
+					t.Fatalf("cut at k=%d does not refine k=%d", k+1, k)
+				}
+			} else {
+				parent[fine[i]] = coarse[i]
+			}
+		}
+	}
+}
+
+func TestCutKPanics(t *testing.T) {
+	l := Ward(mat.FromRows([][]float64{{0}, {1}}))
+	for _, k := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("CutK(%d) should panic", k)
+				}
+			}()
+			l.CutK(k)
+		}()
+	}
+}
+
+func TestThresholdSeparatesK(t *testing.T) {
+	x, _ := blobs(3, 10, 3, 4, 17)
+	l := Ward(x)
+	for k := 2; k <= 5; k++ {
+		th := l.Threshold(k)
+		// Count clusters when cutting at height th: number of merges with
+		// height > th, plus 1.
+		above := 0
+		for _, m := range l.Merges {
+			if m.Height > th {
+				above++
+			}
+		}
+		if above+1 != k {
+			t.Fatalf("threshold for k=%d separates %d clusters", k, above+1)
+		}
+	}
+	if !math.IsInf(l.Threshold(1), 1) {
+		t.Fatal("k=1 threshold should be +Inf")
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	x, truth := blobs(3, 20, 4, 5, 19)
+	d := PairwiseDistances(x)
+	good := Silhouette(d, truth)
+	if good < 0.7 {
+		t.Fatalf("well-separated blobs silhouette %v", good)
+	}
+	// Random labels should be much worse.
+	r := rng.New(3)
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = r.Intn(3)
+	}
+	if s := Silhouette(d, bad); s > good/2 {
+		t.Fatalf("random labels silhouette %v vs %v", s, good)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}, {2}})
+	d := PairwiseDistances(x)
+	if Silhouette(d, []int{0, 0, 0}) != 0 {
+		t.Fatal("single cluster silhouette should be 0")
+	}
+}
+
+func TestDunnIndexBehavior(t *testing.T) {
+	x, truth := blobs(3, 15, 4, 6, 23)
+	d := PairwiseDistances(x)
+	good := DunnIndex(d, truth)
+	if good <= 0 {
+		t.Fatalf("Dunn of separated blobs = %v", good)
+	}
+	// Merging two true clusters into one label must reduce Dunn.
+	merged := make([]int, len(truth))
+	for i, v := range truth {
+		if v == 2 {
+			v = 1
+		}
+		merged[i] = v
+	}
+	if worse := DunnIndex(d, merged); worse >= good {
+		t.Fatalf("merged labeling Dunn %v should be below %v", worse, good)
+	}
+	if DunnIndex(d, make([]int, x.Rows())) != 0 {
+		t.Fatal("single cluster Dunn should be 0")
+	}
+}
+
+func TestDaviesBouldin(t *testing.T) {
+	x, truth := blobs(3, 15, 4, 6, 29)
+	good := DaviesBouldin(x, truth)
+	if math.IsInf(good, 1) || good <= 0 {
+		t.Fatalf("DB = %v", good)
+	}
+	r := rng.New(31)
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = r.Intn(3)
+	}
+	if DaviesBouldin(x, bad) <= good {
+		t.Fatal("random labels should have worse (higher) Davies-Bouldin")
+	}
+	if !math.IsInf(DaviesBouldin(x, make([]int, x.Rows())), 1) {
+		t.Fatal("single cluster DB should be +Inf")
+	}
+}
+
+func TestSweepKAndKnees(t *testing.T) {
+	x, _ := blobs(4, 15, 4, 6, 37)
+	l := Ward(x)
+	d := PairwiseDistances(x)
+	points := SweepK(l, d, 2, 8)
+	if len(points) != 7 {
+		t.Fatalf("%d sweep points", len(points))
+	}
+	// Silhouette should peak at the true k=4.
+	bestK, bestS := 0, -2.0
+	for _, p := range points {
+		if p.Silhouette > bestS {
+			bestS = p.Silhouette
+			bestK = p.K
+		}
+	}
+	if bestK != 4 {
+		t.Fatalf("silhouette peaks at k=%d, want 4", bestK)
+	}
+	knees := Knees(points, 2)
+	if len(knees) == 0 || knees[0] != 4 {
+		t.Fatalf("knees = %v, want leading 4", knees)
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	x, truth := blobs(4, 25, 5, 5, 41)
+	res := KMeans(x, 4, 1, 100)
+	if agreement(res.Labels, truth) < 0.95 {
+		t.Fatalf("k-means agreement %.2f", agreement(res.Labels, truth))
+	}
+	if res.Inertia <= 0 {
+		t.Fatal("inertia should be positive for noisy blobs")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	x, _ := blobs(3, 10, 3, 3, 43)
+	a := KMeans(x, 3, 9, 50)
+	b := KMeans(x, 3, 9, 50)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should give same labels")
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 0}, {5, 5}, {9, 0}})
+	res := KMeans(x, 3, 1, 50)
+	distinct := map[int]bool{}
+	for _, l := range res.Labels {
+		distinct[l] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("k=n should give singletons, got %v", res.Labels)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=n inertia %v", res.Inertia)
+	}
+}
+
+func TestKMeansPanics(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans(x, 5, 1, 10)
+}
+
+// Property: Ward cut labels are always a valid partition for random data.
+func TestWardPartitionProperty(t *testing.T) {
+	f := func(seed uint64, rawN, rawK uint8) bool {
+		n := int(rawN%20) + 4
+		k := int(rawK)%n + 1
+		r := rng.New(seed)
+		x := mat.NewDense(n, 3)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		l := Ward(x)
+		labels := l.CutK(k)
+		if len(labels) != n {
+			return false
+		}
+		distinct := map[int]bool{}
+		for _, lab := range labels {
+			if lab < 0 || lab >= k {
+				return false
+			}
+			distinct[lab] = true
+		}
+		return len(distinct) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ward agrees with a brute-force minimum-variance agglomeration
+// on tiny inputs (exhaustive Lance-Williams without NN-chain).
+func TestWardMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 8
+		r := rng.New(seed)
+		x := mat.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 2; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		want := bruteForceWardHeights(x)
+		got := Ward(x)
+		if len(got.Merges) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got.Merges[i].Height-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceWardHeights re-implements Ward by scanning the full distance
+// matrix for the global minimum at each step (O(N³), reference only) and
+// returns the sorted merge heights.
+func bruteForceWardHeights(x *mat.Dense) []float64 {
+	n := x.Rows()
+	d2 := mat.PairwiseSqDist(x)
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	var heights []float64
+	for step := 0; step < n-1; step++ {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d := d2.At(i, j); d < best {
+					best = d
+					bi, bj = i, j
+				}
+			}
+		}
+		heights = append(heights, math.Sqrt(best))
+		mergeInto(d2, active, size, bj, bi, best)
+	}
+	// Global-minimum merges are already ascending for reducible linkages.
+	return heights
+}
+
+func BenchmarkWard500x73(b *testing.B) {
+	r := rng.New(1)
+	x := mat.NewDense(500, 73)
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			x.Set(i, j, r.Normal())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Ward(x)
+	}
+}
+
+func BenchmarkSilhouette500(b *testing.B) {
+	x, truth := blobs(5, 100, 10, 4, 3)
+	d := PairwiseDistances(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Silhouette(d, truth)
+	}
+}

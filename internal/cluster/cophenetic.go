@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// CopheneticDistances returns the condensed matrix of cophenetic
+// distances of a linkage: for each pair of observations, the height of the
+// dendrogram merge that first joins them. It is the classic input for
+// assessing how faithfully a hierarchy preserves the original metric.
+func (l *Linkage) CopheneticDistances() *mat.Condensed {
+	coph := mat.NewCondensed(l.N)
+	// components[node] lists the leaves currently under each live root.
+	components := make(map[int][]int, l.N)
+	for i := 0; i < l.N; i++ {
+		components[i] = []int{i}
+	}
+	for s, m := range l.Merges {
+		a := components[m.A]
+		b := components[m.B]
+		for _, x := range a {
+			for _, y := range b {
+				coph.Set(x, y, m.Height)
+			}
+		}
+		merged := append(a, b...)
+		delete(components, m.A)
+		delete(components, m.B)
+		components[l.N+s] = merged
+	}
+	return coph
+}
+
+// CopheneticCorrelation returns the Pearson correlation between the
+// original pairwise distances and the cophenetic distances of the linkage
+// — 1 means the dendrogram perfectly preserves the metric structure.
+func CopheneticCorrelation(l *Linkage, dists *mat.Condensed) float64 {
+	if l.N < 3 {
+		return 1
+	}
+	coph := l.CopheneticDistances()
+	n := l.N
+	size := n * (n - 1) / 2
+	a := make([]float64, 0, size)
+	b := make([]float64, 0, size)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a = append(a, dists.At(i, j))
+			b = append(b, coph.At(i, j))
+		}
+	}
+	return stats.PearsonCorrelation(a, b)
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestCopheneticDistancesSimple(t *testing.T) {
+	// Three collinear points: 0 at x=0, 1 at x=1, 2 at x=10.
+	x := mat.FromRows([][]float64{{0}, {1}, {10}})
+	l := Ward(x)
+	coph := l.CopheneticDistances()
+	// Points 0 and 1 merge first at height 1.
+	if math.Abs(coph.At(0, 1)-1) > 1e-9 {
+		t.Fatalf("coph(0,1) = %v", coph.At(0, 1))
+	}
+	// Point 2 joins at the root height, shared by both cross pairs.
+	if coph.At(0, 2) != coph.At(1, 2) {
+		t.Fatal("pairs joining at the same merge must share the height")
+	}
+	if coph.At(0, 2) <= coph.At(0, 1) {
+		t.Fatal("later merges must carry larger heights")
+	}
+}
+
+func TestCopheneticUltrametric(t *testing.T) {
+	// Cophenetic distances are ultrametric: d(a,c) <= max(d(a,b), d(b,c)).
+	x, _ := blobs(3, 8, 3, 4, 91)
+	l := Ward(x)
+	coph := l.CopheneticDistances()
+	n := x.Rows()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				ab, bc, ac := coph.At(a, b), coph.At(b, c), coph.At(a, c)
+				if ac > math.Max(ab, bc)+1e-9 ||
+					ab > math.Max(ac, bc)+1e-9 ||
+					bc > math.Max(ab, ac)+1e-9 {
+					t.Fatalf("ultrametric violated at (%d,%d,%d): %v %v %v", a, b, c, ab, bc, ac)
+				}
+			}
+		}
+	}
+}
+
+func TestCopheneticCorrelationHighOnBlobs(t *testing.T) {
+	x, _ := blobs(3, 15, 4, 6, 93)
+	l := Ward(x)
+	d := PairwiseDistances(x)
+	cc := CopheneticCorrelation(l, d)
+	if cc < 0.8 {
+		t.Fatalf("cophenetic correlation %v on clean blobs", cc)
+	}
+	if cc > 1+1e-9 {
+		t.Fatalf("correlation above 1: %v", cc)
+	}
+}
+
+func TestCopheneticCorrelationTiny(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}})
+	l := Ward(x)
+	if CopheneticCorrelation(l, PairwiseDistances(x)) != 1 {
+		t.Fatal("n<3 should return 1")
+	}
+}
+
+func BenchmarkCophenetic300(b *testing.B) {
+	x, _ := blobs(5, 60, 8, 4, 1)
+	l := Ward(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.CopheneticDistances()
+	}
+}

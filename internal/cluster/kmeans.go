@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// KMeansResult holds a flat k-means clustering.
+type KMeansResult struct {
+	// Labels assigns each row of the input to a cluster in [0, K).
+	Labels []int
+	// Centroids is the K × cols centroid matrix.
+	Centroids *mat.Dense
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters the rows of x into k groups with Lloyd's algorithm and
+// k-means++ seeding. It serves as the flat-clustering baseline in the Ward
+// ablation bench. maxIter bounds the Lloyd iterations; convergence stops
+// earlier when assignments stabilize. It panics when k is out of range.
+func KMeans(x *mat.Dense, k int, seed uint64, maxIter int) *KMeansResult {
+	n := x.Rows()
+	if k < 1 || k > n {
+		panic("cluster: KMeans k out of range")
+	}
+	r := rng.New(seed)
+	cols := x.Cols()
+
+	// k-means++ seeding.
+	centroids := mat.NewDense(k, cols)
+	first := r.Intn(n)
+	copy(centroids.Row(0), x.Row(first))
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = mat.SqDist(x.Row(i), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range minSq {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.Intn(n)
+		} else {
+			u := r.Float64() * total
+			acc := 0.0
+			for i, v := range minSq {
+				acc += v
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), x.Row(pick))
+		for i := range minSq {
+			if d := mat.SqDist(x.Row(i), centroids.Row(c)); d < minSq[i] {
+				minSq[i] = d
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	counts := make([]int, k)
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := mat.SqDist(x.Row(i), centroids.Row(c)); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			row := centroids.Row(c)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			counts[labels[i]]++
+			c := centroids.Row(labels[i])
+			for j, v := range x.Row(i) {
+				c[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on a random point.
+				copy(centroids.Row(c), x.Row(r.Intn(n)))
+				continue
+			}
+			row := centroids.Row(c)
+			for j := range row {
+				row[j] /= float64(counts[c])
+			}
+		}
+	}
+
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += mat.SqDist(x.Row(i), centroids.Row(labels[i]))
+	}
+	return &KMeansResult{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}
+}

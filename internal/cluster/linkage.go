@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Method selects the agglomerative linkage criterion. All four criteria
+// are reducible, so the nearest-neighbor-chain algorithm yields exact
+// results for each.
+type Method int
+
+const (
+	// MethodWard minimizes total within-cluster variance (the paper's
+	// choice, Section 4.2.1).
+	MethodWard Method = iota
+	// MethodComplete merges by maximum pairwise distance.
+	MethodComplete
+	// MethodAverage merges by mean pairwise distance (UPGMA).
+	MethodAverage
+	// MethodSingle merges by minimum pairwise distance.
+	MethodSingle
+)
+
+// String returns the linkage name.
+func (m Method) String() string {
+	switch m {
+	case MethodWard:
+		return "ward"
+	case MethodComplete:
+		return "complete"
+	case MethodAverage:
+		return "average"
+	case MethodSingle:
+		return "single"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Agglomerative runs hierarchical clustering over the rows of x with the
+// given linkage. MethodWard delegates to the Ward implementation; the
+// others run the same NN-chain over plain Euclidean distances with their
+// Lance-Williams update.
+func Agglomerative(x *mat.Dense, method Method) *Linkage {
+	if method == MethodWard {
+		return Ward(x)
+	}
+	n := x.Rows()
+	if n == 1 {
+		return &Linkage{N: 1}
+	}
+	d := PairwiseDistances(x)
+	return agglomerateFromDistances(d, method)
+}
+
+// agglomerateFromDistances runs the NN-chain over a condensed Euclidean
+// distance matrix, consuming it.
+func agglomerateFromDistances(d *mat.Condensed, method Method) *Linkage {
+	n := d.N()
+	active := make([]bool, n)
+	size := make([]int, n)
+	node := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		node[i] = i
+	}
+	type rawMerge struct {
+		a, b   int
+		height float64
+		size   int
+	}
+	raw := make([]rawMerge, 0, n-1)
+	chain := make([]int, 0, n)
+	remaining := n
+	nextSlotScan := 0
+
+	update := func(dst, src, k int, dij float64) float64 {
+		dik := d.At(dst, k)
+		djk := d.At(src, k)
+		switch method {
+		case MethodComplete:
+			return math.Max(dik, djk)
+		case MethodAverage:
+			ni, nj := float64(size[dst]), float64(size[src])
+			return (ni*dik + nj*djk) / (ni + nj)
+		case MethodSingle:
+			return math.Min(dik, djk)
+		}
+		panic("cluster: unsupported method in update")
+	}
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for !active[nextSlotScan] {
+				nextSlotScan++
+			}
+			chain = append(chain, nextSlotScan)
+		}
+		x := chain[len(chain)-1]
+		prev := -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
+		}
+		best := -1
+		bestD := math.Inf(1)
+		if prev >= 0 {
+			bestD = d.At(x, prev)
+			best = prev
+		}
+		for y := 0; y < n; y++ {
+			if y == x || !active[y] {
+				continue
+			}
+			if dv := d.At(x, y); dv < bestD {
+				bestD = dv
+				best = y
+			}
+		}
+		if best == prev && prev >= 0 {
+			chain = chain[:len(chain)-2]
+			for k := 0; k < n; k++ {
+				if k == x || k == prev || !active[k] {
+					continue
+				}
+				d.Set(prev, k, update(prev, x, k, bestD))
+			}
+			size[prev] += size[x]
+			active[x] = false
+			raw = append(raw, rawMerge{a: node[prev], b: node[x], height: bestD, size: size[prev]})
+			node[prev] = n + len(raw) - 1
+			remaining--
+		} else {
+			chain = append(chain, best)
+		}
+	}
+
+	// Sort ascending by height and relabel, as in Ward.
+	order := make([]int, len(raw))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && raw[order[j]].height < raw[order[j-1]].height; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	relabel := make(map[int]int, len(raw))
+	merges := make([]Merge, len(raw))
+	for newIdx, oldIdx := range order {
+		m := raw[oldIdx]
+		a, b := m.a, m.b
+		if a >= n {
+			if v, ok := relabel[a]; ok {
+				a = v
+			}
+		}
+		if b >= n {
+			if v, ok := relabel[b]; ok {
+				b = v
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		merges[newIdx] = Merge{A: a, B: b, Height: m.height, Size: m.size}
+		relabel[n+oldIdx] = n + newIdx
+	}
+	return &Linkage{N: n, Merges: merges}
+}

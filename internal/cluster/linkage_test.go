@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestMethodString(t *testing.T) {
+	if MethodWard.String() != "ward" || MethodComplete.String() != "complete" ||
+		MethodAverage.String() != "average" || MethodSingle.String() != "single" {
+		t.Fatal("method names")
+	}
+	if Method(9).String() != "method(9)" {
+		t.Fatal("unknown method name")
+	}
+}
+
+func TestAllMethodsRecoverBlobs(t *testing.T) {
+	x, truth := blobs(3, 20, 4, 6, 51)
+	for _, m := range []Method{MethodWard, MethodComplete, MethodAverage, MethodSingle} {
+		l := Agglomerative(x, m)
+		labels := l.CutK(3)
+		if a := agreement(labels, truth); a < 0.95 {
+			t.Fatalf("%v linkage agreement %.2f", m, a)
+		}
+		if !l.HeightsMonotone() {
+			t.Fatalf("%v linkage heights not monotone", m)
+		}
+	}
+}
+
+func TestSingleLinkageChains(t *testing.T) {
+	// A chain of close points plus one distant blob: single linkage keeps
+	// the chain together where complete linkage splits it.
+	var rows [][]float64
+	for i := 0; i < 12; i++ {
+		rows = append(rows, []float64{float64(i) * 1.0, 0})
+	}
+	for i := 0; i < 6; i++ {
+		rows = append(rows, []float64{100 + float64(i%3)*0.1, 50 + float64(i/3)*0.1})
+	}
+	x := mat.FromRows(rows)
+	single := Agglomerative(x, MethodSingle).CutK(2)
+	// All chain points share one label under single linkage.
+	for i := 1; i < 12; i++ {
+		if single[i] != single[0] {
+			t.Fatalf("single linkage split the chain: %v", single[:12])
+		}
+	}
+	if single[12] == single[0] {
+		t.Fatal("single linkage merged chain and blob")
+	}
+}
+
+func TestCompleteVsSingleOnChain(t *testing.T) {
+	// On an elongated chain cut into 2, complete linkage must produce a
+	// balanced split while single linkage cannot split it at all until
+	// forced; verify they differ.
+	var rows [][]float64
+	for i := 0; i < 16; i++ {
+		rows = append(rows, []float64{float64(i), 0})
+	}
+	x := mat.FromRows(rows)
+	complete := Agglomerative(x, MethodComplete).CutK(2)
+	changes := 0
+	for i := 1; i < len(complete); i++ {
+		if complete[i] != complete[i-1] {
+			changes++
+		}
+	}
+	if changes != 1 {
+		t.Fatalf("complete linkage should cut the chain once, got %d transitions", changes)
+	}
+	// The split should be near the middle (balanced diameters).
+	counts := map[int]int{}
+	for _, l := range complete {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c < 6 {
+			t.Fatalf("complete linkage split unbalanced: %v", counts)
+		}
+	}
+}
+
+func TestAverageMatchesBruteForceProperty(t *testing.T) {
+	// NN-chain average linkage must equal an exhaustive UPGMA on small
+	// random inputs.
+	f := func(seed uint64) bool {
+		n := 8
+		r := rng.New(seed)
+		x := mat.NewDense(n, 2)
+		for i := 0; i < n; i++ {
+			for j := 0; j < 2; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		got := Agglomerative(x, MethodAverage)
+		want := bruteForceAverageHeights(x)
+		if len(got.Merges) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got.Merges[i].Height-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceAverageHeights: exhaustive UPGMA scanning the full matrix.
+func bruteForceAverageHeights(x *mat.Dense) []float64 {
+	n := x.Rows()
+	d := PairwiseDistances(x)
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	var heights []float64
+	for step := 0; step < n-1; step++ {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if v := d.At(i, j); v < best {
+					best = v
+					bi, bj = i, j
+				}
+			}
+		}
+		heights = append(heights, best)
+		for k := 0; k < n; k++ {
+			if k == bi || k == bj || !active[k] {
+				continue
+			}
+			ni, nj := float64(size[bi]), float64(size[bj])
+			d.Set(bi, k, (ni*d.At(bi, k)+nj*d.At(bj, k))/(ni+nj))
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+	}
+	return heights
+}
+
+func TestAgglomerativeSinglePoint(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}})
+	for _, m := range []Method{MethodComplete, MethodAverage, MethodSingle} {
+		l := Agglomerative(x, m)
+		if l.N != 1 || len(l.Merges) != 0 {
+			t.Fatalf("%v single point", m)
+		}
+	}
+}
+
+func BenchmarkAverageLinkage300(b *testing.B) {
+	x, _ := blobs(5, 60, 10, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Agglomerative(x, MethodAverage)
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// PairwiseDistances computes the condensed Euclidean (not squared)
+// distance matrix over the rows of x, for reuse across Silhouette and Dunn
+// evaluations at multiple k.
+func PairwiseDistances(x *mat.Dense) *mat.Condensed {
+	d := mat.PairwiseSqDist(x)
+	n := d.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d.Set(i, j, math.Sqrt(d.At(i, j)))
+		}
+	}
+	return d
+}
+
+// numLabels returns the number of clusters (max label + 1) and the size of
+// each.
+func numLabels(labels []int) (int, []int) {
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return k, sizes
+}
+
+// Silhouette returns the mean silhouette coefficient of the labeling over
+// the precomputed distance matrix (Rousseeuw 1987): for each point,
+// (b-a)/max(a,b), with a the mean intra-cluster distance and b the lowest
+// mean distance to another cluster. Singleton clusters contribute 0, and a
+// labeling with fewer than 2 clusters scores 0.
+func Silhouette(d *mat.Condensed, labels []int) float64 {
+	n := d.N()
+	if len(labels) != n {
+		panic("cluster: Silhouette label length mismatch")
+	}
+	k, sizes := numLabels(labels)
+	if k < 2 {
+		return 0
+	}
+	var total float64
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += d.At(i, j)
+		}
+		own := labels[i]
+		if sizes[own] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if max := math.Max(a, b); max > 0 {
+			total += (b - a) / max
+		}
+	}
+	return total / float64(n)
+}
+
+// DunnIndex returns the ratio of the minimum inter-cluster distance
+// (single linkage) to the maximum intra-cluster diameter (complete
+// diameter), over the precomputed distance matrix. Larger is better. A
+// labeling with fewer than 2 clusters, or with a zero maximum diameter,
+// scores 0.
+func DunnIndex(d *mat.Condensed, labels []int) float64 {
+	n := d.N()
+	if len(labels) != n {
+		panic("cluster: DunnIndex label length mismatch")
+	}
+	k, _ := numLabels(labels)
+	if k < 2 {
+		return 0
+	}
+	minInter := math.Inf(1)
+	maxDiam := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := d.At(i, j)
+			if labels[i] == labels[j] {
+				if dist > maxDiam {
+					maxDiam = dist
+				}
+			} else if dist < minInter {
+				minInter = dist
+			}
+		}
+	}
+	if maxDiam == 0 || math.IsInf(minInter, 1) {
+		return 0
+	}
+	return minInter / maxDiam
+}
+
+// DaviesBouldin returns the Davies-Bouldin index of the labeling over the
+// feature matrix: the mean over clusters of the worst (σi+σj)/d(ci,cj)
+// ratio. Smaller is better. Fewer than 2 clusters scores +Inf.
+func DaviesBouldin(x *mat.Dense, labels []int) float64 {
+	k, sizes := numLabels(labels)
+	if k < 2 {
+		return math.Inf(1)
+	}
+	cols := x.Cols()
+	centroids := mat.NewDense(k, cols)
+	for i := 0; i < x.Rows(); i++ {
+		c := centroids.Row(labels[i])
+		for j, v := range x.Row(i) {
+			c[j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if sizes[c] == 0 {
+			continue
+		}
+		row := centroids.Row(c)
+		for j := range row {
+			row[j] /= float64(sizes[c])
+		}
+	}
+	scatter := make([]float64, k)
+	for i := 0; i < x.Rows(); i++ {
+		scatter[labels[i]] += mat.Dist(x.Row(i), centroids.Row(labels[i]))
+	}
+	for c := 0; c < k; c++ {
+		if sizes[c] > 0 {
+			scatter[c] /= float64(sizes[c])
+		}
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if i == j || sizes[i] == 0 || sizes[j] == 0 {
+				continue
+			}
+			dc := mat.Dist(centroids.Row(i), centroids.Row(j))
+			if dc == 0 {
+				return math.Inf(1)
+			}
+			if r := (scatter[i] + scatter[j]) / dc; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(k)
+}
+
+// SelectionPoint is one (k, score) sample of the Fig. 2 model-selection
+// sweep.
+type SelectionPoint struct {
+	K          int
+	Silhouette float64
+	Dunn       float64
+}
+
+// SweepK evaluates Silhouette and Dunn for every k in [kMin, kMax] by
+// cutting the linkage, reusing one distance matrix. It reproduces the data
+// behind Fig. 2.
+func SweepK(l *Linkage, d *mat.Condensed, kMin, kMax int) []SelectionPoint {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax > l.N {
+		kMax = l.N
+	}
+	var out []SelectionPoint
+	for k := kMin; k <= kMax; k++ {
+		labels := l.CutK(k)
+		out = append(out, SelectionPoint{
+			K:          k,
+			Silhouette: Silhouette(d, labels),
+			Dunn:       DunnIndex(d, labels),
+		})
+	}
+	return out
+}
+
+// Knees returns the k values implementing the Section 4.2.1 stopping
+// criterion: "a high value of the Silhouette score or the Dunn index,
+// followed by an abrupt drop". A knee is a local maximum of the Silhouette
+// score (not lower than its left neighbour, strictly above its right one);
+// candidates are ranked by the size of the subsequent drop, largest first,
+// and at most maxKnees are returned.
+func Knees(points []SelectionPoint, maxKnees int) []int {
+	type knee struct {
+		k    int
+		drop float64
+	}
+	var ks []knee
+	for i := 0; i+1 < len(points); i++ {
+		if i > 0 && points[i].Silhouette < points[i-1].Silhouette {
+			continue // not a local maximum
+		}
+		drop := (points[i].Silhouette - points[i+1].Silhouette) +
+			(points[i].Dunn - points[i+1].Dunn)
+		if drop > 0 {
+			ks = append(ks, knee{points[i].K, drop})
+		}
+	}
+	// Selection sort by descending drop; deterministic for equal drops.
+	for i := 0; i < len(ks); i++ {
+		best := i
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j].drop > ks[best].drop {
+				best = j
+			}
+		}
+		ks[i], ks[best] = ks[best], ks[i]
+	}
+	if len(ks) > maxKnees {
+		ks = ks[:maxKnees]
+	}
+	out := make([]int, len(ks))
+	for i, kn := range ks {
+		out[i] = kn.k
+	}
+	return out
+}

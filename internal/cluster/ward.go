@@ -1,0 +1,254 @@
+// Package cluster implements the unsupervised-learning layer of the paper:
+// agglomerative hierarchical clustering with Ward's minimum-variance
+// criterion (Section 4.2.1), dendrogram construction and cutting, the
+// Silhouette score and Dunn index used to pick the number of clusters
+// (Fig. 2), the Davies-Bouldin index as an additional diagnostic, and a
+// k-means baseline for the ablation benches.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Merge is one agglomeration step of the dendrogram. A and B are node ids:
+// leaves are 0..N-1; the merge at Merges[s] creates internal node N+s.
+type Merge struct {
+	A, B int
+	// Height is the Ward merge distance (monotone non-decreasing along
+	// any root path).
+	Height float64
+	// Size is the number of leaves under the created node.
+	Size int
+}
+
+// Linkage is the full merge hierarchy returned by Ward.
+type Linkage struct {
+	// N is the number of clustered observations.
+	N int
+	// Merges holds the N-1 agglomeration steps sorted by ascending
+	// height, scipy-style.
+	Merges []Merge
+}
+
+// Ward runs agglomerative clustering with Ward's criterion over the rows
+// of x, using the O(N²) nearest-neighbor-chain algorithm with the
+// Lance-Williams update. It panics on an empty matrix.
+func Ward(x *mat.Dense) *Linkage {
+	n := x.Rows()
+	if n == 1 {
+		return &Linkage{N: 1}
+	}
+	d2 := mat.PairwiseSqDist(x)
+	return WardFromSqDistances(d2)
+}
+
+// WardFromSqDistances runs Ward clustering from a precomputed condensed
+// matrix of squared Euclidean distances. The input is consumed (mutated).
+func WardFromSqDistances(d2 *mat.Condensed) *Linkage {
+	n := d2.N()
+	active := make([]bool, n)
+	size := make([]int, n)
+	node := make([]int, n) // current dendrogram node id held by each slot
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		node[i] = i
+	}
+
+	type rawMerge struct {
+		a, b   int // node ids
+		height float64
+		size   int
+	}
+	raw := make([]rawMerge, 0, n-1)
+
+	chain := make([]int, 0, n)
+	remaining := n
+	nextSlotScan := 0
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			// Seed the chain with any active slot.
+			for !active[nextSlotScan] {
+				nextSlotScan++
+			}
+			chain = append(chain, nextSlotScan)
+		}
+		x := chain[len(chain)-1]
+		// Nearest active neighbor of x, preferring the previous chain
+		// element on ties so reciprocity is reached.
+		var prev = -1
+		if len(chain) >= 2 {
+			prev = chain[len(chain)-2]
+		}
+		best := -1
+		bestD := math.Inf(1)
+		if prev >= 0 {
+			bestD = d2.At(x, prev)
+			best = prev
+		}
+		for y := 0; y < n; y++ {
+			if y == x || !active[y] {
+				continue
+			}
+			if dv := d2.At(x, y); dv < bestD {
+				bestD = dv
+				best = y
+			}
+		}
+		if best == prev && prev >= 0 {
+			// Reciprocal nearest neighbors: merge x and prev.
+			chain = chain[:len(chain)-2]
+			mergeInto(d2, active, size, x, prev, bestD)
+			raw = append(raw, rawMerge{
+				a: node[prev], b: node[x],
+				height: math.Sqrt(bestD),
+				size:   size[prev],
+			})
+			node[prev] = n + len(raw) - 1 // provisional id, relabeled below
+			remaining--
+		} else {
+			chain = append(chain, best)
+		}
+	}
+
+	// NN-chain emits merges out of height order; sort ascending and
+	// relabel internal node ids so Merges[s] creates node N+s, keeping
+	// the tree topology intact. Children always have strictly smaller or
+	// equal heights, so a stable sort preserves dependencies.
+	order := make([]int, len(raw))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return raw[order[i]].height < raw[order[j]].height
+	})
+	relabel := make(map[int]int, len(raw))
+	merges := make([]Merge, len(raw))
+	for newIdx, oldIdx := range order {
+		m := raw[oldIdx]
+		a, b := m.a, m.b
+		if a >= n {
+			if v, ok := relabel[a]; ok {
+				a = v
+			}
+		}
+		if b >= n {
+			if v, ok := relabel[b]; ok {
+				b = v
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		merges[newIdx] = Merge{A: a, B: b, Height: m.height, Size: m.size}
+		relabel[n+oldIdx] = n + newIdx
+	}
+	return &Linkage{N: n, Merges: merges}
+}
+
+// mergeInto merges slot src into slot dst (Ward/Lance-Williams), updating
+// distances of dst to every other active slot and deactivating src.
+func mergeInto(d2 *mat.Condensed, active []bool, size []int, src, dst int, dij float64) {
+	ni := float64(size[dst])
+	nj := float64(size[src])
+	for k := 0; k < len(active); k++ {
+		if k == src || k == dst || !active[k] {
+			continue
+		}
+		nk := float64(size[k])
+		dik := d2.At(dst, k)
+		djk := d2.At(src, k)
+		newD := ((ni+nk)*dik + (nj+nk)*djk - nk*dij) / (ni + nj + nk)
+		d2.Set(dst, k, newD)
+	}
+	size[dst] += size[src]
+	active[src] = false
+}
+
+// CutK cuts the dendrogram into k flat clusters, returning a label in
+// [0, k) for every leaf. Labels are assigned in order of first appearance
+// (leaf 0 always gets label 0). It panics unless 1 <= k <= N.
+func (l *Linkage) CutK(k int) []int {
+	if k < 1 || k > l.N {
+		panic(fmt.Sprintf("cluster: CutK(%d) outside [1,%d]", k, l.N))
+	}
+	parent := make([]int, l.N+len(l.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(a int) int {
+		for parent[a] != a {
+			parent[a] = parent[parent[a]]
+			a = parent[a]
+		}
+		return a
+	}
+	// Apply the N-k lowest merges; the k-1 highest remain cut.
+	for s := 0; s < l.N-k; s++ {
+		m := l.Merges[s]
+		node := l.N + s
+		parent[find(m.A)] = node
+		parent[find(m.B)] = node
+	}
+	labels := make([]int, l.N)
+	next := 0
+	seen := make(map[int]int)
+	for i := 0; i < l.N; i++ {
+		root := find(i)
+		id, ok := seen[root]
+		if !ok {
+			id = next
+			next++
+			seen[root] = id
+		}
+		labels[i] = id
+	}
+	if next != k {
+		panic(fmt.Sprintf("cluster: cut produced %d clusters, want %d", next, k))
+	}
+	return labels
+}
+
+// Threshold returns a dendrogram height that separates exactly k clusters:
+// any horizontal cut between the (N-k)-th and (N-k+1)-th merge heights.
+// This is the quantity visualized by the dashed lines of Fig. 3.
+func (l *Linkage) Threshold(k int) float64 {
+	if k <= 1 {
+		return math.Inf(1)
+	}
+	if k > l.N {
+		return 0
+	}
+	hi := l.Merges[l.N-k].Height // first merge NOT applied
+	var lo float64
+	if l.N-k-1 >= 0 {
+		lo = l.Merges[l.N-k-1].Height
+	}
+	return (lo + hi) / 2
+}
+
+// HeightsMonotone reports whether merge heights are non-decreasing — a
+// structural invariant of a valid sorted linkage.
+func (l *Linkage) HeightsMonotone() bool {
+	for i := 1; i < len(l.Merges); i++ {
+		if l.Merges[i].Height < l.Merges[i-1].Height-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Leaves returns the leaf ids under the given dendrogram node.
+func (l *Linkage) Leaves(nodeID int) []int {
+	if nodeID < l.N {
+		return []int{nodeID}
+	}
+	m := l.Merges[nodeID-l.N]
+	return append(l.Leaves(m.A), l.Leaves(m.B)...)
+}

@@ -1,0 +1,230 @@
+// Package collect implements the network-facing half of the measurement
+// substrate: a TCP collection service that accepts probe record streams
+// (the Section 3 "passive measurement probes" feeding a central platform)
+// and folds them into the per-hour, per-antenna, per-service aggregates the
+// analysis consumes, plus the matching exporter client.
+//
+// The collector accepts many concurrent probe connections, applies the
+// wire-format validation of the probe package, classifies and aggregates
+// records under a single lock-guarded aggregator, counts malformed streams
+// without letting them poison the aggregate, and shuts down gracefully:
+// closing the listener, draining in-flight connections, and honoring
+// context cancellation.
+package collect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/probe"
+)
+
+// Stats is a point-in-time snapshot of collector activity.
+type Stats struct {
+	// Connections is the number of probe connections accepted.
+	Connections int
+	// Records is the number of well-formed records aggregated.
+	Records int
+	// MalformedStreams counts connections dropped due to framing errors.
+	MalformedStreams int
+	// UnclassifiedMB is traffic whose server name no classifier rule
+	// matched.
+	UnclassifiedMB float64
+}
+
+// Collector is a TCP server aggregating probe record streams.
+type Collector struct {
+	ln         net.Listener
+	classifier *probe.Classifier
+
+	mu        sync.Mutex
+	agg       *probe.Aggregator
+	stats     Stats
+	shutdown  bool
+	readLimit time.Duration
+
+	wg sync.WaitGroup
+}
+
+// Option customizes a Collector.
+type Option func(*Collector)
+
+// WithReadTimeout bounds how long a connection may stay silent before it
+// is dropped (default 30s; tests use shorter values).
+func WithReadTimeout(d time.Duration) Option {
+	return func(c *Collector) { c.readLimit = d }
+}
+
+// Listen starts a collector on addr ("host:port"; use "127.0.0.1:0" for an
+// ephemeral port). The caller must invoke Serve to accept connections.
+func Listen(addr string, opts ...Option) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen %s: %w", addr, err)
+	}
+	c := &Collector{
+		ln:         ln,
+		classifier: probe.NewClassifier(),
+		agg:        probe.NewAggregator(probe.NewClassifier()),
+		readLimit:  30 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Addr returns the listener address (useful with ephemeral ports).
+func (c *Collector) Addr() net.Addr { return c.ln.Addr() }
+
+// Serve accepts probe connections until the context is canceled or the
+// listener fails. It always returns a non-nil error: ctx.Err() after a
+// clean shutdown, or the listener error otherwise.
+func (c *Collector) Serve(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.shutdown = true
+			c.mu.Unlock()
+			c.ln.Close()
+		case <-done:
+		}
+	}()
+
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			// Drain in-flight connections before returning.
+			c.wg.Wait()
+			c.mu.Lock()
+			wasShutdown := c.shutdown
+			c.mu.Unlock()
+			if wasShutdown {
+				return ctx.Err()
+			}
+			return fmt.Errorf("collect: accept: %w", err)
+		}
+		c.mu.Lock()
+		c.stats.Connections++
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.handle(conn)
+	}
+}
+
+// handle drains one probe stream. Records are aggregated as they arrive so
+// a long-lived probe feed contributes continuously.
+func (c *Collector) handle(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+
+	reader := probe.NewReader(conn)
+	for {
+		if c.readLimit > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(c.readLimit)); err != nil {
+				return
+			}
+		}
+		rec, err := reader.Read()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			c.mu.Lock()
+			c.stats.MalformedStreams++
+			c.stats.UnclassifiedMB = c.agg.UnclassifiedMB
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		c.agg.Add(rec)
+		c.stats.Records++
+		c.stats.UnclassifiedMB = c.agg.UnclassifiedMB
+		c.mu.Unlock()
+	}
+}
+
+// Snapshot returns current collector statistics.
+func (c *Collector) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// TotalMB returns the aggregated MB for (antenna, service).
+func (c *Collector) TotalMB(antenna uint32, service int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.agg.TotalMB(antenna, service)
+}
+
+// HourlyMB returns the aggregated MB for (antenna, service, hour).
+func (c *Collector) HourlyMB(antenna uint32, service int, hour uint32) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.agg.HourlyMB(antenna, service, hour)
+}
+
+// Close stops the listener immediately. In-flight handlers finish on their
+// own; use Serve with a canceled context for a drained shutdown.
+func (c *Collector) Close() error { return c.ln.Close() }
+
+// TrafficMatrix materializes the aggregated totals as an antennas × M
+// traffic matrix for antenna ids [0, antennas) — the T matrix of
+// Section 4.1 as collected over the wire. Records for antennas outside
+// the range are ignored.
+func (c *Collector) TrafficMatrix(antennas, numServices int) *mat.Dense {
+	t := mat.NewDense(antennas, numServices)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.agg.ForEachTotal(func(antenna uint32, service int, mb float64) {
+		if int(antenna) < antennas && service < numServices {
+			t.Set(int(antenna), service, mb)
+		}
+	})
+	return t
+}
+
+// ErrNoRecords reports an Export call with nothing to send.
+var ErrNoRecords = errors.New("collect: no records to export")
+
+// Export dials a collector and streams the given records over one
+// connection, honoring context cancellation between writes.
+func Export(ctx context.Context, addr string, records []probe.Record) error {
+	if len(records) == 0 {
+		return ErrNoRecords
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	w := probe.NewWriter(conn)
+	for i, rec := range records {
+		if i%256 == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return fmt.Errorf("collect: write record %d: %w", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("collect: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package dataio provides the file formats of the released dataset: CSV
+// loaders and writers for antenna inventories and antenna × service
+// traffic matrices (the "processed service consumption data" the paper
+// makes public), and probe-stream file replay. The command-line tools are
+// thin wrappers over this package so every parser is unit-tested.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/probe"
+)
+
+// TrafficTable is a parsed antenna × service traffic matrix.
+type TrafficTable struct {
+	// AntennaIDs holds the first-column identifiers, row-aligned with
+	// Traffic.
+	AntennaIDs []string
+	// Services holds the header names of the traffic columns.
+	Services []string
+	// Traffic is the non-negative MB matrix.
+	Traffic *mat.Dense
+}
+
+// WriteTraffic writes a traffic table as CSV with a header row.
+func WriteTraffic(w io.Writer, t *TrafficTable) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("antenna_id"); err != nil {
+		return err
+	}
+	for _, name := range t.Services {
+		if _, err := fmt.Fprintf(bw, ",%s", quoteCSV(name)); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for i, id := range t.AntennaIDs {
+		if _, err := bw.WriteString(quoteCSV(id)); err != nil {
+			return err
+		}
+		for _, v := range t.Traffic.Row(i) {
+			if _, err := fmt.Fprintf(bw, ",%.4f", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraffic parses a traffic CSV: a header beginning with an id column
+// followed by one service column per feature, then one row per antenna.
+// Traffic must be non-negative; at least two antennas and one service are
+// required.
+func ReadTraffic(r io.Reader) (*TrafficTable, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dataio: empty traffic CSV")
+	}
+	header := SplitCSV(sc.Text())
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataio: header needs an id column and at least one service")
+	}
+	t := &TrafficTable{Services: header[1:]}
+	var rows [][]float64
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := SplitCSV(sc.Text())
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("dataio: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		t.AntennaIDs = append(t.AntennaIDs, fields[0])
+		row := make([]float64, len(fields)-1)
+		for j, cell := range fields[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d column %d: bad value %q", line, j+2, cell)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataio: line %d column %d: negative traffic %v", line, j+2, v)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("dataio: need at least two antennas, got %d", len(rows))
+	}
+	t.Traffic = mat.FromRows(rows)
+	return t, nil
+}
+
+// SplitCSV splits one CSV line honoring RFC-4180 double-quoted cells.
+func SplitCSV(line string) []string {
+	var out []string
+	var cell strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuotes && i+1 < len(line) && line[i+1] == '"' {
+				cell.WriteByte('"')
+				i++
+			} else {
+				inQuotes = !inQuotes
+			}
+		case c == ',' && !inQuotes:
+			out = append(out, cell.String())
+			cell.Reset()
+		default:
+			cell.WriteByte(c)
+		}
+	}
+	out = append(out, cell.String())
+	return out
+}
+
+func quoteCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ReplayStream reads an entire probe stream and hands every record to fn,
+// returning the record count. It stops with an error on the first framing
+// violation.
+func ReplayStream(r io.Reader, fn func(probe.Record)) (int, error) {
+	pr := probe.NewReader(r)
+	n := 0
+	for {
+		rec, err := pr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("dataio: record %d: %w", n, err)
+		}
+		fn(rec)
+		n++
+	}
+}
+
+// WriteStream writes records as a probe stream.
+func WriteStream(w io.Writer, records []probe.Record) error {
+	pw := probe.NewWriter(w)
+	for i, rec := range records {
+		if err := pw.Write(rec); err != nil {
+			return fmt.Errorf("dataio: record %d: %w", i, err)
+		}
+	}
+	return pw.Flush()
+}

@@ -1,0 +1,181 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/probe"
+)
+
+func sampleTable() *TrafficTable {
+	return &TrafficTable{
+		AntennaIDs: []string{"0", "1", "2"},
+		Services:   []string{"Netflix", "Spotify", `Odd "Name", Inc`},
+		Traffic: mat.FromRows([][]float64{
+			{1.5, 0, 3},
+			{0, 2.25, 0},
+			{10, 20, 30},
+		}),
+	}
+}
+
+func TestTrafficRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraffic(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraffic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTable()
+	if len(got.AntennaIDs) != 3 || got.AntennaIDs[2] != "2" {
+		t.Fatalf("ids %v", got.AntennaIDs)
+	}
+	if len(got.Services) != 3 || got.Services[2] != `Odd "Name", Inc` {
+		t.Fatalf("quoted service name lost: %q", got.Services[2])
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.Traffic.At(i, j) != want.Traffic.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got.Traffic.At(i, j), want.Traffic.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReadTrafficErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no services":    "antenna_id\n0\n1\n",
+		"ragged":         "id,a,b\n0,1,2\n1,3\n",
+		"non-numeric":    "id,a\n0,x\n1,2\n",
+		"negative":       "id,a\n0,-1\n1,2\n",
+		"single antenna": "id,a\n0,1\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadTraffic(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s input should fail", name)
+		}
+	}
+}
+
+func TestSplitCSVQuoting(t *testing.T) {
+	got := SplitCSV(`a,"b,c","d""e",f`)
+	want := []string{"a", "b,c", `d"e`, "f"}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("field %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitCSVEmptyFields(t *testing.T) {
+	got := SplitCSV(",a,,")
+	if len(got) != 4 || got[0] != "" || got[2] != "" || got[3] != "" {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	records := []probe.Record{
+		{Hour: 1, AntennaID: 2, Protocol: probe.TCP, ServerPort: 443, ServerName: "netflix.example", DownBytes: 100, UpBytes: 10},
+		{Hour: 2, AntennaID: 3, Protocol: probe.UDP, ServerPort: 443, ServerName: "spotify.example", DownBytes: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var got []probe.Record
+	n, err := ReplayStream(&buf, func(r probe.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(records) {
+		t.Fatalf("replayed %d records", n)
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestReplayStreamTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, []probe.Record{{ServerName: "x.example", DownBytes: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReplayStream(bytes.NewReader(data), func(probe.Record) {}); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}
+
+// FuzzReadTraffic feeds arbitrary text to the CSV parser; it must either
+// return a well-formed table or an error, never panic.
+func FuzzReadTraffic(f *testing.F) {
+	f.Add("antenna_id,a,b\n0,1,2\n1,3,4\n")
+	f.Add("id,a\n0,-1\n")
+	f.Add(`id,"quoted,name"` + "\n0,5\n1,6\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		table, err := ReadTraffic(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if table.Traffic.Rows() != len(table.AntennaIDs) {
+			t.Fatal("row/id mismatch on accepted input")
+		}
+		if table.Traffic.Cols() != len(table.Services) {
+			t.Fatal("col/service mismatch on accepted input")
+		}
+		for i := 0; i < table.Traffic.Rows(); i++ {
+			for _, v := range table.Traffic.Row(i) {
+				if v < 0 {
+					t.Fatal("accepted negative traffic")
+				}
+			}
+		}
+	})
+}
+
+// Property: any table of non-negative values round-trips through the CSV
+// codec within formatting precision.
+func TestTrafficRoundTripProperty(t *testing.T) {
+	f := func(cells [6]uint16) bool {
+		table := &TrafficTable{
+			AntennaIDs: []string{"a", "b"},
+			Services:   []string{"s1", "s2", "s3"},
+			Traffic: mat.FromRows([][]float64{
+				{float64(cells[0]) / 16, float64(cells[1]) / 16, float64(cells[2]) / 16},
+				{float64(cells[3]) / 16, float64(cells[4]) / 16, float64(cells[5]) / 16},
+			}),
+		}
+		var buf bytes.Buffer
+		if err := WriteTraffic(&buf, table); err != nil {
+			return false
+		}
+		got, err := ReadTraffic(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				if diff := got.Traffic.At(i, j) - table.Traffic.At(i, j); diff > 1e-4 || diff < -1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,643 @@
+// Package envmodel captures the indoor-environment side of the study: the
+// eleven environment categories of Table 1 with their antenna counts, the
+// antenna-name classification used in Section 5.2.1 ("inspecting the names
+// of the antennas, applying simple string manipulation to extract
+// keywords"), and the ground-truth service-preference archetypes that the
+// synthetic network is generated from.
+//
+// The archetypes encode the *generative* structure the paper infers from
+// the data: commuters at metro and train stations over-use music and
+// navigation, corporate offices over-use business tools, stadium crowds
+// over-use content sharing and sports media, and so on. The analysis
+// pipeline never sees archetype labels — it must re-discover them from the
+// traffic alone, exactly as the paper's unsupervised approach does.
+package envmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/services"
+)
+
+// EnvType is one of the eleven indoor environment categories of Table 1.
+type EnvType int
+
+const (
+	Metro EnvType = iota
+	Train
+	Airport
+	Workspace
+	Commercial
+	Stadium
+	Expo
+	Hotel
+	Hospital
+	Tunnel
+	PublicBuilding
+	numEnvTypes
+)
+
+// NumEnvTypes is the number of indoor environment categories.
+const NumEnvTypes = int(numEnvTypes)
+
+var envNames = [...]string{
+	Metro:          "Metro",
+	Train:          "Trains",
+	Airport:        "Airports",
+	Workspace:      "Workspaces",
+	Commercial:     "Commercial Centers",
+	Stadium:        "Stadiums",
+	Expo:           "Expo Centers",
+	Hotel:          "Hotels",
+	Hospital:       "Hospitals",
+	Tunnel:         "Tunnels",
+	PublicBuilding: "Public Buildings",
+}
+
+// String returns the Table 1 display name of the environment.
+func (e EnvType) String() string {
+	if e < 0 || int(e) >= len(envNames) {
+		return fmt.Sprintf("env(%d)", int(e))
+	}
+	return envNames[e]
+}
+
+// AntennaCount returns N_env, the number of indoor antennas per environment
+// in Table 1 of the paper. The total is the paper's N = 4,762.
+func (e EnvType) AntennaCount() int { return table1Counts[e] }
+
+var table1Counts = [...]int{
+	Metro:          1794,
+	Train:          434,
+	Airport:        187,
+	Workspace:      774,
+	Commercial:     469,
+	Stadium:        451,
+	Expo:           230,
+	Hotel:          28,
+	Hospital:       53,
+	Tunnel:         220,
+	PublicBuilding: 122,
+}
+
+// TotalIndoorAntennas is the Table 1 grand total (the paper's N).
+const TotalIndoorAntennas = 4762
+
+// AllEnvTypes returns the eleven environment categories in Table 1 order.
+func AllEnvTypes() []EnvType {
+	out := make([]EnvType, NumEnvTypes)
+	for i := range out {
+		out[i] = EnvType(i)
+	}
+	return out
+}
+
+// nameKeywords maps the keywords that appear inside base-station names to
+// environment types, reproducing the string-manipulation classification of
+// Section 5.2.1.
+var nameKeywords = []struct {
+	keyword string
+	env     EnvType
+}{
+	{"METRO", Metro},
+	{"RER", Metro},
+	{"SUBWAY", Metro},
+	{"GARE", Train},
+	{"STATION", Train},
+	{"AEROPORT", Airport},
+	{"AIRPORT", Airport},
+	{"ORLY", Airport},
+	{"CDG", Airport},
+	{"BUREAU", Workspace},
+	{"OFFICE", Workspace},
+	{"SIEGE", Workspace},
+	{"USINE", Workspace},
+	{"CENTRE-CCIAL", Commercial},
+	{"MALL", Commercial},
+	{"MAGASIN", Commercial},
+	{"BOUTIQUE", Commercial},
+	{"STADE", Stadium},
+	{"STADIUM", Stadium},
+	{"ARENA", Stadium},
+	{"EXPO", Expo},
+	{"PARC-EXPO", Expo},
+	{"CONGRES", Expo},
+	{"HOTEL", Hotel},
+	{"HOPITAL", Hospital},
+	{"HOSPITAL", Hospital},
+	{"CHU", Hospital},
+	{"TUNNEL", Tunnel},
+	{"UNIVERSITE", PublicBuilding},
+	{"MUSEE", PublicBuilding},
+	{"MAIRIE", PublicBuilding},
+}
+
+// ClassifyName extracts the environment type from a base-station name by
+// keyword matching, as the paper does. It returns false when no keyword is
+// recognized.
+func ClassifyName(name string) (EnvType, bool) {
+	upper := strings.ToUpper(name)
+	for _, kw := range nameKeywords {
+		if strings.Contains(upper, kw.keyword) {
+			return kw.env, true
+		}
+	}
+	return 0, false
+}
+
+// NameFor builds a base-station name embedding the environment keyword, the
+// site label and antenna ordinal — the inverse of ClassifyName, used by the
+// generator so the classification path is exercised end to end.
+func NameFor(env EnvType, city string, site, antenna int) string {
+	var kw string
+	switch env {
+	case Metro:
+		kw = "METRO"
+	case Train:
+		kw = "GARE"
+	case Airport:
+		kw = "AEROPORT"
+	case Workspace:
+		kw = "BUREAU"
+	case Commercial:
+		kw = "CENTRE-CCIAL"
+	case Stadium:
+		kw = "STADE"
+	case Expo:
+		kw = "EXPO"
+	case Hotel:
+		kw = "HOTEL"
+	case Hospital:
+		kw = "HOPITAL"
+	case Tunnel:
+		kw = "TUNNEL"
+	case PublicBuilding:
+		kw = "UNIVERSITE"
+	default:
+		kw = "SITE"
+	}
+	return fmt.Sprintf("%s_%s_S%03d_A%02d", strings.ToUpper(city), kw, site, antenna)
+}
+
+// Group is the dendrogram branch color of Figure 3.
+type Group int
+
+const (
+	GroupOrange Group = iota // clusters 0, 4, 7 — metro & train commuters
+	GroupGreen               // clusters 5, 6, 8 — event venues & low-usage
+	GroupRed                 // clusters 1, 2, 3 — general, commercial, work
+)
+
+// String returns the paper's color label for the group.
+func (g Group) String() string {
+	switch g {
+	case GroupOrange:
+		return "orange"
+	case GroupGreen:
+		return "green"
+	case GroupRed:
+		return "red"
+	}
+	return fmt.Sprintf("group(%d)", int(g))
+}
+
+// NumArchetypes is the number of ground-truth profiles, equal to the
+// paper's optimal cluster count k = 9.
+const NumArchetypes = 9
+
+// Archetype is a ground-truth mobile-service utilization profile. The
+// Multipliers vector scales the global service popularity when composing an
+// antenna's service mix: > 1 means the archetype over-uses the service,
+// < 1 under-uses it.
+type Archetype struct {
+	// ID matches the paper's cluster numbering (0-8).
+	ID int
+	// Group is the dendrogram branch the cluster belongs to.
+	Group Group
+	// Label is a human-readable description.
+	Label string
+	// Multipliers has one entry per service (len = services.M).
+	Multipliers []float64
+	// Template names the temporal activity profile of antennas with this
+	// archetype (resolved by the temporal package).
+	Template string
+	// VolumeMu/VolumeSigma parameterize the lognormal total-volume draw of
+	// an antenna carrying this archetype.
+	VolumeMu, VolumeSigma float64
+}
+
+// mult is a keyed multiplier adjustment during archetype construction.
+type mult struct {
+	name string
+	v    float64
+}
+
+func buildMultipliers(categoryDefaults map[services.Category]float64, overrides []mult) []float64 {
+	m := make([]float64, services.M)
+	for i, s := range services.All() {
+		v := 1.0
+		if d, ok := categoryDefaults[s.Category]; ok {
+			v = d
+		}
+		m[i] = v
+	}
+	for _, o := range overrides {
+		m[services.MustID(o.name)] = o.v
+	}
+	return m
+}
+
+// Archetypes returns the nine ground-truth profiles indexed by cluster ID.
+// The construction follows the paper's Section 5.1.2 findings cluster by
+// cluster.
+func Archetypes() []Archetype {
+	arch := make([]Archetype, NumArchetypes)
+
+	// --- Orange group: commuters at metro and train stations. ---
+
+	// Cluster 0: Paris metro/trains. Over music, navigation/transport and
+	// entertainment (Yahoo, entertainment/shopping/sports websites).
+	arch[0] = Archetype{
+		ID: 0, Group: GroupOrange, Label: "paris-commute-entertainment",
+		Template: "commute", VolumeMu: 8.3, VolumeSigma: 0.8,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Music:          4.0,
+			services.Navigation:     3.5,
+			services.Transport:      3.5,
+			services.News:           1.8,
+			services.Entertainment:  2.2,
+			services.WebPortal:      2.0,
+			services.Sports:         1.6,
+			services.Shopping:       1.5,
+			services.Gaming:         1.5,
+			services.Messaging:      1.4,
+			services.VideoStreaming: 0.5,
+			services.Business:       0.45,
+			services.Wellbeing:      1.3,
+		}, []mult{
+			{"Waze", 0.5}, // drivers, not metro riders
+		}),
+	}
+
+	// Cluster 4: Paris metro/trains without the entertainment tail.
+	arch[4] = Archetype{
+		ID: 4, Group: GroupOrange, Label: "paris-commute-focused",
+		Template: "commute", VolumeMu: 8.1, VolumeSigma: 0.8,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Music:          4.2,
+			services.Navigation:     3.8,
+			services.Transport:      3.8,
+			services.News:           1.5,
+			services.Entertainment:  0.35,
+			services.WebPortal:      0.4,
+			services.Shopping:       0.5,
+			services.Sports:         0.6,
+			services.Gaming:         1.5,
+			services.Messaging:      1.4,
+			services.VideoStreaming: 0.5,
+			services.Business:       0.45,
+		}, []mult{
+			{"Waze", 0.5},
+			{"Twitter", 0.55}, // paper: Twitter usage comparatively mitigated in cluster 4
+		}),
+	}
+
+	// Cluster 7: non-capital metros (Lille, Lyon, Rennes, Toulouse). Music
+	// strong but the complex-navigation apps of Paris fall into
+	// under-utilization.
+	arch[7] = Archetype{
+		ID: 7, Group: GroupOrange, Label: "regional-metro-commute",
+		Template: "commute-regional", VolumeMu: 7.6, VolumeSigma: 0.8,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Music:          4.2,
+			services.Navigation:     0.45,
+			services.Transport:      0.4,
+			services.News:           1.6,
+			services.Entertainment:  1.2,
+			services.Gaming:         1.5,
+			services.Messaging:      1.4,
+			services.VideoStreaming: 0.7,
+			services.Business:       0.7,
+		}, []mult{
+			{"Mappy", 0.25},
+			{"Transportation Websites", 0.25},
+			{"Twitter", 1.1},
+		}),
+	}
+
+	// --- Green group: event venues and low-intensity antennas. ---
+
+	// Cluster 5: equal-usage antennas (stadium off days, expo centers,
+	// industrial facilities). Section 5.2.2: "service usage is equally
+	// distributed at those antennas, yielding a similar small numerator
+	// for all services in (1), compared to a larger denominator" — the
+	// mix flattens towards uniform, so popular services read as strongly
+	// under-utilized and rare ones as over-utilized. That anti-popularity
+	// signature is what binds cluster 5 to the stadium clusters (which
+	// also depress the popular streaming services) in the green branch.
+	flattened := make([]float64, services.M)
+	var meanW float64
+	for _, s := range services.All() {
+		meanW += s.BaseWeight
+	}
+	meanW /= float64(services.M)
+	for i, s := range services.All() {
+		m := math.Pow(meanW/s.BaseWeight, 0.55)
+		if m < 0.3 {
+			m = 0.3
+		}
+		if m > 3 {
+			m = 3
+		}
+		flattened[i] = m
+	}
+	// A mild residue of the event-crowd signature (sports sites, content
+	// sharing) keeps cluster 5 adjacent to the stadium clusters rather
+	// than to the leisure-suppressing workspace cluster.
+	quiet := make([]float64, services.M)
+	copy(quiet, flattened)
+	for _, id := range services.IDsByCategory(services.Sports) {
+		quiet[id] *= 1.6
+	}
+	quiet[services.MustID("Snapchat")] *= 1.5
+	quiet[services.MustID("Twitter")] *= 1.5
+	for _, id := range services.IDsByCategory(services.Business) {
+		quiet[id] *= 0.7
+	}
+	for _, id := range services.IDsByCategory(services.Email) {
+		quiet[id] *= 0.75
+	}
+	arch[5] = Archetype{
+		ID: 5, Group: GroupGreen, Label: "low-intensity-balanced",
+		Template: "event-quiet", VolumeMu: 6.4, VolumeSigma: 0.7,
+		Multipliers: quiet,
+	}
+
+	// Cluster 6: stadiums outside Paris. Content sharing and sports surge;
+	// most other services under-used; streaming strongly under-used.
+	arch[6] = Archetype{
+		ID: 6, Group: GroupGreen, Label: "regional-stadium-events",
+		Template: "event", VolumeMu: 7.4, VolumeSigma: 0.9,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Sports:         3.6,
+			services.Music:          0.5,
+			services.WebPortal:      0.55,
+			services.Navigation:     0.9,
+			services.Transport:      0.5,
+			services.Messaging:      0.45,
+			services.VideoStreaming: 0.3,
+			services.Business:       0.35,
+			services.Shopping:       0.5,
+			services.Email:          0.5,
+			services.Gaming:         0.5,
+		}, []mult{
+			{"Snapchat", 3.2},
+			{"Twitter", 3.4},
+			{"Giphy", 0.25},    // absent in cluster 6, present in 8
+			{"WhatsApp", 0.35}, // idem
+			{"Canal+", 0.2},    // idem
+			{"Waze", 2.0},      // post-event departures
+		}),
+	}
+
+	// Cluster 8: Paris stadiums/arenas — like 6 but with a broader service
+	// diversity (Giphy, WhatsApp, Canal+ also over-used).
+	arch[8] = Archetype{
+		ID: 8, Group: GroupGreen, Label: "paris-stadium-events",
+		Template: "event", VolumeMu: 7.8, VolumeSigma: 0.9,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Sports:         3.4,
+			services.Music:          0.55,
+			services.WebPortal:      0.6,
+			services.Transport:      0.7,
+			services.Messaging:      1.8,
+			services.VideoStreaming: 0.35,
+			services.Business:       0.4,
+			services.Email:          0.6,
+			services.Gaming:         0.6,
+		}, []mult{
+			{"Snapchat", 3.0},
+			{"Twitter", 3.2},
+			{"Giphy", 3.6},
+			{"WhatsApp", 3.0},
+			{"Canal+", 3.0},
+			{"Waze", 1.8},
+		}),
+	}
+
+	// --- Red group: general use, commercial/hospitality, workplaces. ---
+
+	// Cluster 1: general-use (airports, tunnels, mixed commercial).
+	// Streaming, vehicular navigation and mail mildly over-used; music and
+	// transit navigation under-used.
+	arch[1] = Archetype{
+		ID: 1, Group: GroupRed, Label: "general-use",
+		Template: "diurnal", VolumeMu: 7.9, VolumeSigma: 0.9,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Music:          0.45,
+			services.Navigation:     0.7,
+			services.Transport:      0.45,
+			services.VideoStreaming: 1.7,
+			services.Email:          1.5,
+			services.WebPortal:      1.25,
+			services.CloudStorage:   1.25,
+			services.Business:       1.3,
+			services.Messaging:      1.3,
+		}, []mult{
+			{"Netflix", 2.0},
+			{"Disney+", 1.9},
+			{"Amazon Prime Video", 1.9},
+			{"Waze", 2.6}, // tunnels and drivers
+			{"Mappy", 0.35},
+			{"Transportation Websites", 0.35},
+		}),
+	}
+
+	// Cluster 2: commercial centers, hotels, hospitals, public buildings.
+	// Digital distribution (Play Store at MNO retail shops) and shopping
+	// sites over-used; more night traffic.
+	arch[2] = Archetype{
+		ID: 2, Group: GroupRed, Label: "commercial-hospitality",
+		Template: "retail-night", VolumeMu: 7.7, VolumeSigma: 0.9,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Music:               0.5,
+			services.Navigation:          0.6,
+			services.Transport:           0.5,
+			services.DigitalDistribution: 3.0,
+			services.Shopping:            2.6,
+			services.Email:               1.25,
+			services.WebPortal:           1.2,
+			services.CloudStorage:        1.2,
+			services.Messaging:           1.2,
+			services.VideoStreaming:      1.3,
+			services.Business:            0.8,
+		}, []mult{
+			{"Google Play Store", 3.6},
+			{"Shopping Websites", 3.0},
+			{"Netflix", 1.6}, // hotel guests at night
+			{"Waze", 0.7},
+		}),
+	}
+
+	// Cluster 3: workspaces and corporate expo events. Business tools,
+	// LinkedIn and mail surge; leisure services under-used.
+	arch[3] = Archetype{
+		ID: 3, Group: GroupRed, Label: "workspace",
+		Template: "office", VolumeMu: 7.8, VolumeSigma: 0.8,
+		Multipliers: buildMultipliers(map[services.Category]float64{
+			services.Business:       2.3,
+			services.Email:          2.1,
+			services.CloudStorage:   1.9,
+			services.WebPortal:      1.25,
+			services.Music:          0.55,
+			services.Navigation:     0.55,
+			services.Transport:      0.5,
+			services.SocialMedia:    0.7,
+			services.VideoStreaming: 0.65,
+			services.Gaming:         0.55,
+			services.Shopping:       0.6,
+		}, []mult{
+			{"Microsoft Teams", 3.2},
+			{"LinkedIn", 2.6},
+			{"Netflix", 0.45}, // lunch-break only
+		}),
+	}
+
+	// Event-venue crowds also spread their usage more evenly than the
+	// general population (many concurrent light users), so the stadium
+	// archetypes carry a partial anti-popularity tilt. This shared axis
+	// with cluster 5 is what forms the green dendrogram branch.
+	for _, id := range []int{6, 8} {
+		for j := range arch[id].Multipliers {
+			arch[id].Multipliers[j] *= math.Pow(flattened[j], 0.5)
+		}
+	}
+
+	for i, a := range arch {
+		if a.Multipliers == nil || a.ID != i {
+			panic(fmt.Sprintf("envmodel: archetype %d misconfigured", i))
+		}
+	}
+	return arch
+}
+
+// MixEntry is one option in an environment's archetype mixture.
+type MixEntry struct {
+	Archetype int
+	Weight    float64
+}
+
+// ArchetypeMix returns the archetype mixture for an environment type,
+// conditioned on whether the site is in the Paris region. The proportions
+// implement the cluster-composition findings of Section 5.2.2 (Figs. 7-8).
+func ArchetypeMix(env EnvType, paris bool) []MixEntry {
+	switch env {
+	case Metro:
+		if paris {
+			return []MixEntry{{0, 0.52}, {4, 0.45}, {1, 0.03}}
+		}
+		return []MixEntry{{7, 0.96}, {1, 0.04}}
+	case Train:
+		if paris {
+			return []MixEntry{{0, 0.58}, {4, 0.38}, {1, 0.04}}
+		}
+		// Regional train stations still host metropolitan commuters and
+		// fall into the Paris-style clusters; cluster 7 is exclusively
+		// the regional metros ("consists solely of the Lille, Lyon,
+		// Rennes, and Toulouse metro antennas").
+		return []MixEntry{{0, 0.52}, {4, 0.36}, {1, 0.12}}
+	case Airport:
+		return []MixEntry{{1, 0.92}, {2, 0.05}, {5, 0.03}}
+	case Workspace:
+		if paris {
+			return []MixEntry{{3, 0.76}, {1, 0.14}, {5, 0.06}, {2, 0.04}}
+		}
+		return []MixEntry{{3, 0.62}, {1, 0.14}, {5, 0.12}, {2, 0.12}}
+	case Commercial:
+		if paris {
+			return []MixEntry{{2, 0.38}, {1, 0.52}, {5, 0.06}, {3, 0.04}}
+		}
+		return []MixEntry{{2, 0.62}, {1, 0.29}, {5, 0.05}, {3, 0.04}}
+	case Stadium:
+		if paris {
+			return []MixEntry{{8, 0.62}, {6, 0.10}, {5, 0.24}, {1, 0.04}}
+		}
+		return []MixEntry{{6, 0.68}, {8, 0.06}, {5, 0.22}, {1, 0.04}}
+	case Expo:
+		return []MixEntry{{3, 0.52}, {5, 0.34}, {1, 0.10}, {8, 0.04}}
+	case Hotel:
+		return []MixEntry{{2, 0.68}, {1, 0.28}, {5, 0.04}}
+	case Hospital:
+		return []MixEntry{{2, 0.88}, {1, 0.12}}
+	case Tunnel:
+		return []MixEntry{{1, 0.94}, {2, 0.04}, {5, 0.02}}
+	case PublicBuilding:
+		return []MixEntry{{2, 0.58}, {1, 0.32}, {3, 0.06}, {5, 0.04}}
+	}
+	panic(fmt.Sprintf("envmodel: unknown environment %d", int(env)))
+}
+
+// ParisFraction returns the fraction of an environment's sites located in
+// the Paris region, following the per-cluster geography reported in
+// Section 5.2.2 (e.g. clusters 0 and 4 are >92% Parisian, cluster 2 is 92%
+// outside Paris).
+func ParisFraction(env EnvType) float64 {
+	switch env {
+	case Metro:
+		return 0.74
+	case Train:
+		return 0.42
+	case Airport:
+		return 0.45
+	case Workspace:
+		return 0.66
+	case Commercial:
+		return 0.10
+	case Stadium:
+		return 0.38
+	case Expo:
+		return 0.55
+	case Hotel:
+		return 0.30
+	case Hospital:
+		return 0.25
+	case Tunnel:
+		return 0.40
+	case PublicBuilding:
+		return 0.22
+	}
+	return 0.3
+}
+
+// GroupOf returns the dendrogram group of a paper cluster ID.
+func GroupOf(cluster int) Group {
+	switch cluster {
+	case 0, 4, 7:
+		return GroupOrange
+	case 5, 6, 8:
+		return GroupGreen
+	case 1, 2, 3:
+		return GroupRed
+	}
+	panic(fmt.Sprintf("envmodel: unknown cluster %d", cluster))
+}
+
+// Cities lists the metropolitan areas used when placing sites; Paris first.
+var Cities = []struct {
+	Name     string
+	Lat, Lon float64
+	Paris    bool
+}{
+	{"Paris", 48.8566, 2.3522, true},
+	{"Lille", 50.6292, 3.0573, false},
+	{"Lyon", 45.7640, 4.8357, false},
+	{"Rennes", 48.1173, -1.6778, false},
+	{"Toulouse", 43.6047, 1.4442, false},
+	{"Marseille", 43.2965, 5.3698, false},
+	{"Bordeaux", 44.8378, -0.5792, false},
+	{"Nantes", 47.2184, -1.5536, false},
+	{"Strasbourg", 48.5734, 7.7521, false},
+	{"Nice", 43.7102, 7.2620, false},
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// suite is built once; the pipeline is deterministic and the suite caches
+// SHAP summaries across figures.
+var suiteCache *Suite
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	if suiteCache == nil {
+		suiteCache = NewSuite(analysis.Config{
+			Seed:         42,
+			Scale:        0.12,
+			OutdoorCount: 600,
+			ForestTrees:  40,
+		})
+		suiteCache.TemporalAntennasPerCluster = 20
+	}
+	return suiteCache
+}
+
+func requireArtifact(t *testing.T, a Artifact) {
+	t.Helper()
+	if a.ID == "" || a.Title == "" {
+		t.Fatal("artifact missing metadata")
+	}
+	if strings.TrimSpace(a.Text) == "" {
+		t.Fatalf("%s: empty text", a.ID)
+	}
+	if len(a.Checks) == 0 {
+		t.Fatalf("%s: no checks", a.ID)
+	}
+	for _, c := range a.Checks {
+		if !c.Pass {
+			t.Errorf("%s check %q failed: %s", a.ID, c.Name, c.Detail)
+		}
+	}
+}
+
+func TestTable1(t *testing.T)   { requireArtifact(t, testSuite(t).Table1()) }
+func TestFigure1(t *testing.T)  { requireArtifact(t, testSuite(t).Figure1()) }
+func TestFigure2(t *testing.T)  { requireArtifact(t, testSuite(t).Figure2()) }
+func TestFigure3(t *testing.T)  { requireArtifact(t, testSuite(t).Figure3()) }
+func TestFigure4(t *testing.T)  { requireArtifact(t, testSuite(t).Figure4()) }
+func TestFigure5(t *testing.T)  { requireArtifact(t, testSuite(t).Figure5()) }
+func TestFigure6(t *testing.T)  { requireArtifact(t, testSuite(t).Figure6()) }
+func TestFigure7(t *testing.T)  { requireArtifact(t, testSuite(t).Figure7()) }
+func TestFigure8(t *testing.T)  { requireArtifact(t, testSuite(t).Figure8()) }
+func TestFigure9(t *testing.T)  { requireArtifact(t, testSuite(t).Figure9()) }
+func TestFigure10(t *testing.T) { requireArtifact(t, testSuite(t).Figure10()) }
+func TestFigure11(t *testing.T) { requireArtifact(t, testSuite(t).Figure11()) }
+
+func TestAblationFeatureTransform(t *testing.T) {
+	requireArtifact(t, testSuite(t).AblationFeatureTransform())
+}
+
+func TestAblationWardVsKMeans(t *testing.T) {
+	requireArtifact(t, testSuite(t).AblationWardVsKMeans())
+}
+
+func TestAblationTreeVsKernelSHAP(t *testing.T) {
+	requireArtifact(t, testSuite(t).AblationTreeVsKernelSHAP())
+}
+
+func TestAblationLinkages(t *testing.T) {
+	requireArtifact(t, testSuite(t).AblationLinkages())
+}
+
+func TestAblationStability(t *testing.T) {
+	requireArtifact(t, testSuite(t).AblationStability())
+}
+
+func TestAllArtifactsUniqueIDs(t *testing.T) {
+	arts := testSuite(t).All()
+	if len(arts) != 17 {
+		t.Fatalf("%d artifacts, want 17", len(arts))
+	}
+	seen := map[string]bool{}
+	for _, a := range arts {
+		if seen[a.ID] {
+			t.Fatalf("duplicate artifact id %s", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}
+
+func TestArtifactPassed(t *testing.T) {
+	good := Artifact{Checks: []Check{{Pass: true}}}
+	bad := Artifact{Checks: []Check{{Pass: true}, {Pass: false}}}
+	if !good.Passed() || bad.Passed() {
+		t.Fatal("Passed logic")
+	}
+}

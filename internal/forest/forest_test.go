@@ -1,0 +1,268 @@
+package forest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// labeledBlobs builds a simple separable classification problem.
+func labeledBlobs(classes, perClass, dims int, noise float64, seed uint64) (*mat.Dense, []int) {
+	r := rng.New(seed)
+	n := classes * perClass
+	x := mat.NewDense(n, dims)
+	y := make([]int, n)
+	for c := 0; c < classes; c++ {
+		for i := 0; i < perClass; i++ {
+			idx := c*perClass + i
+			y[idx] = c
+			row := x.Row(idx)
+			for d := range row {
+				center := 0.0
+				if d%classes == c {
+					center = 3
+				}
+				row[d] = center + r.Normal()*noise
+			}
+		}
+	}
+	return x, y
+}
+
+func TestTreeFitsTrainingData(t *testing.T) {
+	x, y := labeledBlobs(3, 30, 6, 0.4, 1)
+	tree := BuildTree(x, y, nil, 3, TreeConfig{}, rng.New(2))
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		if tree.Predict(x.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if correct != x.Rows() {
+		t.Fatalf("unbounded tree should fit training data, got %d/%d", correct, x.Rows())
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	x, y := labeledBlobs(3, 30, 6, 0.8, 3)
+	tree := BuildTree(x, y, nil, 3, TreeConfig{MaxDepth: 2}, rng.New(4))
+	if d := tree.Depth(); d > 2 {
+		t.Fatalf("depth %d exceeds limit", d)
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	x, y := labeledBlobs(2, 25, 4, 0.8, 5)
+	tree := BuildTree(x, y, nil, 2, TreeConfig{MinLeaf: 10}, rng.New(6))
+	for _, n := range tree.Nodes {
+		if n.Feature < 0 && n.Samples < 10 {
+			t.Fatalf("leaf with %d samples under MinLeaf", n.Samples)
+		}
+	}
+}
+
+func TestTreeProbsSumToOne(t *testing.T) {
+	x, y := labeledBlobs(3, 20, 4, 1.2, 7)
+	tree := BuildTree(x, y, nil, 3, TreeConfig{MaxDepth: 3}, rng.New(8))
+	for i := 0; i < x.Rows(); i++ {
+		probs := tree.PredictProbs(x.Row(i))
+		var sum float64
+		for _, p := range probs {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probs sum to %v", sum)
+		}
+	}
+}
+
+func TestTreePureLeafConstantLabels(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := []int{1, 1, 1}
+	tree := BuildTree(x, y, nil, 2, TreeConfig{}, rng.New(1))
+	if tree.LeafCount() != 1 || tree.Depth() != 0 {
+		t.Fatal("constant labels should give a single leaf")
+	}
+	if tree.Predict([]float64{0, 0}) != 1 {
+		t.Fatal("constant tree prediction")
+	}
+}
+
+func TestTreeIdenticalFeatures(t *testing.T) {
+	// No split possible when all feature vectors are identical.
+	x := mat.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
+	y := []int{0, 1, 0, 1}
+	tree := BuildTree(x, y, nil, 2, TreeConfig{}, rng.New(1))
+	if tree.LeafCount() != 1 {
+		t.Fatal("identical features should yield a single mixed leaf")
+	}
+	probs := tree.PredictProbs([]float64{1, 1})
+	if math.Abs(probs[0]-0.5) > 1e-9 {
+		t.Fatalf("mixed leaf probs = %v", probs)
+	}
+}
+
+func TestForestAccuracy(t *testing.T) {
+	x, y := labeledBlobs(4, 40, 8, 0.7, 11)
+	f := Train(x, y, 4, Config{Trees: 30, Seed: 1})
+	if acc := f.Accuracy(x, y); acc < 0.97 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+	if math.IsNaN(f.OOBAccuracy) || f.OOBAccuracy < 0.9 {
+		t.Fatalf("OOB accuracy %v", f.OOBAccuracy)
+	}
+}
+
+func TestForestGeneralizes(t *testing.T) {
+	xTrain, yTrain := labeledBlobs(3, 50, 6, 0.6, 13)
+	xTest, yTest := labeledBlobs(3, 30, 6, 0.6, 14)
+	f := Train(xTrain, yTrain, 3, Config{Trees: 40, Seed: 2})
+	if acc := f.Accuracy(xTest, yTest); acc < 0.9 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	x, y := labeledBlobs(3, 20, 5, 0.8, 17)
+	a := Train(x, y, 3, Config{Trees: 10, Seed: 5})
+	b := Train(x, y, 3, Config{Trees: 10, Seed: 5})
+	for i := 0; i < x.Rows(); i++ {
+		pa := a.PredictProbs(x.Row(i))
+		pb := b.PredictProbs(x.Row(i))
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatal("same seed should give identical forests")
+			}
+		}
+	}
+}
+
+func TestForestSeedsDiffer(t *testing.T) {
+	x, y := labeledBlobs(3, 20, 5, 1.5, 19)
+	a := Train(x, y, 3, Config{Trees: 5, Seed: 1})
+	b := Train(x, y, 3, Config{Trees: 5, Seed: 2})
+	diff := false
+	for i := 0; i < x.Rows() && !diff; i++ {
+		pa := a.PredictProbs(x.Row(i))
+		pb := b.PredictProbs(x.Row(i))
+		for c := range pa {
+			if pa[c] != pb[c] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical forests on noisy data")
+	}
+}
+
+func TestForestProbsSumToOne(t *testing.T) {
+	x, y := labeledBlobs(3, 20, 5, 1.0, 23)
+	f := Train(x, y, 3, Config{Trees: 15, Seed: 3})
+	for i := 0; i < x.Rows(); i++ {
+		probs := f.PredictProbs(x.Row(i))
+		var sum float64
+		for _, p := range probs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("forest probs sum %v", sum)
+		}
+	}
+}
+
+func TestForestPredictAll(t *testing.T) {
+	x, y := labeledBlobs(2, 25, 4, 0.5, 29)
+	f := Train(x, y, 2, Config{Trees: 10, Seed: 4})
+	preds := f.PredictAll(x)
+	if len(preds) != x.Rows() {
+		t.Fatal("PredictAll length")
+	}
+	for i, p := range preds {
+		if p != f.Predict(x.Row(i)) {
+			t.Fatal("PredictAll disagrees with Predict")
+		}
+	}
+}
+
+func TestTrainPanicsOnBadLabels(t *testing.T) {
+	x := mat.FromRows([][]float64{{1}, {2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Train(x, []int{0, 5}, 2, Config{Trees: 1})
+}
+
+func TestTrainPanicsOnLengthMismatch(t *testing.T) {
+	x := mat.FromRows([][]float64{{1}, {2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Train(x, []int{0}, 1, Config{Trees: 1})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(73)
+	if c.Trees != 100 {
+		t.Fatalf("default trees %d, paper uses 100", c.Trees)
+	}
+	if c.Features != 9 { // round(sqrt(73)) = 9
+		t.Fatalf("default features %d, want 9", c.Features)
+	}
+}
+
+// Property: tree predictions always return a valid class for random data.
+func TestTreeValidClassProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%30) + 5
+		r := rng.New(seed)
+		x := mat.NewDense(n, 4)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			y[i] = r.Intn(3)
+			for j := 0; j < 4; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		tree := BuildTree(x, y, nil, 3, TreeConfig{}, rng.New(seed+1))
+		for i := 0; i < n; i++ {
+			c := tree.Predict(x.Row(i))
+			if c < 0 || c >= 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForestTrain(b *testing.B) {
+	x, y := labeledBlobs(5, 60, 20, 0.8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Train(x, y, 5, Config{Trees: 20, Seed: 1})
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	x, y := labeledBlobs(5, 60, 20, 0.8, 1)
+	f := Train(x, y, 5, Config{Trees: 50, Seed: 1})
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(row)
+	}
+}

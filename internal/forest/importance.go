@@ -1,0 +1,50 @@
+package forest
+
+import (
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// PermutationImportance computes global feature importance by measuring
+// the accuracy drop when a feature's column is shuffled — the classic
+// model-agnostic baseline the SHAP literature compares against. It returns
+// one non-negative score per feature (negative drops are clamped to zero).
+// repeats shuffles each column several times and averages, reducing
+// variance; seed makes the shuffles reproducible.
+func (f *Forest) PermutationImportance(x *mat.Dense, y []int, repeats int, seed uint64) []float64 {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	baseline := f.Accuracy(x, y)
+	r := rng.New(seed)
+	n := x.Rows()
+	importance := make([]float64, x.Cols())
+
+	shuffled := x.Clone()
+	perm := make([]int, n)
+	column := make([]float64, n)
+	for j := 0; j < x.Cols(); j++ {
+		var drop float64
+		for rep := 0; rep < repeats; rep++ {
+			for i := 0; i < n; i++ {
+				column[i] = x.At(i, j)
+				perm[i] = i
+			}
+			r.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			for i := 0; i < n; i++ {
+				shuffled.Set(i, j, column[perm[i]])
+			}
+			drop += baseline - f.Accuracy(shuffled, y)
+		}
+		// Restore the column before moving on.
+		for i := 0; i < n; i++ {
+			shuffled.Set(i, j, column[i])
+		}
+		avg := drop / float64(repeats)
+		if avg < 0 {
+			avg = 0
+		}
+		importance[j] = avg
+	}
+	return importance
+}

@@ -1,0 +1,91 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestPermutationImportanceFindsSignal(t *testing.T) {
+	// Permutation importance is blind to *redundant* signals (shuffling
+	// one of two correlated informative columns leaves accuracy intact),
+	// so the test dataset carries the class in exactly one feature.
+	x, y := singleFeatureSignal(120, 6, 61)
+	f := Train(x, y, 2, Config{Trees: 30, Seed: 1})
+	imp := f.PermutationImportance(x, y, 3, 9)
+	if len(imp) != 6 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	for noise := 1; noise < 6; noise++ {
+		if imp[0] <= imp[noise] {
+			t.Fatalf("signal feature 0 (%.4f) not above noise %d (%.4f): %v",
+				imp[0], noise, imp[noise], imp)
+		}
+	}
+}
+
+// singleFeatureSignal builds a 2-class problem where only feature 0 is
+// informative.
+func singleFeatureSignal(n, dims int, seed uint64) (*mat.Dense, []int) {
+	r := rng.New(seed)
+	x := mat.NewDense(n, dims)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		row := x.Row(i)
+		for d := range row {
+			row[d] = r.Normal()
+		}
+		if c == 1 {
+			row[0] += 3
+		}
+	}
+	return x, y
+}
+
+func TestPermutationImportanceNonNegative(t *testing.T) {
+	x, y := labeledBlobs(2, 30, 5, 1.5, 67)
+	f := Train(x, y, 2, Config{Trees: 10, Seed: 2})
+	for j, v := range f.PermutationImportance(x, y, 2, 3) {
+		if v < 0 {
+			t.Fatalf("importance %d negative: %v", j, v)
+		}
+	}
+}
+
+func TestPermutationImportanceDeterministic(t *testing.T) {
+	x, y := labeledBlobs(2, 25, 4, 0.8, 71)
+	f := Train(x, y, 2, Config{Trees: 10, Seed: 3})
+	a := f.PermutationImportance(x, y, 2, 5)
+	b := f.PermutationImportance(x, y, 2, 5)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("same seed should give identical importance")
+		}
+	}
+}
+
+func TestPermutationImportanceDoesNotMutateInput(t *testing.T) {
+	x, y := labeledBlobs(2, 20, 4, 0.8, 73)
+	before := x.Clone()
+	f := Train(x, y, 2, Config{Trees: 5, Seed: 4})
+	_ = f.PermutationImportance(x, y, 2, 5)
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			if x.At(i, j) != before.At(i, j) {
+				t.Fatal("input matrix mutated")
+			}
+		}
+	}
+}
+
+func BenchmarkPermutationImportance(b *testing.B) {
+	x, y := labeledBlobs(3, 50, 10, 0.8, 1)
+	f := Train(x, y, 3, Config{Trees: 20, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.PermutationImportance(x, y, 2, 7)
+	}
+}

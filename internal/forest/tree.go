@@ -1,0 +1,259 @@
+// Package forest implements the surrogate supervised model of
+// Section 5.1.2: CART decision trees with Gini impurity and a random
+// forest classifier (bootstrap bagging, sqrt-feature subsampling, 100
+// trees by default) trained on the unsupervised cluster labels so the SHAP
+// framework has a function to explain.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Node is one node of a CART tree stored in a flat arena. Leaves have
+// Feature == -1 and carry a class-probability distribution.
+type Node struct {
+	// Feature is the split feature index, or -1 for a leaf.
+	Feature int
+	// Threshold sends samples with x[Feature] <= Threshold left.
+	Threshold float64
+	// Left and Right are child indices in the tree's node arena.
+	Left, Right int
+	// Probs is the class distribution at a leaf (nil for internal nodes).
+	Probs []float64
+	// Samples is the number of training samples that reached the node —
+	// the node weight TreeSHAP's path-dependent expectations use.
+	Samples int
+}
+
+// Tree is a single CART classification tree.
+type Tree struct {
+	Nodes   []Node
+	Classes int
+}
+
+// TreeConfig bounds tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// Features is the number of features examined per split
+	// (0 = all features; forests pass ~sqrt(M)).
+	Features int
+}
+
+// growContext carries shared state during recursive tree construction.
+type growContext struct {
+	x       *mat.Dense
+	y       []int
+	classes int
+	cfg     TreeConfig
+	r       *rng.Source
+	nodes   []Node
+}
+
+// BuildTree grows a CART tree on the rows of x indexed by idx, with class
+// labels y in [0, classes). A nil idx uses every row.
+func BuildTree(x *mat.Dense, y []int, idx []int, classes int, cfg TreeConfig, r *rng.Source) *Tree {
+	if len(y) != x.Rows() {
+		panic(fmt.Sprintf("forest: %d labels for %d rows", len(y), x.Rows()))
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	if idx == nil {
+		idx = make([]int, x.Rows())
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	g := &growContext{x: x, y: y, classes: classes, cfg: cfg, r: r}
+	g.grow(idx, 0)
+	return &Tree{Nodes: g.nodes, Classes: classes}
+}
+
+func classCounts(y []int, idx []int, classes int) []int {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return counts
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// grow builds the subtree over idx and returns its arena index.
+func (g *growContext) grow(idx []int, depth int) int {
+	counts := classCounts(g.y, idx, g.classes)
+	nodeIdx := len(g.nodes)
+	g.nodes = append(g.nodes, Node{Feature: -1, Samples: len(idx)})
+
+	stop := pure(counts) ||
+		len(idx) < 2*g.cfg.MinLeaf ||
+		(g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth)
+	if !stop {
+		feature, threshold, ok := g.bestSplit(idx, counts)
+		if ok {
+			var left, right []int
+			for _, i := range idx {
+				if g.x.At(i, feature) <= threshold {
+					left = append(left, i)
+				} else {
+					right = append(right, i)
+				}
+			}
+			if len(left) >= g.cfg.MinLeaf && len(right) >= g.cfg.MinLeaf {
+				l := g.grow(left, depth+1)
+				r := g.grow(right, depth+1)
+				g.nodes[nodeIdx].Feature = feature
+				g.nodes[nodeIdx].Threshold = threshold
+				g.nodes[nodeIdx].Left = l
+				g.nodes[nodeIdx].Right = r
+				return nodeIdx
+			}
+		}
+	}
+	// Leaf.
+	probs := make([]float64, g.classes)
+	for c, n := range counts {
+		probs[c] = float64(n) / float64(len(idx))
+	}
+	g.nodes[nodeIdx].Probs = probs
+	return nodeIdx
+}
+
+// bestSplit searches a random feature subset for the Gini-optimal split.
+func (g *growContext) bestSplit(idx []int, parentCounts []int) (feature int, threshold float64, ok bool) {
+	nFeatures := g.x.Cols()
+	candidates := nFeatures
+	if g.cfg.Features > 0 && g.cfg.Features < nFeatures {
+		candidates = g.cfg.Features
+	}
+	perm := g.r.Perm(nFeatures)[:candidates]
+
+	total := len(idx)
+	parentGini := gini(parentCounts, total)
+	bestGain := 1e-12
+	ok = false
+
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	leftCounts := make([]int, g.classes)
+	rightCounts := make([]int, g.classes)
+
+	for _, f := range perm {
+		for k, i := range idx {
+			vals[k] = g.x.At(i, f)
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+
+		copy(rightCounts, parentCounts)
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		nLeft := 0
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := idx[order[pos]]
+			leftCounts[g.y[i]]++
+			rightCounts[g.y[i]]--
+			nLeft++
+			v := vals[order[pos]]
+			next := vals[order[pos+1]]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			gl := gini(leftCounts, nLeft)
+			gr := gini(rightCounts, total-nLeft)
+			weighted := (float64(nLeft)*gl + float64(total-nLeft)*gr) / float64(total)
+			if gain := parentGini - weighted; gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = (v + next) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// PredictProbs returns the class-probability vector for a sample.
+func (t *Tree) PredictProbs(x []float64) []float64 {
+	node := 0
+	for t.Nodes[node].Feature >= 0 {
+		n := t.Nodes[node]
+		if x[n.Feature] <= n.Threshold {
+			node = n.Left
+		} else {
+			node = n.Right
+		}
+	}
+	return t.Nodes[node].Probs
+}
+
+// Predict returns the majority class for a sample.
+func (t *Tree) Predict(x []float64) int {
+	probs := t.PredictProbs(x)
+	best, bestP := 0, math.Inf(-1)
+	for c, p := range probs {
+		if p > bestP {
+			bestP = p
+			best = c
+		}
+	}
+	return best
+}
+
+// Depth returns the maximum depth of the tree (0 for a lone leaf).
+func (t *Tree) Depth() int {
+	var walk func(node, d int) int
+	walk = func(node, d int) int {
+		n := t.Nodes[node]
+		if n.Feature < 0 {
+			return d
+		}
+		l := walk(n.Left, d+1)
+		r := walk(n.Right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(0, 0)
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int {
+	count := 0
+	for _, n := range t.Nodes {
+		if n.Feature < 0 {
+			count++
+		}
+	}
+	return count
+}

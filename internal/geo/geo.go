@@ -1,0 +1,109 @@
+// Package geo provides the light-weight geographic primitives needed by the
+// reproduction: WGS-84 points, haversine distances, and a uniform-grid
+// spatial index used to find the outdoor antennas "within a 1 km radius" of
+// each indoor antenna (Section 5.3 of the paper).
+package geo
+
+import "math"
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine formula.
+const EarthRadiusMeters = 6_371_000.0
+
+// Point is a WGS-84 coordinate in degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+// DistanceMeters returns the great-circle (haversine) distance between two
+// points in meters.
+func DistanceMeters(a, b Point) float64 {
+	const deg2rad = math.Pi / 180
+	lat1, lat2 := a.Lat*deg2rad, b.Lat*deg2rad
+	dLat := (b.Lat - a.Lat) * deg2rad
+	dLon := (b.Lon - a.Lon) * deg2rad
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Index is a uniform-grid spatial index over a set of points supporting
+// radius queries. Build once with NewIndex, then query repeatedly.
+type Index struct {
+	cellDeg float64
+	cells   map[[2]int][]int
+	points  []Point
+}
+
+// NewIndex builds an index over points using grid cells of approximately
+// cellMeters on a side (converted at mid-French latitude, which is accurate
+// to a few percent across metropolitan France — more than enough for a
+// 1 km neighbourhood query).
+func NewIndex(points []Point, cellMeters float64) *Index {
+	if cellMeters <= 0 {
+		panic("geo: non-positive cell size")
+	}
+	// 1 degree of latitude ≈ 111.32 km.
+	cellDeg := cellMeters / 111_320.0
+	idx := &Index{
+		cellDeg: cellDeg,
+		cells:   make(map[[2]int][]int),
+		points:  points,
+	}
+	for i, p := range points {
+		key := idx.cellOf(p)
+		idx.cells[key] = append(idx.cells[key], i)
+	}
+	return idx
+}
+
+func (idx *Index) cellOf(p Point) [2]int {
+	return [2]int{
+		int(math.Floor(p.Lat / idx.cellDeg)),
+		int(math.Floor(p.Lon / idx.cellDeg)),
+	}
+}
+
+// Within returns the indices of all indexed points within radiusMeters of
+// the center, in ascending index order.
+func (idx *Index) Within(center Point, radiusMeters float64) []int {
+	if radiusMeters < 0 {
+		return nil
+	}
+	// Longitude degrees shrink with cos(lat); inflate the search ring
+	// accordingly so no candidate cell is missed.
+	latCells := int(math.Ceil(radiusMeters/111_320.0/idx.cellDeg)) + 1
+	cosLat := math.Cos(center.Lat * math.Pi / 180)
+	if cosLat < 0.1 {
+		cosLat = 0.1
+	}
+	lonCells := int(math.Ceil(radiusMeters/(111_320.0*cosLat)/idx.cellDeg)) + 1
+
+	centerCell := idx.cellOf(center)
+	var out []int
+	for dLat := -latCells; dLat <= latCells; dLat++ {
+		for dLon := -lonCells; dLon <= lonCells; dLon++ {
+			key := [2]int{centerCell[0] + dLat, centerCell[1] + dLon}
+			for _, i := range idx.cells[key] {
+				if DistanceMeters(center, idx.points[i]) <= radiusMeters {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	// Cells iterate in deterministic dLat/dLon order but indices within a
+	// cell were appended in input order; sort for a stable contract.
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return len(idx.points) }

@@ -1,0 +1,162 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Paris city hall and the Eiffel tower are roughly 4.4 km apart.
+var (
+	hotelDeVille = Point{Lat: 48.8566, Lon: 2.3522}
+	eiffel       = Point{Lat: 48.8584, Lon: 2.2945}
+)
+
+func TestDistanceKnownPair(t *testing.T) {
+	d := DistanceMeters(hotelDeVille, eiffel)
+	if d < 4000 || d > 4600 {
+		t.Fatalf("Paris landmark distance %v m, expected ~4.2-4.3 km", d)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	if DistanceMeters(eiffel, eiffel) != 0 {
+		t.Fatal("distance to self should be 0")
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	a := Point{48.1, 2.9}
+	b := Point{43.5, 5.2}
+	if math.Abs(DistanceMeters(a, b)-DistanceMeters(b, a)) > 1e-9 {
+		t.Fatal("distance must be symmetric")
+	}
+}
+
+func TestDistanceOneDegreeLatitude(t *testing.T) {
+	a := Point{45, 3}
+	b := Point{46, 3}
+	d := DistanceMeters(a, b)
+	if math.Abs(d-111_195) > 500 {
+		t.Fatalf("1 degree latitude = %v m, want ~111.2 km", d)
+	}
+}
+
+func TestIndexWithinRadius(t *testing.T) {
+	points := []Point{
+		{48.8566, 2.3522}, // center
+		{48.8600, 2.3522}, // ~378 m north
+		{48.8566, 2.3700}, // ~1.3 km east
+		{48.9500, 2.3522}, // ~10 km north
+		{43.2965, 5.3698}, // Marseille
+	}
+	idx := NewIndex(points, 500)
+	got := idx.Within(points[0], 1000)
+	want := []int{0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Within(1km) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within(1km) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIndexLargerRadius(t *testing.T) {
+	points := []Point{
+		{48.8566, 2.3522},
+		{48.8600, 2.3522},
+		{48.8566, 2.3700},
+		{48.9500, 2.3522},
+	}
+	idx := NewIndex(points, 500)
+	got := idx.Within(points[0], 2000)
+	if len(got) != 3 {
+		t.Fatalf("Within(2km) = %v, want 3 points", got)
+	}
+}
+
+func TestIndexNegativeRadius(t *testing.T) {
+	idx := NewIndex([]Point{{48, 2}}, 500)
+	if got := idx.Within(Point{48, 2}, -1); got != nil {
+		t.Fatalf("negative radius should return nil, got %v", got)
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	idx := NewIndex(nil, 500)
+	if idx.Len() != 0 {
+		t.Fatal("empty index length")
+	}
+	if got := idx.Within(Point{48, 2}, 1000); len(got) != 0 {
+		t.Fatalf("empty index query returned %v", got)
+	}
+}
+
+func TestIndexCellSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIndex(nil, 0)
+}
+
+// Property: the grid index returns exactly the same set as a brute-force
+// scan, for random point clouds around France.
+func TestIndexMatchesBruteForceProperty(t *testing.T) {
+	f := func(seeds []uint16, centerSel uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 60 {
+			seeds = seeds[:60]
+		}
+		points := make([]Point, len(seeds))
+		for i, s := range seeds {
+			points[i] = Point{
+				Lat: 47 + float64(s%1000)/250.0, // 47..51
+				Lon: 1 + float64(s/1000)/16.0,   // 1..5
+			}
+		}
+		center := points[int(centerSel)%len(points)]
+		const radius = 25_000
+		idx := NewIndex(points, 5000)
+		got := idx.Within(center, radius)
+		var want []int
+		for i, p := range points {
+			if DistanceMeters(center, p) <= radius {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWithin1km(b *testing.B) {
+	points := make([]Point, 20000)
+	for i := range points {
+		points[i] = Point{
+			Lat: 43 + float64(i%500)/60.0,
+			Lon: 0 + float64(i/500)/12.0,
+		}
+	}
+	idx := NewIndex(points, 1000)
+	center := Point{Lat: 46, Lon: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Within(center, 1000)
+	}
+}

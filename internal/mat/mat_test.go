@@ -1,0 +1,330 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("dims")
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatal("At/Set")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row should be a view")
+	}
+	col := m.Col(0)
+	if col[0] != 1 || col[1] != 7 {
+		t.Fatalf("Col = %v", col)
+	}
+	col[0] = 99
+	if m.At(0, 0) == 99 {
+		t.Fatal("Col should be a copy")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestSumsAndScale(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	rs := m.RowSums()
+	cs := m.ColSums()
+	if rs[0] != 3 || rs[1] != 7 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	if cs[0] != 4 || cs[1] != 6 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+	if m.Sum() != 10 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatal("Scale")
+	}
+}
+
+func TestMeanRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	all := m.MeanRows(nil)
+	if all[0] != 3 || all[1] != 4 {
+		t.Fatalf("MeanRows(nil) = %v", all)
+	}
+	sub := m.MeanRows([]int{0, 2})
+	if sub[0] != 3 || sub[1] != 4 {
+		t.Fatalf("MeanRows subset = %v", sub)
+	}
+	empty := m.MeanRows([]int{})
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatal("empty selection should be zeros")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if SqDist(a, b) != 25 || Dist(a, b) != 5 {
+		t.Fatal("distance")
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("dot")
+	}
+}
+
+func TestCondensedSymmetry(t *testing.T) {
+	c := NewCondensed(4)
+	c.Set(1, 3, 7)
+	if c.At(3, 1) != 7 {
+		t.Fatal("condensed must be symmetric")
+	}
+	c.Set(0, 1, 2)
+	c.Set(2, 3, 4)
+	if c.At(0, 1) != 2 || c.At(2, 3) != 4 || c.At(1, 3) != 7 {
+		t.Fatal("condensed storage collision")
+	}
+}
+
+func TestCondensedAllPairsDistinct(t *testing.T) {
+	n := 9
+	c := NewCondensed(n)
+	val := 1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c.Set(i, j, val)
+			val++
+		}
+	}
+	val = 1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c.At(i, j) != val {
+				t.Fatalf("cell (%d,%d) = %v want %v", i, j, c.At(i, j), val)
+			}
+			val++
+		}
+	}
+}
+
+func TestCondensedDiagonalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCondensed(3).At(1, 1)
+}
+
+func TestPairwiseSqDist(t *testing.T) {
+	m := FromRows([][]float64{{0, 0}, {3, 4}, {0, 1}})
+	c := PairwiseSqDist(m)
+	if c.At(0, 1) != 25 || c.At(0, 2) != 1 || c.At(1, 2) != 18 {
+		t.Fatal("pairwise distances wrong")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	rect := NewDense(2, 3)
+	if _, err := SolveLinear(rect, []float64{1, 2}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	sq := NewDense(2, 2)
+	if _, err := SolveLinear(sq, []float64{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+func TestWeightedLeastSquaresExactFit(t *testing.T) {
+	// y = 2*x0 + 3*x1, recoverable exactly.
+	x := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	y := []float64{2, 3, 5, 7}
+	w := []float64{1, 1, 1, 1}
+	beta, err := WeightedLeastSquares(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-4 || math.Abs(beta[1]-3) > 1e-4 {
+		t.Fatalf("beta = %v", beta)
+	}
+}
+
+func TestWeightedLeastSquaresWeighting(t *testing.T) {
+	// Two contradictory points; the heavier one dominates.
+	x := FromRows([][]float64{{1}, {1}})
+	y := []float64{0, 10}
+	beta, err := WeightedLeastSquares(x, y, []float64{1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta[0] < 9.5 {
+		t.Fatalf("heavy point should dominate, beta = %v", beta)
+	}
+}
+
+func TestWeightedLeastSquaresNegativeWeight(t *testing.T) {
+	x := FromRows([][]float64{{1}})
+	if _, err := WeightedLeastSquares(x, []float64{1}, []float64{-1}); err == nil {
+		t.Fatal("expected negative-weight error")
+	}
+}
+
+// Property: SolveLinear solutions actually satisfy A·x = b for random
+// well-conditioned (diagonally dominant) systems.
+func TestSolveLinearResidualProperty(t *testing.T) {
+	f := func(cells [9]int8, rhs [3]int8) bool {
+		a := NewDense(3, 3)
+		for i := 0; i < 3; i++ {
+			var rowAbs float64
+			for j := 0; j < 3; j++ {
+				v := float64(cells[i*3+j])
+				a.Set(i, j, v)
+				if i != j {
+					rowAbs += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowAbs+1+math.Abs(a.At(i, i))) // force dominance
+		}
+		b := []float64{float64(rhs[0]), float64(rhs[1]), float64(rhs[2])}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			var got float64
+			for j := 0; j < 3; j++ {
+				got += a.At(i, j) * x[j]
+			}
+			if math.Abs(got-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: condensed indexing agrees with a full symmetric matrix.
+func TestCondensedMatchesFullProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%6) + 2
+		c := NewCondensed(n)
+		full := NewDense(n, n)
+		v := 1.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				c.Set(i, j, v)
+				full.Set(i, j, v)
+				full.Set(j, i, v)
+				v++
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if c.At(i, j) != full.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPairwiseSqDist200x73(b *testing.B) {
+	m := NewDense(200, 73)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, float64((i*31+j*17)%97)/97)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PairwiseSqDist(m)
+	}
+}
+
+func BenchmarkSolveLinear32(b *testing.B) {
+	n := 32
+	a := NewDense(n, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = float64(i)
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64((i*7+j*13)%23))
+		}
+		a.Set(i, i, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLinear(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package probe reproduces the measurement-collection substrate of
+// Section 3: passive probes on the Gi/SGi/Gn interfaces record TCP and UDP
+// sessions, a traffic classifier maps each session to a mobile service from
+// deep-packet-inspection features (here: server name and port), sessions
+// are geo-referenced to the serving base station through the User Location
+// Information carried on the GTP-C control plane, and everything is
+// aggregated into per-hour, per-antenna, per-service traffic.
+//
+// The paper's probes are proprietary; this package implements the same
+// pipeline over synthetic sessions so that the exact data-reduction path —
+// session stream → classification → hourly per-BTS aggregation — is
+// exercised and testable end to end. A compact binary wire format makes
+// the streams storable and replayable.
+package probe
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/services"
+)
+
+// Protocol is the transport protocol of a session.
+type Protocol uint8
+
+// Transport protocols observed by the probes.
+const (
+	TCP Protocol = 6
+	UDP Protocol = 17
+)
+
+// Record is one TCP/UDP session observed by a probe, already
+// geo-referenced to its serving antenna via the GTP-C ULI field.
+type Record struct {
+	// Hour is the absolute hour index within the measurement calendar.
+	Hour uint32
+	// AntennaID is the serving BTS, from the session's ULI.
+	AntennaID uint32
+	// Protocol is TCP or UDP.
+	Protocol Protocol
+	// ServerPort is the remote port of the session.
+	ServerPort uint16
+	// ServerName is the TLS SNI / HTTP host observed by DPI.
+	ServerName string
+	// DownBytes and UpBytes are the session's byte counts.
+	DownBytes, UpBytes uint64
+}
+
+// TotalMB returns the session volume in megabytes.
+func (r Record) TotalMB() float64 {
+	return float64(r.DownBytes+r.UpBytes) / 1e6
+}
+
+// --- Wire format -----------------------------------------------------------
+
+// Magic and version identify the probe stream framing.
+const (
+	Magic   uint32 = 0x49434e50 // "ICNP"
+	Version uint16 = 1
+)
+
+var (
+	// ErrBadMagic reports a stream that does not start with the probe
+	// framing magic.
+	ErrBadMagic = errors.New("probe: bad stream magic")
+	// ErrBadVersion reports an unsupported stream version.
+	ErrBadVersion = errors.New("probe: unsupported stream version")
+)
+
+// Writer encodes records into a probe stream.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+}
+
+// NewWriter returns a Writer emitting to w. The header is written lazily on
+// the first record (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (pw *Writer) ensureHeader() error {
+	if pw.started {
+		return nil
+	}
+	pw.started = true
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], Version)
+	_, err := pw.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one record to the stream.
+func (pw *Writer) Write(r Record) error {
+	if err := pw.ensureHeader(); err != nil {
+		return err
+	}
+	if len(r.ServerName) > 255 {
+		return fmt.Errorf("probe: server name too long (%d bytes)", len(r.ServerName))
+	}
+	var buf [28]byte
+	binary.BigEndian.PutUint32(buf[0:4], r.Hour)
+	binary.BigEndian.PutUint32(buf[4:8], r.AntennaID)
+	buf[8] = byte(r.Protocol)
+	binary.BigEndian.PutUint16(buf[9:11], r.ServerPort)
+	binary.BigEndian.PutUint64(buf[11:19], r.DownBytes)
+	binary.BigEndian.PutUint64(buf[19:27], r.UpBytes)
+	buf[27] = byte(len(r.ServerName))
+	if _, err := pw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.WriteString(r.ServerName)
+	return err
+}
+
+// Flush writes any buffered data (and the header for empty streams).
+func (pw *Writer) Flush() error {
+	if err := pw.ensureHeader(); err != nil {
+		return err
+	}
+	return pw.w.Flush()
+}
+
+// Reader decodes a probe stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader returns a Reader over r; the header is validated on the first
+// Read call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (pr *Reader) readHeader() error {
+	var hdr [6]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return ErrBadMagic
+	}
+	if binary.BigEndian.Uint16(hdr[4:6]) != Version {
+		return ErrBadVersion
+	}
+	pr.header = true
+	return nil
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (pr *Reader) Read() (Record, error) {
+	if !pr.header {
+		if err := pr.readHeader(); err != nil {
+			return Record{}, err
+		}
+	}
+	var buf [28]byte
+	if _, err := io.ReadFull(pr.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("probe: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	rec := Record{
+		Hour:       binary.BigEndian.Uint32(buf[0:4]),
+		AntennaID:  binary.BigEndian.Uint32(buf[4:8]),
+		Protocol:   Protocol(buf[8]),
+		ServerPort: binary.BigEndian.Uint16(buf[9:11]),
+		DownBytes:  binary.BigEndian.Uint64(buf[11:19]),
+		UpBytes:    binary.BigEndian.Uint64(buf[19:27]),
+	}
+	nameLen := int(buf[27])
+	if nameLen > 0 {
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(pr.r, name); err != nil {
+			return Record{}, fmt.Errorf("probe: truncated server name: %w", err)
+		}
+		rec.ServerName = string(name)
+	}
+	return rec, nil
+}
+
+// --- Traffic classification -------------------------------------------------
+
+// domainFor derives the canonical server domain of a service, the DPI
+// feature the classifier keys on.
+func domainFor(s services.Service) string {
+	name := strings.ToLower(s.Name)
+	name = strings.NewReplacer(" ", "", "/", "", "+", "plus", "'", "").Replace(name)
+	return name + ".example"
+}
+
+// Classifier maps DPI features of a session to a mobile service, standing
+// in for the operator's proprietary traffic classifiers.
+type Classifier struct {
+	byDomain map[string]int
+}
+
+// NewClassifier builds the rule table over the full service catalog.
+func NewClassifier() *Classifier {
+	c := &Classifier{byDomain: make(map[string]int, services.M)}
+	for _, s := range services.All() {
+		c.byDomain[domainFor(s)] = s.ID
+	}
+	return c
+}
+
+// Classify returns the service of a session record. Unknown server names
+// return ok = false, which the aggregation counts as unclassified traffic.
+func (c *Classifier) Classify(r Record) (serviceID int, ok bool) {
+	id, ok := c.byDomain[strings.ToLower(r.ServerName)]
+	return id, ok
+}
+
+// DomainOf exposes the canonical domain used for a service, for generators.
+func DomainOf(serviceID int) string { return domainFor(services.Get(serviceID)) }
+
+// --- Session generation -----------------------------------------------------
+
+// GenerateSessions synthesizes the session records of one antenna-hour:
+// perServiceMB[j] megabytes of service j are split into a Poisson number of
+// sessions with exponential size dispersion, normalized so session bytes
+// sum back to the input totals (up to 1-byte rounding per session).
+func GenerateSessions(hour, antennaID uint32, perServiceMB []float64, r *rng.Source) []Record {
+	var out []Record
+	for j, mb := range perServiceMB {
+		if mb <= 0 {
+			continue
+		}
+		svc := services.Get(j)
+		// Heavier services carry fewer, larger sessions.
+		meanSessionMB := 0.5 + svc.BaseWeight/4
+		n := r.Poisson(mb/meanSessionMB) + 1
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			weights[i] = r.Exponential(1)
+			sum += weights[i]
+		}
+		totalBytes := uint64(mb * 1e6)
+		var assigned uint64
+		for i := range weights {
+			var b uint64
+			if i == len(weights)-1 {
+				b = totalBytes - assigned
+			} else {
+				b = uint64(float64(totalBytes) * weights[i] / sum)
+			}
+			assigned += b
+			down := b * 85 / 100 // downlink-dominated, as in cellular traffic
+			proto := TCP
+			if svc.Category == services.VideoStreaming || svc.Category == services.Music {
+				proto = UDP // QUIC-style delivery
+			}
+			out = append(out, Record{
+				Hour:       hour,
+				AntennaID:  antennaID,
+				Protocol:   proto,
+				ServerPort: 443,
+				ServerName: domainFor(svc),
+				DownBytes:  down,
+				UpBytes:    b - down,
+			})
+		}
+	}
+	return out
+}
+
+// --- Aggregation -------------------------------------------------------------
+
+// Aggregator folds classified session records into the per-hour,
+// per-antenna, per-service traffic the analysis pipeline consumes.
+type Aggregator struct {
+	classifier *Classifier
+	// totals maps (antenna, service) to MB over all hours.
+	totals map[aggKey]float64
+	// hourly maps (antenna, service, hour) to MB.
+	hourly map[hourKey]float64
+	// UnclassifiedMB accumulates traffic with unknown server names.
+	UnclassifiedMB float64
+	// Sessions counts processed records.
+	Sessions int
+}
+
+type aggKey struct {
+	antenna uint32
+	service int
+}
+
+type hourKey struct {
+	antenna uint32
+	service int
+	hour    uint32
+}
+
+// NewAggregator returns an empty aggregator using the given classifier.
+func NewAggregator(c *Classifier) *Aggregator {
+	return &Aggregator{
+		classifier: c,
+		totals:     make(map[aggKey]float64),
+		hourly:     make(map[hourKey]float64),
+	}
+}
+
+// Add classifies and accumulates one record.
+func (a *Aggregator) Add(r Record) {
+	a.Sessions++
+	mb := r.TotalMB()
+	id, ok := a.classifier.Classify(r)
+	if !ok {
+		a.UnclassifiedMB += mb
+		return
+	}
+	a.totals[aggKey{r.AntennaID, id}] += mb
+	a.hourly[hourKey{r.AntennaID, id, r.Hour}] += mb
+}
+
+// AddStream consumes an entire probe stream.
+func (a *Aggregator) AddStream(r *Reader) error {
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		a.Add(rec)
+	}
+}
+
+// TotalMB returns the aggregate MB for (antenna, service) over all hours.
+func (a *Aggregator) TotalMB(antenna uint32, service int) float64 {
+	return a.totals[aggKey{antenna, service}]
+}
+
+// HourlyMB returns the MB for (antenna, service) in one hour bin.
+func (a *Aggregator) HourlyMB(antenna uint32, service int, hour uint32) float64 {
+	return a.hourly[hourKey{antenna, service, hour}]
+}
+
+// ForEachTotal invokes fn for every (antenna, service) total accumulated
+// so far. Iteration order is unspecified.
+func (a *Aggregator) ForEachTotal(fn func(antenna uint32, service int, mb float64)) {
+	for k, v := range a.totals {
+		fn(k.antenna, k.service, v)
+	}
+}
+
+// AntennaTotalMB returns the total classified MB of one antenna.
+func (a *Aggregator) AntennaTotalMB(antenna uint32) float64 {
+	var sum float64
+	for k, v := range a.totals {
+		if k.antenna == antenna {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,299 @@
+package probe
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/services"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Hour: 0, AntennaID: 1, Protocol: TCP, ServerPort: 443, ServerName: "netflix.example", DownBytes: 1000, UpBytes: 50},
+		{Hour: 7, AntennaID: 99, Protocol: UDP, ServerPort: 443, ServerName: "spotify.example", DownBytes: 1 << 40, UpBytes: 7},
+		{Hour: 1559, AntennaID: 4761, Protocol: TCP, ServerPort: 8080, ServerName: "", DownBytes: 0, UpBytes: 0},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestEmptyStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0, 1, 2, 3, 4, 5}))
+	if _, err := r.Read(); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[5] = 99 // corrupt version
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Read(); err != ErrBadVersion {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{ServerName: "x.example", DownBytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestLongServerNameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := w.Write(Record{ServerName: string(long)}); err == nil {
+		t.Fatal("expected error for oversized server name")
+	}
+}
+
+func TestClassifierCoversCatalog(t *testing.T) {
+	c := NewClassifier()
+	for _, s := range services.All() {
+		id, ok := c.Classify(Record{ServerName: DomainOf(s.ID)})
+		if !ok || id != s.ID {
+			t.Fatalf("service %q not classified from its domain %q", s.Name, DomainOf(s.ID))
+		}
+	}
+}
+
+func TestClassifierUnknown(t *testing.T) {
+	c := NewClassifier()
+	if _, ok := c.Classify(Record{ServerName: "evil.invalid"}); ok {
+		t.Fatal("unknown domain should not classify")
+	}
+}
+
+func TestClassifierCaseInsensitive(t *testing.T) {
+	c := NewClassifier()
+	want := services.MustID("Netflix")
+	id, ok := c.Classify(Record{ServerName: "NETFLIX.EXAMPLE"})
+	if !ok || id != want {
+		t.Fatal("classification should ignore case")
+	}
+}
+
+func TestDomainsUnique(t *testing.T) {
+	seen := map[string]string{}
+	for _, s := range services.All() {
+		d := DomainOf(s.ID)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("domain %q shared by %q and %q", d, prev, s.Name)
+		}
+		seen[d] = s.Name
+	}
+}
+
+func TestGenerateSessionsConservesBytes(t *testing.T) {
+	r := rng.New(5)
+	perService := make([]float64, services.M)
+	perService[0] = 12.5
+	perService[10] = 3.25
+	perService[50] = 0.01
+	recs := GenerateSessions(42, 7, perService, r)
+	sums := make(map[int]uint64)
+	c := NewClassifier()
+	for _, rec := range recs {
+		if rec.Hour != 42 || rec.AntennaID != 7 {
+			t.Fatal("record metadata wrong")
+		}
+		id, ok := c.Classify(rec)
+		if !ok {
+			t.Fatal("generated session must classify")
+		}
+		sums[id] += rec.DownBytes + rec.UpBytes
+	}
+	for j, mb := range perService {
+		if mb == 0 {
+			continue
+		}
+		got := float64(sums[j]) / 1e6
+		if math.Abs(got-mb) > 1e-5 {
+			t.Fatalf("service %d: sessions carry %v MB, want %v", j, got, mb)
+		}
+	}
+}
+
+func TestGenerateSessionsSkipsZero(t *testing.T) {
+	r := rng.New(1)
+	perService := make([]float64, services.M)
+	if recs := GenerateSessions(0, 0, perService, r); len(recs) != 0 {
+		t.Fatal("no traffic should produce no sessions")
+	}
+}
+
+func TestEndToEndAggregation(t *testing.T) {
+	// sessions → wire → reader → classifier → aggregator reproduces the
+	// input hour × service matrix exactly (modulo byte rounding).
+	r := rng.New(11)
+	type cell struct {
+		hour    uint32
+		antenna uint32
+		mb      []float64
+	}
+	cells := []cell{
+		{hour: 0, antenna: 0, mb: sparse(3, 10.0, 7, 2.0)},
+		{hour: 1, antenna: 0, mb: sparse(3, 5.0)},
+		{hour: 0, antenna: 1, mb: sparse(20, 1.5, 30, 0.25)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, c := range cells {
+		for _, rec := range GenerateSessions(c.hour, c.antenna, c.mb, r) {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := NewAggregator(NewClassifier())
+	if err := agg.AddStream(NewReader(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if agg.UnclassifiedMB != 0 {
+		t.Fatalf("unclassified traffic %v", agg.UnclassifiedMB)
+	}
+	for _, c := range cells {
+		for j, mb := range c.mb {
+			if mb == 0 {
+				continue
+			}
+			got := agg.HourlyMB(c.antenna, j, c.hour)
+			if math.Abs(got-mb) > 1e-4 {
+				t.Fatalf("antenna %d service %d hour %d: %v want %v", c.antenna, j, c.hour, got, mb)
+			}
+		}
+	}
+	// Totals equal the sum over hours.
+	if got := agg.TotalMB(0, 3); math.Abs(got-15.0) > 1e-4 {
+		t.Fatalf("total antenna 0 service 3 = %v, want 15", got)
+	}
+	if got := agg.AntennaTotalMB(0); math.Abs(got-17.0) > 1e-4 {
+		t.Fatalf("antenna 0 total = %v, want 17", got)
+	}
+	if agg.Sessions == 0 {
+		t.Fatal("no sessions counted")
+	}
+}
+
+func TestAggregatorUnclassified(t *testing.T) {
+	agg := NewAggregator(NewClassifier())
+	agg.Add(Record{ServerName: "mystery.invalid", DownBytes: 2e6})
+	if math.Abs(agg.UnclassifiedMB-2.0) > 1e-9 {
+		t.Fatalf("unclassified = %v", agg.UnclassifiedMB)
+	}
+}
+
+func sparse(kv ...interface{}) []float64 {
+	out := make([]float64, services.M)
+	for i := 0; i < len(kv); i += 2 {
+		out[kv[i].(int)] = kv[i+1].(float64)
+	}
+	return out
+}
+
+// Property: any record with a short server name survives a wire round trip.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(hour, antenna uint32, port uint16, name []byte, down, up uint64) bool {
+		if len(name) > 200 {
+			name = name[:200]
+		}
+		rec := Record{
+			Hour: hour, AntennaID: antenna, Protocol: TCP,
+			ServerPort: port, ServerName: string(name),
+			DownBytes: down, UpBytes: up,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Read()
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWireWrite(b *testing.B) {
+	rec := Record{Hour: 5, AntennaID: 77, Protocol: TCP, ServerPort: 443, ServerName: "netflix.example", DownBytes: 1e7, UpBytes: 1e5}
+	w := NewWriter(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	c := NewClassifier()
+	rec := Record{ServerName: "netflix.example"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(rec)
+	}
+}

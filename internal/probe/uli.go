@@ -1,0 +1,157 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the User Location Information (ULI) element that
+// geo-references every session to its serving cell: the paper's probes
+// read the ULI "present in the Packet Data Protocol (PDP) Contexts and
+// Evolved Packet System (EPS) Bearers over the GPRS Tunneling Protocol
+// control plane (GTP-C)" (Section 3). The encoding follows 3GPP TS 29.274:
+// an ECGI is a 3-byte BCD-encoded PLMN identity followed by a 28-bit
+// E-UTRAN cell identity.
+
+// PLMN is a Public Land Mobile Network identity: a 3-digit mobile country
+// code and a 2- or 3-digit mobile network code.
+type PLMN struct {
+	// MCC is the mobile country code, three decimal digits (208 = France).
+	MCC uint16
+	// MNC is the mobile network code, 0-999.
+	MNC uint16
+	// ThreeDigitMNC marks MNCs encoded with three digits (e.g. "001" as
+	// distinct from "01").
+	ThreeDigitMNC bool
+}
+
+// ECGI is an E-UTRAN cell global identifier: PLMN + 28-bit cell identity.
+// The cell identity concatenates the 20-bit eNodeB id and the 8-bit cell
+// id within the eNodeB.
+type ECGI struct {
+	PLMN PLMN
+	// CellID is the 28-bit E-UTRAN cell identity.
+	CellID uint32
+}
+
+// MaxCellID is the largest 28-bit cell identity.
+const MaxCellID = 1<<28 - 1
+
+// Errors returned by the ULI codec.
+var (
+	ErrCellIDRange = errors.New("probe: cell id exceeds 28 bits")
+	ErrBadPLMN     = errors.New("probe: invalid PLMN digits")
+	ErrShortULI    = errors.New("probe: ULI too short")
+)
+
+// bcd packs two decimal digits into one byte, low digit in the low nibble.
+func bcd(lo, hi byte) byte { return lo&0x0f | hi<<4 }
+
+// EncodeECGI renders the ECGI as the 7-byte wire format of TS 29.274
+// §8.21.5: 3 bytes BCD PLMN, then 4 bits spare + 28 bits cell identity.
+func EncodeECGI(e ECGI) ([]byte, error) {
+	if e.CellID > MaxCellID {
+		return nil, ErrCellIDRange
+	}
+	if e.PLMN.MCC > 999 || e.PLMN.MNC > 999 {
+		return nil, ErrBadPLMN
+	}
+	if !e.PLMN.ThreeDigitMNC && e.PLMN.MNC > 99 {
+		return nil, fmt.Errorf("%w: MNC %d needs three digits", ErrBadPLMN, e.PLMN.MNC)
+	}
+	mcc1 := byte(e.PLMN.MCC / 100)
+	mcc2 := byte(e.PLMN.MCC / 10 % 10)
+	mcc3 := byte(e.PLMN.MCC % 10)
+	var mnc1, mnc2, mnc3 byte
+	if e.PLMN.ThreeDigitMNC {
+		mnc1 = byte(e.PLMN.MNC / 100)
+		mnc2 = byte(e.PLMN.MNC / 10 % 10)
+		mnc3 = byte(e.PLMN.MNC % 10)
+	} else {
+		// Two-digit MNC: the third digit position carries filler 0xF.
+		mnc1 = byte(e.PLMN.MNC / 10)
+		mnc2 = byte(e.PLMN.MNC % 10)
+		mnc3 = 0x0f
+	}
+	out := make([]byte, 7)
+	out[0] = bcd(mcc1, mcc2)
+	out[1] = bcd(mcc3, mnc3)
+	out[2] = bcd(mnc1, mnc2)
+	out[3] = byte(e.CellID >> 24 & 0x0f)
+	out[4] = byte(e.CellID >> 16)
+	out[5] = byte(e.CellID >> 8)
+	out[6] = byte(e.CellID)
+	return out, nil
+}
+
+// DecodeECGI parses the 7-byte ECGI wire format.
+func DecodeECGI(b []byte) (ECGI, error) {
+	if len(b) < 7 {
+		return ECGI{}, ErrShortULI
+	}
+	digit := func(nibble byte) (byte, error) {
+		if nibble > 9 {
+			return 0, ErrBadPLMN
+		}
+		return nibble, nil
+	}
+	mcc1, err := digit(b[0] & 0x0f)
+	if err != nil {
+		return ECGI{}, err
+	}
+	mcc2, err := digit(b[0] >> 4)
+	if err != nil {
+		return ECGI{}, err
+	}
+	mcc3, err := digit(b[1] & 0x0f)
+	if err != nil {
+		return ECGI{}, err
+	}
+	var e ECGI
+	e.PLMN.MCC = uint16(mcc1)*100 + uint16(mcc2)*10 + uint16(mcc3)
+
+	mnc3Nibble := b[1] >> 4
+	mnc1, err := digit(b[2] & 0x0f)
+	if err != nil {
+		return ECGI{}, err
+	}
+	mnc2, err := digit(b[2] >> 4)
+	if err != nil {
+		return ECGI{}, err
+	}
+	if mnc3Nibble == 0x0f {
+		e.PLMN.MNC = uint16(mnc1)*10 + uint16(mnc2)
+	} else {
+		mnc3, err := digit(mnc3Nibble)
+		if err != nil {
+			return ECGI{}, err
+		}
+		e.PLMN.ThreeDigitMNC = true
+		e.PLMN.MNC = uint16(mnc1)*100 + uint16(mnc2)*10 + uint16(mnc3)
+	}
+	e.CellID = uint32(b[3]&0x0f)<<24 | uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	return e, nil
+}
+
+// FrancePLMN is the PLMN of the studied network's country (MCC 208), with
+// a representative MNC.
+var FrancePLMN = PLMN{MCC: 208, MNC: 1}
+
+// ECGIForAntenna derives a deterministic ECGI for a dataset antenna id:
+// the eNodeB id encodes the antenna's site-level prefix and the low 8 bits
+// the antenna ordinal, as real deployments do.
+func ECGIForAntenna(antennaID uint32) ECGI {
+	return ECGI{
+		PLMN:   FrancePLMN,
+		CellID: antennaID & MaxCellID,
+	}
+}
+
+// AntennaForECGI recovers the dataset antenna id of an ECGI produced by
+// ECGIForAntenna. It returns false for foreign PLMNs.
+func AntennaForECGI(e ECGI) (uint32, bool) {
+	if e.PLMN != FrancePLMN {
+		return 0, false
+	}
+	return e.CellID, true
+}

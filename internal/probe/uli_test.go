@@ -1,0 +1,108 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestECGIRoundTripTwoDigitMNC(t *testing.T) {
+	e := ECGI{PLMN: PLMN{MCC: 208, MNC: 1}, CellID: 0x0ABCDEF}
+	b, err := EncodeECGI(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 7 {
+		t.Fatalf("encoded length %d", len(b))
+	}
+	got, err := DecodeECGI(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: %+v vs %+v", got, e)
+	}
+}
+
+func TestECGIRoundTripThreeDigitMNC(t *testing.T) {
+	e := ECGI{PLMN: PLMN{MCC: 310, MNC: 410, ThreeDigitMNC: true}, CellID: 77}
+	b, err := EncodeECGI(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeECGI(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: %+v vs %+v", got, e)
+	}
+}
+
+func TestECGIBCDLayout(t *testing.T) {
+	// MCC 208, MNC 01 (two digits): byte0 = 0x02 | 0<<4 = 0x02? The BCD
+	// layout places mcc digit1 low, digit2 high: 2 | 0<<4 = 0x02;
+	// byte1 = mcc3 | filler<<4 = 8 | 0xF0; byte2 = mnc1 | mnc2<<4.
+	b, err := EncodeECGI(ECGI{PLMN: PLMN{MCC: 208, MNC: 1}, CellID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x02 || b[1] != 0xF8 || b[2] != 0x10 {
+		t.Fatalf("BCD bytes = % X", b[:3])
+	}
+}
+
+func TestECGIErrors(t *testing.T) {
+	if _, err := EncodeECGI(ECGI{PLMN: FrancePLMN, CellID: MaxCellID + 1}); err != ErrCellIDRange {
+		t.Fatalf("cell id range: %v", err)
+	}
+	if _, err := EncodeECGI(ECGI{PLMN: PLMN{MCC: 1000, MNC: 1}}); err == nil {
+		t.Fatal("MCC range should fail")
+	}
+	if _, err := EncodeECGI(ECGI{PLMN: PLMN{MCC: 208, MNC: 500}}); err == nil {
+		t.Fatal("3-digit MNC without flag should fail")
+	}
+	if _, err := DecodeECGI([]byte{1, 2, 3}); err != ErrShortULI {
+		t.Fatal("short buffer should fail")
+	}
+	// Non-decimal BCD nibble in the MCC.
+	bad := []byte{0x0A, 0xF8, 0x10, 0, 0, 0, 0}
+	if _, err := DecodeECGI(bad); err == nil {
+		t.Fatal("bad BCD digit should fail")
+	}
+}
+
+func TestAntennaECGIMapping(t *testing.T) {
+	for _, id := range []uint32{0, 1, 4761, 123456} {
+		e := ECGIForAntenna(id)
+		got, ok := AntennaForECGI(e)
+		if !ok || got != id {
+			t.Fatalf("antenna %d mapping broken", id)
+		}
+	}
+	foreign := ECGI{PLMN: PLMN{MCC: 262, MNC: 1}, CellID: 5}
+	if _, ok := AntennaForECGI(foreign); ok {
+		t.Fatal("foreign PLMN should not map")
+	}
+}
+
+// Property: every valid ECGI survives an encode/decode round trip.
+func TestECGIRoundTripProperty(t *testing.T) {
+	f := func(mcc, mnc uint16, cell uint32, three bool) bool {
+		e := ECGI{
+			PLMN:   PLMN{MCC: mcc % 1000, MNC: mnc % 1000, ThreeDigitMNC: three},
+			CellID: cell & MaxCellID,
+		}
+		if !e.PLMN.ThreeDigitMNC {
+			e.PLMN.MNC %= 100
+		}
+		b, err := EncodeECGI(e)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeECGI(b)
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

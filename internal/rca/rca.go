@@ -1,0 +1,159 @@
+// Package rca implements the feature transformation at the heart of the
+// paper's Section 4.1: the Revealed Comparative Advantage (RCA, Eq. 1) and
+// its symmetric variant (RSCA, Eq. 2), which quantify per-service over- and
+// under-utilization at each antenna independent of raw volume, plus the
+// outdoor-versus-indoor variant of Eq. 5 used in Section 5.3.
+package rca
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// RCA computes the revealed comparative advantage of every (antenna,
+// service) cell of the traffic matrix T (Eq. 1):
+//
+//	RCA[i][j] = (T[i][j] / T[i]) / (T[j] / T_tot)
+//
+// where T[i] is antenna i's total, T[j] is service j's network-wide total
+// and T_tot the grand total. Cells whose antenna or service total is zero
+// yield RCA 0 (no utilization signal).
+func RCA(t *mat.Dense) *mat.Dense {
+	rowSums := t.RowSums()
+	colSums := t.ColSums()
+	total := t.Sum()
+	out := mat.NewDense(t.Rows(), t.Cols())
+	if total == 0 {
+		return out
+	}
+	for i := 0; i < t.Rows(); i++ {
+		if rowSums[i] == 0 {
+			continue
+		}
+		src := t.Row(i)
+		dst := out.Row(i)
+		for j := range src {
+			if colSums[j] == 0 {
+				continue
+			}
+			dst[j] = (src[j] / rowSums[i]) / (colSums[j] / total)
+		}
+	}
+	return out
+}
+
+// RSCAFromRCA maps RCA values into the symmetric [-1, 1] index (Eq. 2):
+//
+//	RSCA = (RCA - 1) / (RCA + 1)
+//
+// Values below 0 indicate under-utilization, above 0 over-utilization. The
+// degenerate RCA = 0 maps to -1 (maximal under-utilization).
+func RSCAFromRCA(rcaM *mat.Dense) *mat.Dense {
+	out := mat.NewDense(rcaM.Rows(), rcaM.Cols())
+	for i := 0; i < rcaM.Rows(); i++ {
+		src := rcaM.Row(i)
+		dst := out.Row(i)
+		for j, v := range src {
+			dst[j] = (v - 1) / (v + 1)
+		}
+	}
+	return out
+}
+
+// RSCA computes the revealed symmetric comparative advantage directly from
+// the traffic matrix — the clustering feature space of Section 4.2.
+func RSCA(t *mat.Dense) *mat.Dense { return RSCAFromRCA(RCA(t)) }
+
+// OutdoorReference captures the indoor-side denominators of Eq. 5: the
+// share of each service in the total indoor traffic.
+type OutdoorReference struct {
+	// ServiceShare[j] = T_in[j] / T_tot_in.
+	ServiceShare []float64
+}
+
+// NewOutdoorReference derives the Eq. 5 reference from the indoor traffic
+// matrix. It returns an error if the matrix carries no traffic.
+func NewOutdoorReference(indoor *mat.Dense) (*OutdoorReference, error) {
+	total := indoor.Sum()
+	if total <= 0 {
+		return nil, fmt.Errorf("rca: indoor matrix has no traffic")
+	}
+	colSums := indoor.ColSums()
+	share := make([]float64, len(colSums))
+	for j, s := range colSums {
+		share[j] = s / total
+	}
+	return &OutdoorReference{ServiceShare: share}, nil
+}
+
+// RCAOutdoor computes Eq. 5 for an outdoor traffic matrix: each outdoor
+// antenna's service shares are normalized by the *indoor* service shares,
+// measuring whether outdoor demand composition diverges from the indoor
+// profile population.
+func (ref *OutdoorReference) RCAOutdoor(outdoor *mat.Dense) (*mat.Dense, error) {
+	if outdoor.Cols() != len(ref.ServiceShare) {
+		return nil, fmt.Errorf("rca: outdoor matrix has %d services, reference %d",
+			outdoor.Cols(), len(ref.ServiceShare))
+	}
+	rowSums := outdoor.RowSums()
+	out := mat.NewDense(outdoor.Rows(), outdoor.Cols())
+	for i := 0; i < outdoor.Rows(); i++ {
+		if rowSums[i] == 0 {
+			continue
+		}
+		src := outdoor.Row(i)
+		dst := out.Row(i)
+		for j := range src {
+			if ref.ServiceShare[j] == 0 {
+				continue
+			}
+			dst[j] = (src[j] / rowSums[i]) / ref.ServiceShare[j]
+		}
+	}
+	return out, nil
+}
+
+// RSCAOutdoor composes Eq. 5 with Eq. 2, producing the outdoor feature
+// matrix that Section 5.3 feeds to the surrogate classifier.
+func (ref *OutdoorReference) RSCAOutdoor(outdoor *mat.Dense) (*mat.Dense, error) {
+	r, err := ref.RCAOutdoor(outdoor)
+	if err != nil {
+		return nil, err
+	}
+	return RSCAFromRCA(r), nil
+}
+
+// NormalizeByGlobalMax scales the traffic matrix by its single largest
+// cell — the naive normalization whose spike-like histogram motivates RCA
+// in Fig. 1. An all-zero matrix is returned unchanged.
+func NormalizeByGlobalMax(t *mat.Dense) *mat.Dense {
+	out := t.Clone()
+	var maxV float64
+	for i := 0; i < t.Rows(); i++ {
+		for _, v := range t.Row(i) {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		return out
+	}
+	out.Scale(1 / maxV)
+	return out
+}
+
+// Validate checks the structural invariants of an RSCA matrix: every value
+// in [-1, 1] and no NaN. It returns the first violation found.
+func Validate(rsca *mat.Dense) error {
+	for i := 0; i < rsca.Rows(); i++ {
+		for j, v := range rsca.Row(i) {
+			if math.IsNaN(v) || v < -1 || v > 1 {
+				return fmt.Errorf("rca: invalid RSCA value %v at (%d,%d)", v, i, j)
+			}
+		}
+	}
+	return nil
+}

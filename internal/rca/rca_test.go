@@ -1,0 +1,260 @@
+package rca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestRCAUniformMatrixIsOne(t *testing.T) {
+	// When every antenna has the same service mix, no antenna is
+	// advantaged: RCA = 1 everywhere.
+	m := mat.FromRows([][]float64{
+		{10, 20, 30},
+		{1, 2, 3},
+		{100, 200, 300},
+	})
+	r := RCA(m)
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Cols(); j++ {
+			if math.Abs(r.At(i, j)-1) > 1e-12 {
+				t.Fatalf("RCA(%d,%d) = %v, want 1", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRCADetectsOverUtilization(t *testing.T) {
+	// Antenna 0 spends all its traffic on service 0 while the network is
+	// split evenly: service 0 is over-utilized there.
+	m := mat.FromRows([][]float64{
+		{10, 0},
+		{5, 15},
+	})
+	r := RCA(m)
+	if r.At(0, 0) <= 1 {
+		t.Fatalf("over-utilized cell RCA = %v, want > 1", r.At(0, 0))
+	}
+	if r.At(0, 1) != 0 {
+		t.Fatalf("unused service RCA = %v, want 0", r.At(0, 1))
+	}
+	if r.At(1, 1) <= 1 {
+		t.Fatalf("antenna 1 over-uses service 1: RCA = %v", r.At(1, 1))
+	}
+}
+
+func TestRCAHandlesZeroTotals(t *testing.T) {
+	m := mat.FromRows([][]float64{
+		{0, 0},
+		{1, 0},
+	})
+	r := RCA(m)
+	// Antenna 0 has no traffic; service 1 has no traffic network-wide.
+	if r.At(0, 0) != 0 || r.At(0, 1) != 0 || r.At(1, 1) != 0 {
+		t.Fatal("zero totals must yield RCA 0")
+	}
+	zero := mat.NewDense(2, 2)
+	rz := RCA(zero)
+	if rz.Sum() != 0 {
+		t.Fatal("all-zero matrix must yield all-zero RCA")
+	}
+}
+
+func TestRSCAMapping(t *testing.T) {
+	rcaM := mat.FromRows([][]float64{{0, 1, 3}})
+	s := RSCAFromRCA(rcaM)
+	if s.At(0, 0) != -1 {
+		t.Fatalf("RCA 0 → RSCA %v, want -1", s.At(0, 0))
+	}
+	if s.At(0, 1) != 0 {
+		t.Fatalf("RCA 1 → RSCA %v, want 0", s.At(0, 1))
+	}
+	if math.Abs(s.At(0, 2)-0.5) > 1e-12 {
+		t.Fatalf("RCA 3 → RSCA %v, want 0.5", s.At(0, 2))
+	}
+}
+
+func TestRSCABoundsOnRandomTraffic(t *testing.T) {
+	m := mat.NewDense(40, 20)
+	seed := uint64(12345)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			m.Set(i, j, float64(seed>>40))
+		}
+	}
+	if err := Validate(RSCA(m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSCASymmetryProperty(t *testing.T) {
+	// The defining property of RSCA: RCA = x and RCA = 1/x map to ±s.
+	f := func(raw uint16) bool {
+		x := float64(raw)/1000 + 0.001
+		a := (x - 1) / (x + 1)
+		b := (1/x - 1) / (1/x + 1)
+		return math.Abs(a+b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSCAUnderOverBalance(t *testing.T) {
+	// Build a matrix with one heavily skewed antenna: its RSCA must show
+	// both over-utilization (>0) and under-utilization (<0), bounded.
+	m := mat.FromRows([][]float64{
+		{100, 1, 1},
+		{10, 10, 10},
+		{10, 10, 10},
+	})
+	s := RSCA(m)
+	if s.At(0, 0) <= 0 {
+		t.Fatal("skewed antenna should over-use service 0")
+	}
+	if s.At(0, 1) >= 0 {
+		t.Fatal("skewed antenna should under-use service 1")
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutdoorReference(t *testing.T) {
+	indoor := mat.FromRows([][]float64{
+		{30, 10},
+		{30, 30},
+	})
+	ref, err := NewOutdoorReference(indoor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indoor shares: service 0 = 60/100, service 1 = 40/100.
+	if math.Abs(ref.ServiceShare[0]-0.6) > 1e-12 || math.Abs(ref.ServiceShare[1]-0.4) > 1e-12 {
+		t.Fatalf("shares = %v", ref.ServiceShare)
+	}
+
+	outdoor := mat.FromRows([][]float64{
+		{60, 40}, // exactly the indoor composition → RCA 1
+		{0, 100}, // all service 1 → RCA 0 / 2.5
+	})
+	r, err := ref.RCAOutdoor(outdoor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.At(0, 0)-1) > 1e-12 || math.Abs(r.At(0, 1)-1) > 1e-12 {
+		t.Fatalf("indoor-like outdoor antenna RCA = %v,%v", r.At(0, 0), r.At(0, 1))
+	}
+	if r.At(1, 0) != 0 || math.Abs(r.At(1, 1)-2.5) > 1e-12 {
+		t.Fatalf("skewed outdoor antenna RCA = %v,%v", r.At(1, 0), r.At(1, 1))
+	}
+
+	s, err := ref.RSCAOutdoor(outdoor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutdoorReferenceErrors(t *testing.T) {
+	if _, err := NewOutdoorReference(mat.NewDense(2, 2)); err == nil {
+		t.Fatal("zero indoor matrix should error")
+	}
+	ref, err := NewOutdoorReference(mat.FromRows([][]float64{{1, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.RCAOutdoor(mat.NewDense(1, 3)); err == nil {
+		t.Fatal("service-count mismatch should error")
+	}
+}
+
+func TestNormalizeByGlobalMax(t *testing.T) {
+	m := mat.FromRows([][]float64{{1, 2}, {4, 0}})
+	n := NormalizeByGlobalMax(m)
+	if n.At(1, 0) != 1 || n.At(0, 0) != 0.25 {
+		t.Fatalf("normalized = %v %v", n.At(1, 0), n.At(0, 0))
+	}
+	if m.At(1, 0) != 4 {
+		t.Fatal("input must not be mutated")
+	}
+	z := NormalizeByGlobalMax(mat.NewDense(2, 2))
+	if z.Sum() != 0 {
+		t.Fatal("all-zero matrix unchanged")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	bad := mat.FromRows([][]float64{{0, 1.5}})
+	if err := Validate(bad); err == nil {
+		t.Fatal("out-of-range value should fail validation")
+	}
+	nan := mat.FromRows([][]float64{{math.NaN()}})
+	if err := Validate(nan); err == nil {
+		t.Fatal("NaN should fail validation")
+	}
+}
+
+// Property: for any non-negative traffic matrix, RSCA is within [-1, 1]
+// (the paper's Section 4.1 claim motivating the transform).
+func TestRSCABoundedProperty(t *testing.T) {
+	f := func(cells [12]uint8) bool {
+		m := mat.NewDense(3, 4)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				m.Set(i, j, float64(cells[i*4+j]))
+			}
+		}
+		return Validate(RSCA(m)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RCA is scale-invariant — multiplying all traffic by a constant
+// leaves the index unchanged.
+func TestRCAScaleInvarianceProperty(t *testing.T) {
+	f := func(cells [6]uint8, scaleRaw uint8) bool {
+		scale := float64(scaleRaw%100) + 1
+		a := mat.NewDense(2, 3)
+		b := mat.NewDense(2, 3)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				v := float64(cells[i*3+j]) + 1
+				a.Set(i, j, v)
+				b.Set(i, j, v*scale)
+			}
+		}
+		ra, rb := RCA(a), RCA(b)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 3; j++ {
+				if math.Abs(ra.At(i, j)-rb.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRSCA500x73(b *testing.B) {
+	m := mat.NewDense(500, 73)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, float64((i*73+j)%991)+1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RSCA(m)
+	}
+}

@@ -1,0 +1,313 @@
+// Package report renders the reproduction's tables and figures as plain
+// text and CSV: aligned tables (Table 1), ASCII heatmaps (Figs. 4, 10,
+// 11), histogram sparklines (Fig. 1), dendrogram outlines (Fig. 3), and
+// Sankey-style flow listings (Fig. 6).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var rule []string
+		for i := 0; i < cols; i++ {
+			rule = append(rule, strings.Repeat("-", widths[i]))
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with quoted cells.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// shades maps intensity in [0,1] to a glyph, dark-to-light semantics: the
+// heavier the glyph the larger the value.
+var shades = []byte(" .:-=+*#%@")
+
+// Shade returns the glyph for an intensity in [0,1].
+func Shade(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(shades)-1))
+	return shades[idx]
+}
+
+// DivergingShade maps [-1,1] to glyphs with distinct under/over alphabets,
+// used for RSCA heatmaps: lowercase letters for negative (under-use),
+// uppercase for positive (over-use), '·' near zero.
+func DivergingShade(v float64) byte {
+	switch {
+	case v > 0.6:
+		return 'X'
+	case v > 0.3:
+		return 'x'
+	case v > 0.1:
+		return '+'
+	case v >= -0.1:
+		return '.'
+	case v >= -0.3:
+		return '-'
+	case v >= -0.6:
+		return 'o'
+	default:
+		return 'O'
+	}
+}
+
+// Heatmap renders a matrix of values as ASCII art with row labels. When
+// diverging is true values are expected in [-1,1] (RSCA); otherwise rows
+// are normalized to their own maximum, matching the paper's "normalized
+// median traffic" presentation.
+func Heatmap(title string, rowLabels []string, values [][]float64, diverging bool) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	labelWidth := 0
+	for _, l := range rowLabels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelWidth, label)
+		if diverging {
+			for _, v := range row {
+				b.WriteByte(DivergingShade(v))
+			}
+		} else {
+			maxV := 0.0
+			for _, v := range row {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			for _, v := range row {
+				if maxV > 0 {
+					b.WriteByte(Shade(v / maxV))
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Histogram renders bin densities as a vertical-bar sparkline with an
+// axis legend.
+func Histogram(title string, density []float64, lo, hi float64) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	maxD := 0.0
+	for _, d := range density {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	b.WriteByte('[')
+	for _, d := range density {
+		if maxD > 0 {
+			b.WriteByte(Shade(d / maxD))
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte(']')
+	fmt.Fprintf(&b, "  range [%.3g, %.3g]\n", lo, hi)
+	return b.String()
+}
+
+// Flow is one cluster → environment stream of the Fig. 6 Sankey diagram.
+type Flow struct {
+	From  string
+	To    string
+	Count int
+}
+
+// Sankey renders flows as a sorted text listing with proportional bars.
+func Sankey(title string, flows []Flow) string {
+	sorted := make([]Flow, len(flows))
+	copy(sorted, flows)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Count > sorted[j].Count })
+	maxCount := 1
+	for _, f := range sorted {
+		if f.Count > maxCount {
+			maxCount = f.Count
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, f := range sorted {
+		if f.Count == 0 {
+			continue
+		}
+		barLen := f.Count * 40 / maxCount
+		if barLen == 0 {
+			barLen = 1
+		}
+		fmt.Fprintf(&b, "%-22s -> %-20s %5d %s\n", f.From, f.To, f.Count, strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal bar chart of non-negative values.
+func Bar(title string, labels []string, values []float64) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	maxV := 0.0
+	labelWidth := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		barLen := 0
+		if maxV > 0 {
+			barLen = int(v / maxV * 40)
+		}
+		fmt.Fprintf(&b, "%-*s %8.4g %s\n", labelWidth, label, v, strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Dendrogram renders a compressed outline of the top merges of a linkage:
+// the last `levels` merges with their heights, which is what Fig. 3's
+// upper structure shows.
+type DendrogramNode struct {
+	Label  string
+	Height float64
+	Leaves int
+}
+
+// DendrogramOutline renders top merge nodes from root downwards.
+func DendrogramOutline(title string, nodes []DendrogramNode) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "%s- %s (height %.3f, %d antennas)\n",
+			strings.Repeat("  ", i), n.Label, n.Height, n.Leaves)
+	}
+	return b.String()
+}

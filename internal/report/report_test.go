@@ -1,0 +1,141 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Counts", "Env", "N")
+	tb.AddRow("Metro", 1794)
+	tb.AddRow("Trains", 434)
+	out := tb.String()
+	if !strings.Contains(out, "Counts") || !strings.Contains(out, "Metro") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: "Metro" and "Trains" rows start at column 0.
+	if !strings.HasPrefix(lines[3], "Metro") || !strings.HasPrefix(lines[4], "Trains") {
+		t.Fatalf("row alignment:\n%s", out)
+	}
+}
+
+func TestTableFloatsCompact(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.123456789)
+	if !strings.Contains(tb.String(), "0.1235") {
+		t.Fatalf("float formatting: %s", tb.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`with "quote"`, "with, comma")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with ""quote"""`) {
+		t.Fatalf("quote escaping: %s", csv)
+	}
+	if !strings.Contains(csv, `"with, comma"`) {
+		t.Fatalf("comma quoting: %s", csv)
+	}
+}
+
+func TestShadeBounds(t *testing.T) {
+	if Shade(-5) != ' ' {
+		t.Fatal("negative should clamp to lightest")
+	}
+	if Shade(5) != '@' {
+		t.Fatal("large should clamp to heaviest")
+	}
+	if Shade(0) == Shade(1) {
+		t.Fatal("extremes should differ")
+	}
+}
+
+func TestDivergingShade(t *testing.T) {
+	if DivergingShade(0.9) != 'X' || DivergingShade(-0.9) != 'O' {
+		t.Fatal("extreme glyphs")
+	}
+	if DivergingShade(0) != '.' {
+		t.Fatal("neutral glyph")
+	}
+	// Monotone ladder on the positive side.
+	if DivergingShade(0.2) == DivergingShade(0.5) {
+		t.Fatal("positive shades should differ")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("H", []string{"r0", "r1"}, [][]float64{{0, 1, 2}, {3, 0, 0}}, false)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("heatmap lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "r0") {
+		t.Fatalf("row label missing:\n%s", out)
+	}
+	// Row-max normalization: the 2 in row 0 renders as the heaviest glyph.
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("row max should be darkest:\n%s", out)
+	}
+}
+
+func TestHeatmapDiverging(t *testing.T) {
+	out := Heatmap("", []string{"r"}, [][]float64{{-0.9, 0, 0.9}}, true)
+	if !strings.Contains(out, "O") || !strings.Contains(out, "X") {
+		t.Fatalf("diverging glyphs missing: %s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("h", []float64{0.1, 0.8, 0.1}, -1, 1)
+	if !strings.Contains(out, "range [-1, 1]") {
+		t.Fatalf("legend missing: %s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatalf("peak glyph missing: %s", out)
+	}
+}
+
+func TestSankeySorted(t *testing.T) {
+	out := Sankey("flows", []Flow{
+		{"c1", "metro", 5},
+		{"c0", "metro", 50},
+		{"c2", "hotel", 0},
+	})
+	// Largest flow first; zero flows dropped.
+	first := strings.Index(out, "c0")
+	second := strings.Index(out, "c1")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("flow ordering:\n%s", out)
+	}
+	if strings.Contains(out, "c2") {
+		t.Fatalf("zero flow should be dropped:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("b", []string{"x", "y"}, []float64{1, 2})
+	if !strings.Contains(out, "x") || !strings.Contains(out, "####") {
+		t.Fatalf("bar chart:\n%s", out)
+	}
+}
+
+func TestDendrogramOutline(t *testing.T) {
+	out := DendrogramOutline("d", []DendrogramNode{
+		{Label: "root", Height: 10, Leaves: 100},
+		{Label: "orange", Height: 5, Leaves: 40},
+	})
+	if !strings.Contains(out, "root") || !strings.Contains(out, "orange") {
+		t.Fatalf("outline:\n%s", out)
+	}
+	// Indentation increases with depth.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Index(lines[2], "-") <= strings.Index(lines[1], "-") {
+		t.Fatalf("indentation:\n%s", out)
+	}
+}

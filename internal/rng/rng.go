@@ -1,0 +1,318 @@
+// Package rng provides deterministic pseudo-random number generation and the
+// sampling distributions needed by the synthetic nationwide traffic model.
+//
+// Everything in this package is seeded explicitly: two runs with the same
+// seed produce byte-identical datasets, which is what makes the experiment
+// harness reproducible. The core generator is splitmix64 (used for seeding)
+// feeding a xoshiro256** state, the same construction used by modern
+// standard libraries.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from a single 64-bit seed via splitmix64,
+// guaranteeing a well-mixed initial state even for small seeds.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives an independent child generator from the current state.
+// It advances the parent, so repeated calls yield distinct children.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Normal returns a sample from the standard normal distribution using the
+// Marsaglia polar method.
+func (r *Source) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalScaled returns a sample from N(mu, sigma^2).
+func (r *Source) NormalScaled(mu, sigma float64) float64 {
+	return mu + sigma*r.Normal()
+}
+
+// LogNormal returns a sample whose logarithm is N(mu, sigma^2). It is the
+// canonical model for per-antenna traffic volumes, which span orders of
+// magnitude in the measured network.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormalScaled(mu, sigma))
+}
+
+// Exponential returns a sample from Exp(rate).
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a sample from Poisson(lambda). For small lambda it uses
+// Knuth's product method; for large lambda the PTRS transformed-rejection
+// method keeps the cost O(1).
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS (Hörmann 1993).
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(lambda)-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Gamma returns a sample from Gamma(shape, 1) using the Marsaglia-Tsang
+// method; for shape < 1 it applies the standard boost trick.
+func (r *Source) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		return r.Gamma(shape+1) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills out with a sample from Dirichlet(alpha). The result sums
+// to 1. Zero or negative alpha entries yield a zero weight for that
+// component. It panics if len(out) != len(alpha).
+func (r *Source) Dirichlet(alpha []float64, out []float64) {
+	if len(out) != len(alpha) {
+		panic("rng: Dirichlet output length mismatch")
+	}
+	var sum float64
+	for i, a := range alpha {
+		if a <= 0 {
+			out[i] = 0
+			continue
+		}
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate: spread uniformly to keep the invariant sum==1.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Zipf returns ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, the classic heavy-tailed popularity law for mobile
+// services. The sampler precomputes the CDF; use NewZipf for repeated draws.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("rng: NewZipf requires n > 0 and s > 0")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Next returns the next Zipf-distributed rank.
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weights returns the normalized Zipf probability mass over the n ranks.
+func (z *Zipf) Weights() []float64 {
+	w := make([]float64, len(z.cdf))
+	prev := 0.0
+	for i, c := range z.cdf {
+		w[i] = c - prev
+		prev = c
+	}
+	return w
+}
+
+// Choice samples an index in [0, len(weights)) proportionally to the given
+// non-negative weights. It panics on an empty or all-zero weight vector.
+func (r *Source) Choice(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Choice with negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: Choice with zero total weight")
+	}
+	u := r.Float64() * sum
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

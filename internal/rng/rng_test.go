@@ -1,0 +1,364 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling children produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7) value %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal produced non-positive sample")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean %v too far from 0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 12, 80, 300} {
+		r := New(23)
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	if New(1).Poisson(0) != 0 {
+		t.Fatal("Poisson(0) should be 0")
+	}
+	if New(1).Poisson(-3) != 0 {
+		t.Fatal("Poisson(negative) should be 0")
+	}
+}
+
+func TestGammaMeanVariance(t *testing.T) {
+	for _, shape := range []float64{0.3, 1, 2.5, 9} {
+		r := New(29)
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := r.Gamma(shape)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.1*shape+0.05 {
+			t.Fatalf("Gamma(%v) variance %v", shape, variance)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(31)
+	alpha := []float64{0.5, 2, 1, 4, 0.1}
+	out := make([]float64, len(alpha))
+	for i := 0; i < 1000; i++ {
+		r.Dirichlet(alpha, out)
+		var sum float64
+		for _, v := range out {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sum %v != 1", sum)
+		}
+	}
+}
+
+func TestDirichletZeroAlpha(t *testing.T) {
+	r := New(37)
+	out := make([]float64, 3)
+	r.Dirichlet([]float64{0, 0, 0}, out)
+	for _, v := range out {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("degenerate Dirichlet should be uniform, got %v", out)
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Higher total concentration means samples hug the mean more tightly.
+	r := New(41)
+	mean := []float64{0.5, 0.3, 0.2}
+	spread := func(scale float64) float64 {
+		alpha := make([]float64, len(mean))
+		for i := range alpha {
+			alpha[i] = mean[i] * scale
+		}
+		out := make([]float64, len(mean))
+		var dev float64
+		for i := 0; i < 2000; i++ {
+			r.Dirichlet(alpha, out)
+			for j := range out {
+				d := out[j] - mean[j]
+				dev += d * d
+			}
+		}
+		return dev
+	}
+	if spread(200) >= spread(2) {
+		t.Fatal("higher concentration should reduce deviation from mean")
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	r := New(43)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	z := NewZipf(New(1), 73, 1.1)
+	w := z.Weights()
+	var sum float64
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d non-positive", i)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf weights sum %v", sum)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(47)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Choice(w)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("zero-weight option chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %v far from 3", ratio)
+	}
+}
+
+func TestChoicePanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for all-zero weights")
+		}
+	}()
+	New(1).Choice([]float64{0, 0})
+}
+
+// Property: Intn is always within bounds for any positive n and seed.
+func TestIntnRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dirichlet output always sums to 1 for positive alphas.
+func TestDirichletSumProperty(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		alpha := make([]float64, len(raw))
+		for i, v := range raw {
+			alpha[i] = float64(v%50)/10 + 0.1
+		}
+		out := make([]float64, len(alpha))
+		New(seed).Dirichlet(alpha, out)
+		var sum float64
+		for _, v := range out {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal()
+	}
+}
+
+func BenchmarkDirichlet73(b *testing.B) {
+	r := New(1)
+	alpha := make([]float64, 73)
+	for i := range alpha {
+		alpha[i] = 0.5
+	}
+	out := make([]float64, 73)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Dirichlet(alpha, out)
+	}
+}

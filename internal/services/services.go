@@ -1,0 +1,285 @@
+// Package services defines the catalog of M = 73 mobile services tracked in
+// the reproduction, mirroring Section 3 of the paper: "mobile applications
+// used throughout daily life related to activities such as social
+// networking, messaging, audio and video streaming, transportation,
+// professional activities, and well-being."
+//
+// Every service the paper names in its analysis (Spotify, Deezer, Mappy,
+// Waze, Snapchat, Microsoft Teams, Netflix, Google Play Store, ...) appears
+// here with the category and temporal affinity the paper attributes to it;
+// the remainder of the catalog is filled with representative services of the
+// same categories so that M matches the paper exactly.
+package services
+
+import "fmt"
+
+// Category groups services by the user activity they serve.
+type Category int
+
+const (
+	Music Category = iota
+	Navigation
+	Transport // transit schedules and transportation websites
+	SocialMedia
+	Messaging
+	VideoStreaming
+	Business
+	Email
+	Shopping
+	Sports
+	News
+	Gaming
+	WebPortal
+	Wellbeing
+	CloudStorage
+	DigitalDistribution
+	Entertainment
+	numCategories
+)
+
+var categoryNames = [...]string{
+	Music:               "music",
+	Navigation:          "navigation",
+	Transport:           "transport",
+	SocialMedia:         "social",
+	Messaging:           "messaging",
+	VideoStreaming:      "video-streaming",
+	Business:            "business",
+	Email:               "email",
+	Shopping:            "shopping",
+	Sports:              "sports",
+	News:                "news",
+	Gaming:              "gaming",
+	WebPortal:           "web-portal",
+	Wellbeing:           "wellbeing",
+	CloudStorage:        "cloud-storage",
+	DigitalDistribution: "digital-distribution",
+	Entertainment:       "entertainment",
+}
+
+// String returns the lowercase category label.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// NumCategories is the number of distinct service categories.
+const NumCategories = int(numCategories)
+
+// TemporalShape selects the within-day demand template a service gravitates
+// to, used by the synthetic generator and validated in the Fig. 11
+// reproduction.
+type TemporalShape int
+
+const (
+	// ShapeFlat follows the carrying antenna's own activity profile with no
+	// extra service-specific modulation.
+	ShapeFlat TemporalShape = iota
+	// ShapeCommute peaks at 7:30-9:30 and 17:30-19:30 on weekdays (Spotify,
+	// transit apps in the paper's orange group).
+	ShapeCommute
+	// ShapeWorkHours peaks 9:00-17:30 weekdays with a lunch dip recovery
+	// (Microsoft Teams, mail in cluster 3).
+	ShapeWorkHours
+	// ShapeEvening peaks 19:00-23:00 (Netflix and other streaming).
+	ShapeEvening
+	// ShapeNight carries unusual night mass (hotel/hospital streaming).
+	ShapeNight
+	// ShapePostEvent lags the venue peak by about two hours (Waze guiding
+	// event attendants home, per Section 6).
+	ShapePostEvent
+)
+
+// Service is one monitored mobile application.
+type Service struct {
+	// ID is the dense feature index of the service, 0..M-1.
+	ID int
+	// Name is the display name used in figures and reports.
+	Name string
+	// Category is the activity family of the service.
+	Category Category
+	// Shape is the temporal affinity used for Fig. 11 style analysis.
+	Shape TemporalShape
+	// BaseWeight scales the global popularity of the service relative to
+	// its Zipf rank; streaming >> messaging in bytes, per Section 4.1.
+	BaseWeight float64
+}
+
+// catalog lists the full M=73 service set. BaseWeight reflects that "some
+// applications intrinsically produce a larger volume of traffic than
+// others, e.g., streaming services generate demands that can be orders of
+// magnitude larger compared to those induced by texting applications".
+var catalog = []Service{
+	// Music (paper: Spotify, Soundcloud, Deezer, Apple Music).
+	{Name: "Spotify", Category: Music, Shape: ShapeCommute, BaseWeight: 8},
+	{Name: "SoundCloud", Category: Music, Shape: ShapeCommute, BaseWeight: 3},
+	{Name: "Deezer", Category: Music, Shape: ShapeCommute, BaseWeight: 4},
+	{Name: "Apple Music", Category: Music, Shape: ShapeCommute, BaseWeight: 4},
+	{Name: "Radio Streaming", Category: Music, Shape: ShapeCommute, BaseWeight: 2},
+
+	// Navigation and transport (paper: Mappy, Google Maps, Waze,
+	// transportation websites).
+	{Name: "Google Maps", Category: Navigation, Shape: ShapeCommute, BaseWeight: 3},
+	{Name: "Mappy", Category: Navigation, Shape: ShapeCommute, BaseWeight: 1},
+	{Name: "Waze", Category: Navigation, Shape: ShapePostEvent, BaseWeight: 2},
+	{Name: "Transportation Websites", Category: Transport, Shape: ShapeCommute, BaseWeight: 1.5},
+	{Name: "SNCF Connect", Category: Transport, Shape: ShapeCommute, BaseWeight: 1.5},
+	{Name: "RATP", Category: Transport, Shape: ShapeCommute, BaseWeight: 1.2},
+	{Name: "Ride Hailing", Category: Transport, Shape: ShapePostEvent, BaseWeight: 1},
+
+	// Social media (paper: Snapchat, Twitter, Giphy).
+	{Name: "Facebook", Category: SocialMedia, Shape: ShapeFlat, BaseWeight: 9},
+	{Name: "Instagram", Category: SocialMedia, Shape: ShapeFlat, BaseWeight: 10},
+	{Name: "Snapchat", Category: SocialMedia, Shape: ShapeFlat, BaseWeight: 7},
+	{Name: "Twitter", Category: SocialMedia, Shape: ShapeFlat, BaseWeight: 5},
+	{Name: "TikTok", Category: SocialMedia, Shape: ShapeEvening, BaseWeight: 10},
+	{Name: "Giphy", Category: SocialMedia, Shape: ShapeFlat, BaseWeight: 1},
+	{Name: "Pinterest", Category: SocialMedia, Shape: ShapeEvening, BaseWeight: 2},
+	{Name: "Reddit", Category: SocialMedia, Shape: ShapeEvening, BaseWeight: 2},
+
+	// Messaging (paper: WhatsApp, messaging activities).
+	{Name: "WhatsApp", Category: Messaging, Shape: ShapeFlat, BaseWeight: 3},
+	{Name: "Messenger", Category: Messaging, Shape: ShapeFlat, BaseWeight: 2},
+	{Name: "Telegram", Category: Messaging, Shape: ShapeFlat, BaseWeight: 1.5},
+	{Name: "Signal", Category: Messaging, Shape: ShapeFlat, BaseWeight: 0.8},
+	{Name: "iMessage", Category: Messaging, Shape: ShapeFlat, BaseWeight: 1},
+
+	// Video streaming (paper: Netflix, Disney+, Amazon Prime Video, Canal+).
+	{Name: "Netflix", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 14},
+	{Name: "YouTube", Category: VideoStreaming, Shape: ShapeFlat, BaseWeight: 15},
+	{Name: "Disney+", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 7},
+	{Name: "Amazon Prime Video", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 7},
+	{Name: "Canal+", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 4},
+	{Name: "Twitch", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 5},
+	{Name: "MyTF1", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 3},
+	{Name: "France TV", Category: VideoStreaming, Shape: ShapeEvening, BaseWeight: 3},
+
+	// Business / professional (paper: Microsoft Teams, LinkedIn).
+	{Name: "Microsoft Teams", Category: Business, Shape: ShapeWorkHours, BaseWeight: 4},
+	{Name: "LinkedIn", Category: Business, Shape: ShapeWorkHours, BaseWeight: 2},
+	{Name: "Zoom", Category: Business, Shape: ShapeWorkHours, BaseWeight: 3},
+	{Name: "Slack", Category: Business, Shape: ShapeWorkHours, BaseWeight: 1.5},
+	{Name: "Office 365", Category: Business, Shape: ShapeWorkHours, BaseWeight: 2.5},
+	{Name: "VPN / Remote Access", Category: Business, Shape: ShapeWorkHours, BaseWeight: 2},
+	{Name: "Salesforce", Category: Business, Shape: ShapeWorkHours, BaseWeight: 1},
+
+	// Email (paper: "emailing services").
+	{Name: "Gmail", Category: Email, Shape: ShapeWorkHours, BaseWeight: 1.5},
+	{Name: "Outlook", Category: Email, Shape: ShapeWorkHours, BaseWeight: 1.5},
+	{Name: "Orange Mail", Category: Email, Shape: ShapeFlat, BaseWeight: 0.8},
+	{Name: "Yahoo Mail", Category: Email, Shape: ShapeFlat, BaseWeight: 0.5},
+
+	// Shopping (paper: shopping websites, Google Play Store retail use).
+	{Name: "Amazon Shopping", Category: Shopping, Shape: ShapeFlat, BaseWeight: 2},
+	{Name: "Shopping Websites", Category: Shopping, Shape: ShapeFlat, BaseWeight: 1.5},
+	{Name: "Vinted", Category: Shopping, Shape: ShapeEvening, BaseWeight: 1.5},
+	{Name: "Leboncoin", Category: Shopping, Shape: ShapeFlat, BaseWeight: 1.5},
+	{Name: "AliExpress", Category: Shopping, Shape: ShapeEvening, BaseWeight: 1},
+
+	// Sports (paper: sports websites).
+	{Name: "Sports Websites", Category: Sports, Shape: ShapeFlat, BaseWeight: 1.5},
+	{Name: "L'Equipe", Category: Sports, Shape: ShapeFlat, BaseWeight: 1.2},
+	{Name: "Live Score Apps", Category: Sports, Shape: ShapeFlat, BaseWeight: 0.8},
+	{Name: "Sports Betting", Category: Sports, Shape: ShapeFlat, BaseWeight: 1},
+
+	// News and portals (paper: Yahoo, entertainment websites).
+	{Name: "Yahoo", Category: WebPortal, Shape: ShapeFlat, BaseWeight: 1},
+	{Name: "Google Search", Category: WebPortal, Shape: ShapeFlat, BaseWeight: 3},
+	{Name: "Le Monde", Category: News, Shape: ShapeCommute, BaseWeight: 1},
+	{Name: "Le Figaro", Category: News, Shape: ShapeCommute, BaseWeight: 0.8},
+	{Name: "BFM TV", Category: News, Shape: ShapeFlat, BaseWeight: 1.5},
+
+	// Gaming.
+	{Name: "Mobile Gaming", Category: Gaming, Shape: ShapeEvening, BaseWeight: 3},
+	{Name: "Fortnite", Category: Gaming, Shape: ShapeEvening, BaseWeight: 2},
+	{Name: "Candy Crush", Category: Gaming, Shape: ShapeCommute, BaseWeight: 1},
+
+	// Entertainment websites (paper: entertainment websites under-used in
+	// cluster 4).
+	{Name: "Entertainment Websites", Category: Entertainment, Shape: ShapeFlat, BaseWeight: 1.2},
+	{Name: "Ticketing", Category: Entertainment, Shape: ShapeFlat, BaseWeight: 0.6},
+	{Name: "Dating Apps", Category: Entertainment, Shape: ShapeEvening, BaseWeight: 1},
+
+	// Wellbeing (paper: well-being activities).
+	{Name: "Fitness Tracking", Category: Wellbeing, Shape: ShapeCommute, BaseWeight: 0.6},
+	{Name: "Meditation Apps", Category: Wellbeing, Shape: ShapeNight, BaseWeight: 0.4},
+	{Name: "Health Portal", Category: Wellbeing, Shape: ShapeWorkHours, BaseWeight: 0.5},
+
+	// Cloud and distribution (paper: Google Play Store defining cluster 2).
+	{Name: "Google Play Store", Category: DigitalDistribution, Shape: ShapeFlat, BaseWeight: 3},
+	{Name: "Apple App Store", Category: DigitalDistribution, Shape: ShapeFlat, BaseWeight: 2.5},
+	{Name: "OS Updates", Category: DigitalDistribution, Shape: ShapeNight, BaseWeight: 2},
+	{Name: "iCloud", Category: CloudStorage, Shape: ShapeNight, BaseWeight: 1.5},
+	{Name: "Google Drive", Category: CloudStorage, Shape: ShapeWorkHours, BaseWeight: 1.5},
+	{Name: "Dropbox", Category: CloudStorage, Shape: ShapeWorkHours, BaseWeight: 0.8},
+}
+
+// M is the number of mobile services, matching the paper's feature count.
+const M = 73
+
+func init() {
+	if len(catalog) != M {
+		panic(fmt.Sprintf("services: catalog has %d entries, want %d", len(catalog), M))
+	}
+	seen := make(map[string]bool, M)
+	for i := range catalog {
+		catalog[i].ID = i
+		if seen[catalog[i].Name] {
+			panic("services: duplicate service name " + catalog[i].Name)
+		}
+		seen[catalog[i].Name] = true
+		if catalog[i].BaseWeight <= 0 {
+			panic("services: non-positive base weight for " + catalog[i].Name)
+		}
+	}
+}
+
+// All returns the full catalog in feature order. The returned slice is
+// shared; callers must not modify it.
+func All() []Service { return catalog }
+
+// Get returns the service with the given feature index.
+func Get(id int) Service { return catalog[id] }
+
+// Names returns the service names in feature order.
+func Names() []string {
+	names := make([]string, M)
+	for i, s := range catalog {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the service with the given name.
+func ByName(name string) (Service, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Service{}, false
+}
+
+// IDsByCategory returns the feature indices of every service in the given
+// category, in feature order.
+func IDsByCategory(c Category) []int {
+	var out []int
+	for _, s := range catalog {
+		if s.Category == c {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// MustID returns the feature index of the named service and panics when the
+// name is unknown — reserved for static references to paper-named services.
+func MustID(name string) int {
+	s, ok := ByName(name)
+	if !ok {
+		panic("services: unknown service " + name)
+	}
+	return s.ID
+}

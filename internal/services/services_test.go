@@ -1,0 +1,137 @@
+package services
+
+import (
+	"testing"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if len(All()) != M {
+		t.Fatalf("catalog size %d, want %d", len(All()), M)
+	}
+	if M != 73 {
+		t.Fatalf("M = %d, the paper uses 73 services", M)
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	for i, s := range All() {
+		if s.ID != i {
+			t.Fatalf("service %q has ID %d at index %d", s.Name, s.ID, i)
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate service name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPaperNamedServicesPresent(t *testing.T) {
+	// Every service the paper's Figures 5 and 11 discuss must exist.
+	named := []string{
+		"Spotify", "SoundCloud", "Deezer", "Apple Music",
+		"Mappy", "Google Maps", "Waze", "Transportation Websites",
+		"Snapchat", "Twitter", "Giphy", "WhatsApp",
+		"Netflix", "Disney+", "Amazon Prime Video", "Canal+",
+		"Microsoft Teams", "LinkedIn", "Google Play Store",
+		"Yahoo", "Sports Websites", "Shopping Websites",
+		"Entertainment Websites",
+	}
+	for _, n := range named {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("paper-named service %q missing from catalog", n)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("Nonexistent App"); ok {
+		t.Fatal("ByName should fail for unknown names")
+	}
+}
+
+func TestMustIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustID("Nonexistent App")
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		if Get(s.ID).Name != s.Name {
+			t.Fatalf("Get(%d) mismatch", s.ID)
+		}
+	}
+}
+
+func TestIDsByCategoryPartition(t *testing.T) {
+	total := 0
+	seen := make(map[int]bool)
+	for c := Category(0); int(c) < NumCategories; c++ {
+		for _, id := range IDsByCategory(c) {
+			if Get(id).Category != c {
+				t.Fatalf("service %d category mismatch", id)
+			}
+			if seen[id] {
+				t.Fatalf("service %d in two categories", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != M {
+		t.Fatalf("categories cover %d of %d services", total, M)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Music.String() != "music" || Business.String() != "business" {
+		t.Fatal("category labels")
+	}
+	if Category(99).String() != "category(99)" {
+		t.Fatal("out-of-range category label")
+	}
+}
+
+func TestTemporalShapesAssigned(t *testing.T) {
+	// The generator relies on at least one service per key shape.
+	shapes := map[TemporalShape]int{}
+	for _, s := range All() {
+		shapes[s.Shape]++
+	}
+	for _, want := range []TemporalShape{ShapeFlat, ShapeCommute, ShapeWorkHours, ShapeEvening, ShapeNight, ShapePostEvent} {
+		if shapes[want] == 0 {
+			t.Fatalf("no service uses shape %d", want)
+		}
+	}
+}
+
+func TestBaseWeightsPositive(t *testing.T) {
+	for _, s := range All() {
+		if s.BaseWeight <= 0 {
+			t.Fatalf("service %q has non-positive weight", s.Name)
+		}
+	}
+}
+
+func TestStreamingOutweighsMessaging(t *testing.T) {
+	// Section 4.1: streaming demands are much larger than texting demands.
+	var streaming, messaging float64
+	for _, id := range IDsByCategory(VideoStreaming) {
+		streaming += Get(id).BaseWeight
+	}
+	for _, id := range IDsByCategory(Messaging) {
+		messaging += Get(id).BaseWeight
+	}
+	if streaming < 3*messaging {
+		t.Fatalf("streaming weight %v should dominate messaging %v", streaming, messaging)
+	}
+}

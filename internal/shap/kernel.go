@@ -1,0 +1,213 @@
+package shap
+
+import (
+	"math"
+
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// KernelConfig parameterizes the model-agnostic KernelSHAP approximation.
+type KernelConfig struct {
+	// Samples is the number of random coalitions drawn when exhaustive
+	// enumeration (2^M coalitions) is too large. When 2^M <= Samples the
+	// solver enumerates every coalition exactly.
+	Samples int
+	// Seed drives coalition sampling.
+	Seed uint64
+}
+
+// KernelSHAP approximates Shapley values of an arbitrary model function by
+// fitting the weighted linear explanation model of Section 5.1.1 (Eq. 3)
+// over coalitions. Missing features are marginalized over the background
+// rows (the "replace with a peer feature random value" device the paper
+// describes). model must return f for a full feature vector.
+func KernelSHAP(model func([]float64) float64, x []float64, background *mat.Dense, cfg KernelConfig) Explanation {
+	m := len(x)
+	if cfg.Samples <= 0 {
+		cfg.Samples = 2048
+	}
+	r := rng.New(cfg.Seed)
+
+	// Value of a coalition: average model output with coalition features
+	// from x and the rest from each background row.
+	work := make([]float64, m)
+	coalitionValue := func(mask []bool) float64 {
+		var sum float64
+		for b := 0; b < background.Rows(); b++ {
+			bg := background.Row(b)
+			for j := 0; j < m; j++ {
+				if mask[j] {
+					work[j] = x[j]
+				} else {
+					work[j] = bg[j]
+				}
+			}
+			sum += model(work)
+		}
+		return sum / float64(background.Rows())
+	}
+
+	full := make([]bool, m)
+	empty := make([]bool, m)
+	for j := range full {
+		full[j] = true
+	}
+	fx := coalitionValue(full)
+	base := coalitionValue(empty)
+
+	// Assemble coalition design matrix. Enumerate exhaustively when
+	// feasible, otherwise sample sizes from the Shapley kernel
+	// distribution and fill coalitions uniformly within a size.
+	type row struct {
+		mask   []bool
+		weight float64
+	}
+	var rows []row
+	exhaustive := m <= 20 && (1<<uint(m)) <= cfg.Samples+2
+	if exhaustive {
+		for bits := 1; bits < (1<<uint(m))-1; bits++ {
+			mask := make([]bool, m)
+			size := 0
+			for j := 0; j < m; j++ {
+				if bits&(1<<uint(j)) != 0 {
+					mask[j] = true
+					size++
+				}
+			}
+			rows = append(rows, row{mask, kernelWeight(m, size)})
+		}
+	} else {
+		sizeWeights := make([]float64, m-1) // sizes 1..m-1
+		for s := 1; s < m; s++ {
+			sizeWeights[s-1] = 1 / (float64(s) * float64(m-s))
+		}
+		for i := 0; i < cfg.Samples; i++ {
+			size := 1 + r.Choice(sizeWeights)
+			mask := make([]bool, m)
+			for _, j := range r.Perm(m)[:size] {
+				mask[j] = true
+			}
+			// Sampling already follows the kernel across sizes; within
+			// the solver each draw carries unit weight.
+			rows = append(rows, row{mask, 1})
+		}
+	}
+
+	// Regression with the efficiency constraint eliminated, the standard
+	// device: phi_m = (fx - base) - Σ other phi, so the design columns
+	// are z_j - z_m for j < m and the target is v(S) - base - z_m(fx-base).
+	y := make([]float64, len(rows))
+	w := make([]float64, len(rows))
+	d2 := mat.NewDense(len(rows), m-1)
+	for i, rw := range rows {
+		v := coalitionValue(rw.mask)
+		zm := 0.0
+		if rw.mask[m-1] {
+			zm = 1
+		}
+		for j := 0; j < m-1; j++ {
+			zj := 0.0
+			if rw.mask[j] {
+				zj = 1
+			}
+			d2.Set(i, j, zj-zm)
+		}
+		y[i] = v - base - zm*(fx-base)
+		w[i] = rw.weight
+	}
+	phiHead, err := mat.WeightedLeastSquares(d2, y, w)
+	phi := make([]float64, m)
+	if err == nil {
+		var sum float64
+		for j := 0; j < m-1; j++ {
+			phi[j] = phiHead[j]
+			sum += phiHead[j]
+		}
+		phi[m-1] = (fx - base) - sum
+	} else {
+		// Degenerate design (e.g. constant model): spread uniformly.
+		for j := range phi {
+			phi[j] = (fx - base) / float64(m)
+		}
+	}
+	return Explanation{Base: base, Phi: phi}
+}
+
+// kernelWeight is the Shapley kernel π(S) = (M-1) / (C(M,|S|)·|S|·(M-|S|)).
+func kernelWeight(m, size int) float64 {
+	return float64(m-1) / (binom(m, size) * float64(size) * float64(m-size))
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// KernelSHAPForest is a convenience wrapper explaining a forest's class
+// probability with KernelSHAP.
+func KernelSHAPForest(f *forest.Forest, x []float64, class int, background *mat.Dense, cfg KernelConfig) Explanation {
+	return KernelSHAP(func(v []float64) float64 {
+		return f.PredictProbs(v)[class]
+	}, x, background, cfg)
+}
+
+// BruteForceMarginalSHAP computes exact Shapley values under the
+// *marginal* (interventional) expectation that KernelSHAP targets:
+// coalition value = mean over background rows of f(x_S, b_~S). It verifies
+// KernelSHAP on small feature counts.
+func BruteForceMarginalSHAP(model func([]float64) float64, x []float64, background *mat.Dense) Explanation {
+	m := len(x)
+	if m > 16 {
+		panic("shap: marginal brute force limited to 16 features")
+	}
+	work := make([]float64, m)
+	value := func(mask int) float64 {
+		var sum float64
+		for b := 0; b < background.Rows(); b++ {
+			bg := background.Row(b)
+			for j := 0; j < m; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					work[j] = x[j]
+				} else {
+					work[j] = bg[j]
+				}
+			}
+			sum += model(work)
+		}
+		return sum / float64(background.Rows())
+	}
+	total := 1 << uint(m)
+	values := make([]float64, total)
+	for mask := 0; mask < total; mask++ {
+		values[mask] = value(mask)
+	}
+	fact := make([]float64, m+1)
+	fact[0] = 1
+	for i := 1; i <= m; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	phi := make([]float64, m)
+	for i := 0; i < m; i++ {
+		bit := 1 << uint(i)
+		for mask := 0; mask < total; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			s := popcount(mask)
+			weight := fact[s] * fact[m-s-1] / fact[m]
+			phi[i] += weight * (values[mask|bit] - values[mask])
+		}
+	}
+	if math.IsNaN(phi[0]) {
+		panic("shap: NaN in brute-force marginal Shapley")
+	}
+	return Explanation{Base: values[0], Phi: phi}
+}

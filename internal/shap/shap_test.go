@@ -1,0 +1,355 @@
+package shap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// trainToy builds a small forest on a separable 2-class problem.
+func trainToy(nFeatures, trees int, seed uint64) (*forest.Forest, *mat.Dense, []int) {
+	r := rng.New(seed)
+	n := 120
+	x := mat.NewDense(n, nFeatures)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		row := x.Row(i)
+		for j := range row {
+			row[j] = r.Normal()
+		}
+		// Class signal on features 0 and 1.
+		if c == 1 {
+			row[0] += 2.5
+			row[1] -= 2
+		}
+	}
+	f := forest.Train(x, y, 2, forest.Config{Trees: trees, Seed: seed, MaxDepth: 5})
+	return f, x, y
+}
+
+func TestTreeSHAPLocalAccuracy(t *testing.T) {
+	f, x, _ := trainToy(5, 10, 1)
+	for _, tree := range f.Trees {
+		for i := 0; i < 20; i++ {
+			row := x.Row(i)
+			for class := 0; class < 2; class++ {
+				e := TreeSHAP(tree, row, class, x.Cols())
+				pred := tree.PredictProbs(row)[class]
+				if math.Abs(e.Sum()-pred) > 1e-9 {
+					t.Fatalf("local accuracy violated: base+Σphi=%v, f(x)=%v", e.Sum(), pred)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeSHAPMatchesBruteForce(t *testing.T) {
+	f, x, _ := trainToy(6, 8, 3)
+	for _, tree := range f.Trees[:4] {
+		for i := 0; i < 10; i++ {
+			row := x.Row(i)
+			fast := TreeSHAP(tree, row, 1, x.Cols())
+			slow := BruteForceTreeSHAP(tree, row, 1, x.Cols())
+			if math.Abs(fast.Base-slow.Base) > 1e-9 {
+				t.Fatalf("base mismatch: %v vs %v", fast.Base, slow.Base)
+			}
+			if d := MaxAbsDiff(fast.Phi, slow.Phi); d > 1e-9 {
+				t.Fatalf("TreeSHAP deviates from brute force by %v\nfast=%v\nslow=%v", d, fast.Phi, slow.Phi)
+			}
+		}
+	}
+}
+
+func TestTreeSHAPRepeatedFeatureSplits(t *testing.T) {
+	// Deep tree on few features forces repeated splits on the same
+	// feature along one path — the trickiest TreeSHAP code path.
+	r := rng.New(7)
+	n := 200
+	x := mat.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := r.Float64() * 10
+		x.Set(i, 0, v)
+		x.Set(i, 1, r.Float64())
+		// Stripes: class flips along feature 0.
+		y[i] = int(v) % 2
+	}
+	tree := forest.BuildTree(x, y, nil, 2, forest.TreeConfig{}, rng.New(8))
+	for i := 0; i < 30; i++ {
+		row := x.Row(i)
+		fast := TreeSHAP(tree, row, 1, 2)
+		slow := BruteForceTreeSHAP(tree, row, 1, 2)
+		if d := MaxAbsDiff(fast.Phi, slow.Phi); d > 1e-9 {
+			t.Fatalf("repeated-split TreeSHAP off by %v", d)
+		}
+		pred := tree.PredictProbs(row)[1]
+		if math.Abs(fast.Sum()-pred) > 1e-9 {
+			t.Fatalf("local accuracy with repeated splits: %v vs %v", fast.Sum(), pred)
+		}
+	}
+}
+
+func TestForestSHAPLocalAccuracy(t *testing.T) {
+	f, x, _ := trainToy(5, 25, 11)
+	for i := 0; i < 15; i++ {
+		row := x.Row(i)
+		for class := 0; class < 2; class++ {
+			e := ForestSHAP(f, row, class, x.Cols())
+			pred := f.PredictProbs(row)[class]
+			if math.Abs(e.Sum()-pred) > 1e-9 {
+				t.Fatalf("forest local accuracy: %v vs %v", e.Sum(), pred)
+			}
+		}
+	}
+}
+
+func TestForestSHAPSignalFeaturesDominate(t *testing.T) {
+	f, x, y := trainToy(8, 30, 13)
+	meanAbs := make([]float64, 8)
+	for i := 0; i < 60; i++ {
+		e := ForestSHAP(f, x.Row(i), 1, 8)
+		for j, p := range e.Phi {
+			meanAbs[j] += math.Abs(p)
+		}
+	}
+	_ = y
+	// Features 0 and 1 carry the class signal; every noise feature must
+	// matter less.
+	for j := 2; j < 8; j++ {
+		if meanAbs[j] >= meanAbs[0] || meanAbs[j] >= meanAbs[1] {
+			t.Fatalf("noise feature %d importance %v rivals signal (%v, %v)",
+				j, meanAbs[j], meanAbs[0], meanAbs[1])
+		}
+	}
+}
+
+func TestSHAPClassesSumToZeroAcrossProbabilities(t *testing.T) {
+	// Probabilities sum to 1, so per-feature Shapley values summed over
+	// classes must vanish.
+	f, x, _ := trainToy(5, 12, 17)
+	for i := 0; i < 10; i++ {
+		row := x.Row(i)
+		e0 := ForestSHAP(f, row, 0, 5)
+		e1 := ForestSHAP(f, row, 1, 5)
+		for j := 0; j < 5; j++ {
+			if math.Abs(e0.Phi[j]+e1.Phi[j]) > 1e-9 {
+				t.Fatalf("class Shapley values don't cancel at feature %d", j)
+			}
+		}
+		if math.Abs(e0.Base+e1.Base-1) > 1e-9 {
+			t.Fatal("bases should sum to 1")
+		}
+	}
+}
+
+func TestKernelSHAPMatchesMarginalBruteForce(t *testing.T) {
+	f, x, _ := trainToy(5, 6, 19)
+	background := mat.NewDense(8, 5)
+	for i := 0; i < 8; i++ {
+		copy(background.Row(i), x.Row(i*3))
+	}
+	model := func(v []float64) float64 { return f.PredictProbs(v)[1] }
+	for i := 0; i < 5; i++ {
+		row := x.Row(40 + i)
+		// Exhaustive kernel (2^5 coalitions fit under the sample budget)
+		// must match exact marginal Shapley.
+		kern := KernelSHAP(model, row, background, KernelConfig{Samples: 64, Seed: 1})
+		exact := BruteForceMarginalSHAP(model, row, background)
+		if math.Abs(kern.Base-exact.Base) > 1e-6 {
+			t.Fatalf("kernel base %v vs %v", kern.Base, exact.Base)
+		}
+		if d := MaxAbsDiff(kern.Phi, exact.Phi); d > 1e-6 {
+			t.Fatalf("KernelSHAP off exact marginal Shapley by %v", d)
+		}
+	}
+}
+
+func TestKernelSHAPEfficiency(t *testing.T) {
+	// Base + Σphi must equal f(x) marginalized (efficiency), including in
+	// sampling mode.
+	f, x, _ := trainToy(7, 6, 23)
+	background := mat.NewDense(5, 7)
+	for i := 0; i < 5; i++ {
+		copy(background.Row(i), x.Row(i*2))
+	}
+	model := func(v []float64) float64 { return f.PredictProbs(v)[0] }
+	row := x.Row(50)
+	e := KernelSHAP(model, row, background, KernelConfig{Samples: 40, Seed: 9})
+	if math.Abs(e.Sum()-model(row)) > 1e-9 {
+		t.Fatalf("efficiency violated: %v vs %v", e.Sum(), model(row))
+	}
+}
+
+func TestKernelSHAPLinearModelExact(t *testing.T) {
+	// For a linear model with an all-zeros background, phi_j = w_j x_j.
+	weights := []float64{2, -1, 0.5, 0}
+	model := func(v []float64) float64 {
+		var s float64
+		for j, w := range weights {
+			s += w * v[j]
+		}
+		return s
+	}
+	background := mat.NewDense(1, 4) // zeros
+	x := []float64{1, 2, -3, 4}
+	e := KernelSHAP(model, x, background, KernelConfig{Samples: 64, Seed: 2})
+	want := []float64{2, -2, -1.5, 0}
+	for j := range want {
+		if math.Abs(e.Phi[j]-want[j]) > 1e-6 {
+			t.Fatalf("linear model phi = %v, want %v", e.Phi, want)
+		}
+	}
+}
+
+func TestBruteForcePanicsOnLargeM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f, x, _ := trainToy(5, 1, 1)
+	BruteForceTreeSHAP(f.Trees[0], x.Row(0), 0, 25)
+}
+
+func TestSummarize(t *testing.T) {
+	f, x, y := trainToy(6, 20, 29)
+	// Explain only class-1 samples for class 1, like the per-cluster
+	// beeswarms of Fig. 5.
+	var idx []int
+	for i, c := range y {
+		if c == 1 {
+			idx = append(idx, i)
+		}
+	}
+	sums := Summarize(f, x, idx, 3)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	s1 := sums[1]
+	if len(s1.Importances) != 3 {
+		t.Fatalf("topK not applied: %d", len(s1.Importances))
+	}
+	// Importances sorted descending.
+	for i := 1; i < len(s1.Importances); i++ {
+		if s1.Importances[i].MeanAbs > s1.Importances[i-1].MeanAbs {
+			t.Fatal("importances not sorted")
+		}
+	}
+	// Signal features 0 and 1 should occupy the top two slots.
+	top2 := map[int]bool{s1.Importances[0].Feature: true, s1.Importances[1].Feature: true}
+	if !top2[0] || !top2[1] {
+		t.Fatalf("signal features not on top: %+v", s1.Importances[:2])
+	}
+	// Class 1 has feature 0 shifted +2.5: high values → membership, so
+	// the value correlation should be positive (over-utilization).
+	over, found := s1.OverUtilized(0)
+	if !found || !over {
+		t.Fatal("feature 0 should read as over-utilized for class 1")
+	}
+	// Feature 1 shifted -2: under-utilization.
+	over, found = s1.OverUtilized(1)
+	if !found || over {
+		t.Fatal("feature 1 should read as under-utilized for class 1")
+	}
+	// Beeswarm points present for kept features.
+	if len(s1.Points[s1.Importances[0].Feature]) != len(idx) {
+		t.Fatal("beeswarm points missing")
+	}
+	if s1.Rank(s1.Importances[0].Feature) != 0 {
+		t.Fatal("Rank of top feature should be 0")
+	}
+	if s1.Rank(99) != -1 {
+		t.Fatal("Rank of absent feature should be -1")
+	}
+}
+
+// Property: TreeSHAP satisfies local accuracy on random trees and inputs.
+func TestTreeSHAPLocalAccuracyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 40
+		x := mat.NewDense(n, 4)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			y[i] = r.Intn(3)
+			for j := 0; j < 4; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		tree := forest.BuildTree(x, y, nil, 3, forest.TreeConfig{}, rng.New(seed+1))
+		for i := 0; i < 5; i++ {
+			row := x.Row(r.Intn(n))
+			class := r.Intn(3)
+			e := TreeSHAP(tree, row, class, 4)
+			if math.Abs(e.Sum()-tree.PredictProbs(row)[class]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TreeSHAP equals brute force on random small trees.
+func TestTreeSHAPBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 30
+		x := mat.NewDense(n, 3)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			y[i] = r.Intn(2)
+			for j := 0; j < 3; j++ {
+				x.Set(i, j, r.Normal())
+			}
+		}
+		tree := forest.BuildTree(x, y, nil, 2, forest.TreeConfig{MaxDepth: 6}, rng.New(seed+1))
+		row := x.Row(r.Intn(n))
+		fast := TreeSHAP(tree, row, 1, 3)
+		slow := BruteForceTreeSHAP(tree, row, 1, 3)
+		return MaxAbsDiff(fast.Phi, slow.Phi) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSHAP(b *testing.B) {
+	f, x, _ := trainToy(20, 1, 1)
+	tree := f.Trees[0]
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TreeSHAP(tree, row, 1, 20)
+	}
+}
+
+func BenchmarkForestSHAP100Trees(b *testing.B) {
+	f, x, _ := trainToy(20, 100, 1)
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ForestSHAP(f, row, 1, 20)
+	}
+}
+
+func BenchmarkKernelSHAP(b *testing.B) {
+	f, x, _ := trainToy(10, 10, 1)
+	background := mat.NewDense(5, 10)
+	for i := 0; i < 5; i++ {
+		copy(background.Row(i), x.Row(i))
+	}
+	row := x.Row(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KernelSHAPForest(f, row, 1, background, KernelConfig{Samples: 200, Seed: 1})
+	}
+}

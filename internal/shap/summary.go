@@ -1,0 +1,229 @@
+package shap
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// FeatureImportance summarizes one feature's role in a class's SHAP
+// beeswarm (Fig. 5): the mean |phi| ranking metric, and the correlation
+// between feature values and Shapley values, whose sign separates
+// over-utilization (positive: high RSCA pushes towards the cluster) from
+// under-utilization (negative).
+type FeatureImportance struct {
+	// Feature is the feature (service) index.
+	Feature int
+	// MeanAbs is the mean absolute Shapley value — the beeswarm ranking
+	// key ("applications with high coefficient values influence cluster
+	// inference more").
+	MeanAbs float64
+	// ValueCorrelation is the Pearson correlation between the feature's
+	// values and its Shapley values across samples. Positive means high
+	// feature values push the prediction towards the class.
+	ValueCorrelation float64
+	// MeanValueWhenPositive is the mean feature value among samples whose
+	// Shapley value is positive; it directly answers "does membership
+	// require over- or under-utilizing this service?".
+	MeanValueWhenPositive float64
+}
+
+// ClassSummary is the full beeswarm summary of one class (cluster).
+type ClassSummary struct {
+	Class int
+	// Importances is sorted by descending MeanAbs.
+	Importances []FeatureImportance
+	// Points holds the raw beeswarm scatter (feature → samples' (value,
+	// phi) pairs) for the features kept by topK.
+	Points map[int][]BeeswarmPoint
+}
+
+// BeeswarmPoint is one sample's (feature value, Shapley value) pair.
+type BeeswarmPoint struct {
+	Value float64
+	Phi   float64
+}
+
+// Summarize computes per-class SHAP summaries for the given samples using
+// TreeSHAP over the surrogate forest. sampleIdx selects the explained rows
+// (nil = all rows); topK bounds the per-class feature list (0 = all, the
+// paper shows 25).
+func Summarize(f *forest.Forest, x *mat.Dense, sampleIdx []int, topK int) []ClassSummary {
+	if sampleIdx == nil {
+		sampleIdx = make([]int, x.Rows())
+		for i := range sampleIdx {
+			sampleIdx[i] = i
+		}
+	}
+	m := x.Cols()
+	nSamples := len(sampleIdx)
+
+	// phiPerClass[c] is an nSamples × m matrix of Shapley values.
+	phiPerClass := make([]*mat.Dense, f.Classes)
+	for c := range phiPerClass {
+		phiPerClass[c] = mat.NewDense(maxInt(nSamples, 1), m)
+	}
+	for si, rowIdx := range sampleIdx {
+		row := x.Row(rowIdx)
+		for c := 0; c < f.Classes; c++ {
+			e := ForestSHAP(f, row, c, m)
+			copy(phiPerClass[c].Row(si), e.Phi)
+		}
+	}
+	return summarizeFromPhi(x, sampleIdx, phiPerClass, topK)
+}
+
+func summarizeFromPhi(x *mat.Dense, sampleIdx []int, phiPerClass []*mat.Dense, topK int) []ClassSummary {
+	m := x.Cols()
+	nSamples := len(sampleIdx)
+	out := make([]ClassSummary, len(phiPerClass))
+	vals := make([]float64, nSamples)
+	phis := make([]float64, nSamples)
+	for c := range phiPerClass {
+		imps := make([]FeatureImportance, m)
+		for j := 0; j < m; j++ {
+			var absSum, posValSum float64
+			posCount := 0
+			for si, rowIdx := range sampleIdx {
+				v := x.At(rowIdx, j)
+				p := phiPerClass[c].At(si, j)
+				vals[si] = v
+				phis[si] = p
+				absSum += abs(p)
+				if p > 0 {
+					posValSum += v
+					posCount++
+				}
+			}
+			imp := FeatureImportance{
+				Feature:          j,
+				MeanAbs:          absSum / float64(maxInt(nSamples, 1)),
+				ValueCorrelation: stats.PearsonCorrelation(vals, phis),
+			}
+			if posCount > 0 {
+				imp.MeanValueWhenPositive = posValSum / float64(posCount)
+			}
+			imps[j] = imp
+		}
+		// Sort by descending mean |phi| (stable by feature id).
+		order := make([]float64, m)
+		for j, im := range imps {
+			order[j] = im.MeanAbs
+		}
+		rank := stats.RankDescending(order)
+		sorted := make([]FeatureImportance, m)
+		for i, j := range rank {
+			sorted[i] = imps[j]
+		}
+		if topK > 0 && topK < len(sorted) {
+			sorted = sorted[:topK]
+		}
+		points := make(map[int][]BeeswarmPoint, len(sorted))
+		for _, im := range sorted {
+			pts := make([]BeeswarmPoint, nSamples)
+			for si, rowIdx := range sampleIdx {
+				pts[si] = BeeswarmPoint{
+					Value: x.At(rowIdx, im.Feature),
+					Phi:   phiPerClass[c].At(si, im.Feature),
+				}
+			}
+			points[im.Feature] = pts
+		}
+		out[c] = ClassSummary{Class: c, Importances: sorted, Points: points}
+	}
+	return out
+}
+
+// SummarizeClass computes the beeswarm summary of a single class over the
+// given samples, explaining only that class's probability — the shape of
+// the paper's per-cluster Fig. 5 panels. It is far cheaper than Summarize
+// when only some classes matter.
+func SummarizeClass(f *forest.Forest, x *mat.Dense, class int, sampleIdx []int, topK int) ClassSummary {
+	if sampleIdx == nil {
+		sampleIdx = make([]int, x.Rows())
+		for i := range sampleIdx {
+			sampleIdx[i] = i
+		}
+	}
+	m := x.Cols()
+	phi := mat.NewDense(maxInt(len(sampleIdx), 1), m)
+	// Each sample's explanation is independent and writes its own row, so
+	// the computation parallelizes deterministically.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sampleIdx) {
+		workers = len(sampleIdx)
+	}
+	if workers <= 1 {
+		for si, rowIdx := range sampleIdx {
+			e := ForestSHAP(f, x.Row(rowIdx), class, m)
+			copy(phi.Row(si), e.Phi)
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range jobs {
+					e := ForestSHAP(f, x.Row(sampleIdx[si]), class, m)
+					copy(phi.Row(si), e.Phi)
+				}
+			}()
+		}
+		for si := range sampleIdx {
+			jobs <- si
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	phiPerClass := make([]*mat.Dense, class+1)
+	phiPerClass[class] = phi
+	for c := range phiPerClass {
+		if phiPerClass[c] == nil {
+			phiPerClass[c] = mat.NewDense(maxInt(len(sampleIdx), 1), m)
+		}
+	}
+	sums := summarizeFromPhi(x, sampleIdx, phiPerClass, topK)
+	return sums[class]
+}
+
+// OverUtilized reports whether the class summary indicates the feature
+// characterizes the class through over-utilization (high values push
+// towards membership) rather than under-utilization.
+func (s ClassSummary) OverUtilized(feature int) (over bool, found bool) {
+	for _, im := range s.Importances {
+		if im.Feature == feature {
+			return im.ValueCorrelation > 0, true
+		}
+	}
+	return false, false
+}
+
+// Rank returns the importance rank (0 = most important) of a feature in
+// the class summary, or -1 when it is not among the kept features.
+func (s ClassSummary) Rank(feature int) int {
+	for i, im := range s.Importances {
+		if im.Feature == feature {
+			return i
+		}
+	}
+	return -1
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

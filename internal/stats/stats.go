@@ -1,0 +1,388 @@
+// Package stats provides the descriptive statistics used throughout the
+// reproduction: location/dispersion measures, quantiles, histograms,
+// rankings, normalization helpers, and contingency tables for the
+// cluster-to-environment association analysis.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs without modifying it, or 0 for an empty
+// slice.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th linear-interpolation quantile of xs (q in
+// [0,1]) without modifying the input. It returns 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice; it
+// avoids the copy and sort. It returns 0 for an empty slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum of xs, or -1 for an empty slice.
+// Ties resolve to the first maximal index.
+func ArgMax(xs []float64) int {
+	idx := -1
+	best := math.Inf(-1)
+	for i, x := range xs {
+		if x > best {
+			best = x
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Normalize returns xs scaled so the maximum absolute value is 1. An
+// all-zero input is returned as a copy unchanged.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var maxAbs float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		copy(out, xs)
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / maxAbs
+	}
+	return out
+}
+
+// Skewness returns the sample skewness (third standardized moment) of xs,
+// or 0 when it is undefined. The paper's Fig. 1 argument — RCA is
+// right-skewed while RSCA is balanced — is validated with this measure.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Histogram is a fixed-width binned frequency count over [Lo, Hi]. Values
+// outside the range are clamped to the first/last bin so the total mass is
+// preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi]. It panics when bins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, bins int, lo, hi float64) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: histogram with empty range")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+		h.N++
+	}
+	return h
+}
+
+// Density returns the per-bin fraction of total mass; an empty histogram
+// returns all zeros.
+func (h *Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return d
+	}
+	for i, c := range h.Counts {
+		d[i] = float64(c) / float64(h.N)
+	}
+	return d
+}
+
+// BinCenters returns the midpoint of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	cs := make([]float64, len(h.Counts))
+	for i := range cs {
+		cs[i] = h.Lo + width*(float64(i)+0.5)
+	}
+	return cs
+}
+
+// ModeBin returns the index of the most populated bin (first on ties).
+func (h *Histogram) ModeBin() int {
+	best, idx := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best = c
+			idx = i
+		}
+	}
+	return idx
+}
+
+// RankDescending returns the indices of xs sorted by decreasing value
+// (stable: ties keep the original order).
+func RankDescending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// Contingency is a labeled cross-tabulation of two categorical variables;
+// in the paper it holds cluster × environment antenna counts (the source of
+// Figs. 6, 7 and 8).
+type Contingency struct {
+	RowLabels []string
+	ColLabels []string
+	Counts    [][]int // [row][col]
+}
+
+// NewContingency creates an all-zero nRows × nCols table.
+func NewContingency(rowLabels, colLabels []string) *Contingency {
+	c := &Contingency{RowLabels: rowLabels, ColLabels: colLabels}
+	c.Counts = make([][]int, len(rowLabels))
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, len(colLabels))
+	}
+	return c
+}
+
+// Add increments cell (row, col).
+func (c *Contingency) Add(row, col int) { c.Counts[row][col]++ }
+
+// Total returns the grand total of the table.
+func (c *Contingency) Total() int {
+	var t int
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// RowShares returns each row normalized to fractions summing to 1 (rows
+// with zero mass stay all-zero). For the paper this is "types of indoor
+// environments per cluster" (Fig. 7).
+func (c *Contingency) RowShares() [][]float64 {
+	out := make([][]float64, len(c.Counts))
+	for i, row := range c.Counts {
+		out[i] = make([]float64, len(row))
+		var sum int
+		for _, v := range row {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[i][j] = float64(v) / float64(sum)
+		}
+	}
+	return out
+}
+
+// ColShares returns each column normalized to fractions summing to 1. For
+// the paper this is "cluster distribution per environment type" (Fig. 8).
+func (c *Contingency) ColShares() [][]float64 {
+	out := make([][]float64, len(c.Counts))
+	colSums := make([]int, len(c.ColLabels))
+	for _, row := range c.Counts {
+		for j, v := range row {
+			colSums[j] += v
+		}
+	}
+	for i, row := range c.Counts {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			if colSums[j] > 0 {
+				out[i][j] = float64(v) / float64(colSums[j])
+			}
+		}
+	}
+	return out
+}
+
+// CramersV returns Cramér's V association strength in [0,1] between the two
+// categorical variables of the table — the quantitative form of the paper's
+// claim that clusters and indoor environments are strongly associated.
+func (c *Contingency) CramersV() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	rows, cols := len(c.RowLabels), len(c.ColLabels)
+	rowSums := make([]float64, rows)
+	colSums := make([]float64, cols)
+	for i, row := range c.Counts {
+		for j, v := range row {
+			rowSums[i] += float64(v)
+			colSums[j] += float64(v)
+		}
+	}
+	var chi2 float64
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			expected := rowSums[i] * colSums[j] / float64(n)
+			if expected == 0 {
+				continue
+			}
+			d := float64(c.Counts[i][j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	k := float64(minInt(rows, cols) - 1)
+	if k <= 0 {
+		return 0
+	}
+	return math.Sqrt(chi2 / (float64(n) * k))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PearsonCorrelation returns the linear correlation of xs and ys, or 0 when
+// undefined. It panics if the lengths differ.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: correlation length mismatch")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

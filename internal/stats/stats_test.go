@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSum(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Variance(xs), 4, 1e-12) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almostEqual(StdDev(xs), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("single-element variance should be 0")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles")
+	}
+	if !almostEqual(Quantile(xs, 0.25), 2, 1e-12) {
+		t.Fatalf("q25 = %v", Quantile(xs, 0.25))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || ArgMax(xs) != 2 {
+		t.Fatal("min/max/argmax")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax of empty should be -1")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max sentinels")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{-2, 1, 4})
+	if !almostEqual(out[2], 1, 1e-12) || !almostEqual(out[0], -0.5, 1e-12) {
+		t.Fatalf("Normalize = %v", out)
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("all-zero input should stay zero")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	symmetric := []float64{-2, -1, 0, 1, 2}
+	if !almostEqual(Skewness(symmetric), 0, 1e-12) {
+		t.Fatalf("symmetric skew = %v", Skewness(symmetric))
+	}
+	rightSkewed := []float64{1, 1, 1, 1, 2, 2, 3, 20}
+	if Skewness(rightSkewed) <= 0.5 {
+		t.Fatalf("right-skewed sample should be strongly positive: %v",
+			Skewness(rightSkewed))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.9, 1.5, -3}
+	h := NewHistogram(xs, 4, 0, 1)
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	// 0.1 and 0.2 fall in bin 0, -3 clamps to bin 0, 1.5 clamps to bin 3.
+	if h.Counts[0] != 3 || h.Counts[3] != 2 {
+		t.Fatalf("clamping wrong: %v", h.Counts)
+	}
+	d := h.Density()
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("density sum = %v", sum)
+	}
+	centers := h.BinCenters()
+	if !almostEqual(centers[0], 0.125, 1e-12) {
+		t.Fatalf("bin center = %v", centers[0])
+	}
+	if h.ModeBin() != 0 {
+		t.Fatalf("mode bin = %d", h.ModeBin())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []func(){
+		func() { NewHistogram(nil, 0, 0, 1) },
+		func() { NewHistogram(nil, 4, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	xs := []float64{1, 5, 3, 5}
+	r := RankDescending(xs)
+	if r[0] != 1 || r[1] != 3 || r[2] != 2 || r[3] != 0 {
+		t.Fatalf("ranks = %v (ties must be stable)", r)
+	}
+}
+
+func TestContingencyShares(t *testing.T) {
+	c := NewContingency([]string{"c0", "c1"}, []string{"metro", "office"})
+	for i := 0; i < 3; i++ {
+		c.Add(0, 0)
+	}
+	c.Add(0, 1)
+	c.Add(1, 1)
+	if c.Total() != 5 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	rows := c.RowShares()
+	if !almostEqual(rows[0][0], 0.75, 1e-12) || !almostEqual(rows[1][1], 1, 1e-12) {
+		t.Fatalf("row shares = %v", rows)
+	}
+	cols := c.ColShares()
+	if !almostEqual(cols[0][0], 1, 1e-12) || !almostEqual(cols[0][1], 0.5, 1e-12) {
+		t.Fatalf("col shares = %v", cols)
+	}
+}
+
+func TestContingencyEmptyRow(t *testing.T) {
+	c := NewContingency([]string{"a", "b"}, []string{"x"})
+	c.Add(0, 0)
+	rows := c.RowShares()
+	if rows[1][0] != 0 {
+		t.Fatal("empty row should stay zero")
+	}
+}
+
+func TestCramersV(t *testing.T) {
+	// Perfect association.
+	perfect := NewContingency([]string{"a", "b"}, []string{"x", "y"})
+	for i := 0; i < 10; i++ {
+		perfect.Add(0, 0)
+		perfect.Add(1, 1)
+	}
+	if !almostEqual(perfect.CramersV(), 1, 1e-9) {
+		t.Fatalf("perfect association V = %v", perfect.CramersV())
+	}
+	// Independence.
+	indep := NewContingency([]string{"a", "b"}, []string{"x", "y"})
+	for i := 0; i < 10; i++ {
+		indep.Add(0, 0)
+		indep.Add(0, 1)
+		indep.Add(1, 0)
+		indep.Add(1, 1)
+	}
+	if indep.CramersV() > 1e-9 {
+		t.Fatalf("independent V = %v", indep.CramersV())
+	}
+	empty := NewContingency([]string{"a"}, []string{"x"})
+	if empty.CramersV() != 0 {
+		t.Fatal("empty table V should be 0")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEqual(PearsonCorrelation(xs, ys), 1, 1e-12) {
+		t.Fatal("perfect positive correlation")
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEqual(PearsonCorrelation(xs, neg), -1, 1e-12) {
+		t.Fatal("perfect negative correlation")
+	}
+	if PearsonCorrelation([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("constant input should yield 0")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram mass equals input length regardless of range.
+func TestHistogramMassProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		h := NewHistogram(xs, 8, -10, 10)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cramér's V stays in [0,1].
+func TestCramersVBoundedProperty(t *testing.T) {
+	f := func(cells [9]uint8) bool {
+		c := NewContingency([]string{"a", "b", "c"}, []string{"x", "y", "z"})
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				c.Counts[i][j] = int(cells[i*3+j])
+			}
+		}
+		v := c.CramersV()
+		return v >= -1e-12 && v <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/services"
+)
+
+func TestCalendarSpan(t *testing.T) {
+	c := NewCalendar()
+	if c.Days() != 65 {
+		t.Fatalf("Days = %d, want 65 (2022-11-21..2023-01-24)", c.Days())
+	}
+	if c.Hours() != 65*24 {
+		t.Fatalf("Hours = %d", c.Hours())
+	}
+	if c.DateString(0) != "2022-11-21" {
+		t.Fatalf("day 0 = %s", c.DateString(0))
+	}
+	if c.DateString(c.Days()-1) != "2023-01-24" {
+		t.Fatalf("last day = %s", c.DateString(c.Days()-1))
+	}
+}
+
+func TestCalendarWeekdays(t *testing.T) {
+	c := NewCalendar()
+	// 2022-11-21 was a Monday.
+	if c.Weekday(0) != 0 {
+		t.Fatal("day 0 should be Monday")
+	}
+	if !c.IsWeekend(5) || !c.IsWeekend(6) {
+		t.Fatal("days 5/6 should be the first weekend")
+	}
+	if c.IsWeekend(7) {
+		t.Fatal("day 7 should be Monday again")
+	}
+	// Cross-check against time.Time.
+	for day := 0; day < c.Days(); day++ {
+		wd := c.Date(day).Weekday()
+		wantWeekend := wd == time.Saturday || wd == time.Sunday
+		if c.IsWeekend(day) != wantWeekend {
+			t.Fatalf("weekend mismatch at day %d (%s)", day, c.DateString(day))
+		}
+	}
+}
+
+func TestCalendarHourMath(t *testing.T) {
+	c := NewCalendar()
+	h := 3*24 + 15
+	if c.DayOfHour(h) != 3 || c.HourOfDay(h) != 15 {
+		t.Fatal("hour decomposition")
+	}
+}
+
+func TestStrikeDay(t *testing.T) {
+	c := NewCalendar()
+	sd := c.StrikeDay()
+	if sd < 0 || c.DateString(sd) != "2023-01-19" {
+		t.Fatalf("strike day = %d (%s)", sd, c.DateString(sd))
+	}
+	if c.IsWeekend(sd) {
+		t.Fatal("2023-01-19 was a Thursday")
+	}
+}
+
+func TestAnalysisWindow(t *testing.T) {
+	c := NewCalendar()
+	first, last := c.AnalysisWindow()
+	if c.DateString(first) != "2023-01-04" || c.DateString(last) != "2023-01-24" {
+		t.Fatalf("window = %s..%s", c.DateString(first), c.DateString(last))
+	}
+	if last-first+1 != 21 {
+		t.Fatalf("window spans %d days, want 21", last-first+1)
+	}
+}
+
+func TestDayIndexOutOfRange(t *testing.T) {
+	c := NewCalendar()
+	if c.DayIndex(2022, time.November, 20) != -1 {
+		t.Fatal("day before the period should be -1")
+	}
+	if c.DayIndex(2023, time.January, 25) != -1 {
+		t.Fatal("day after the period should be -1")
+	}
+	if c.DayIndex(2022, time.December, 25) < 0 {
+		t.Fatal("Christmas should be inside the period")
+	}
+}
+
+func TestTemplatesRegistered(t *testing.T) {
+	for _, name := range []string{"commute", "commute-regional", "office", "diurnal", "retail-night", "event", "event-quiet"} {
+		tpl := ByName(name)
+		if tpl.Name != name {
+			t.Fatalf("template %q name mismatch", name)
+		}
+		for i, v := range tpl.Week {
+			if v < 0 {
+				t.Fatalf("template %q has negative weight at hour %d", name, i)
+			}
+		}
+	}
+}
+
+func TestByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ByName("nonexistent")
+}
+
+func TestCommutePeaks(t *testing.T) {
+	c := NewCalendar()
+	tpl := ByName("commute")
+	// Weekday morning peak dominates midday and night (day 1 = Tuesday).
+	morning := tpl.Weight(c, 1, 8)
+	midday := tpl.Weight(c, 1, 13)
+	night := tpl.Weight(c, 1, 3)
+	evening := tpl.Weight(c, 1, 18)
+	if morning <= midday || evening <= midday || midday <= night {
+		t.Fatalf("commute profile wrong: morning=%v midday=%v evening=%v night=%v",
+			morning, midday, evening, night)
+	}
+	// Weekends are much weaker than weekday peaks.
+	weekend := tpl.Weight(c, 5, 8)
+	if weekend >= morning/2 {
+		t.Fatalf("weekend %v should be well below weekday peak %v", weekend, morning)
+	}
+}
+
+func TestStrikeImpact(t *testing.T) {
+	c := NewCalendar()
+	sd := c.StrikeDay()
+	commute := ByName("commute")
+	regional := ByName("commute-regional")
+	// Same weekday one week earlier for comparison.
+	ref := sd - 7
+	strikeRatioParis := commute.Weight(c, sd, 8) / commute.Weight(c, ref, 8)
+	strikeRatioRegional := regional.Weight(c, sd, 8) / regional.Weight(c, ref, 8)
+	if strikeRatioParis > 0.2 {
+		t.Fatalf("Paris commute strike ratio %v, want deep cut", strikeRatioParis)
+	}
+	if strikeRatioRegional <= strikeRatioParis {
+		t.Fatal("the strike should hit regional metros less severely")
+	}
+}
+
+func TestOfficeQuietOutsideHours(t *testing.T) {
+	c := NewCalendar()
+	tpl := ByName("office")
+	work := tpl.Weight(c, 1, 10)
+	evening := tpl.Weight(c, 1, 21)
+	weekend := tpl.Weight(c, 5, 11)
+	if work <= 4*evening {
+		t.Fatalf("office evening should be quiet: work=%v evening=%v", work, evening)
+	}
+	if work <= 4*weekend {
+		t.Fatalf("office weekend should be quiet: work=%v weekend=%v", work, weekend)
+	}
+}
+
+func TestRetailSundayDipAndNightFloor(t *testing.T) {
+	c := NewCalendar()
+	tpl := ByName("retail-night")
+	saturday := tpl.Weight(c, 5, 12)
+	sunday := tpl.Weight(c, 6, 12)
+	if sunday >= saturday {
+		t.Fatal("retail Sunday should dip below Saturday")
+	}
+	commuteNight := ByName("commute").Weight(c, 1, 2)
+	retailNight := tpl.Weight(c, 1, 2)
+	if retailNight <= commuteNight {
+		t.Fatal("retail-night should keep a higher night floor than commute")
+	}
+}
+
+func TestEventTemplatesBaseline(t *testing.T) {
+	c := NewCalendar()
+	event := ByName("event")
+	quiet := ByName("event-quiet")
+	if !event.EventDriven || !quiet.EventDriven {
+		t.Fatal("event templates must be event-driven")
+	}
+	if event.Weight(c, 1, 15) >= quiet.Weight(c, 1, 15) {
+		t.Fatal("bursty venues should have a lower off-event floor than cluster-5 venues")
+	}
+}
+
+func TestEventActive(t *testing.T) {
+	e := Event{FirstDay: 10, LastDay: 12, StartHour: 18, EndHour: 23, Intensity: 5}
+	if !e.Active(11, 20) {
+		t.Fatal("event should be active mid-span")
+	}
+	if e.Active(11, 23) || e.Active(9, 20) || e.Active(13, 20) || e.Active(11, 17) {
+		t.Fatal("event active outside bounds")
+	}
+}
+
+func TestShapeModifiers(t *testing.T) {
+	// Teams (work hours): weekday 10h >> weekday 22h, and >> weekend.
+	if ShapeModifier(services.ShapeWorkHours, 10, false) <= ShapeModifier(services.ShapeWorkHours, 22, false) {
+		t.Fatal("work-hours shape should peak in office hours")
+	}
+	if ShapeModifier(services.ShapeWorkHours, 10, false) <= ShapeModifier(services.ShapeWorkHours, 10, true) {
+		t.Fatal("work-hours shape should be weekday-skewed")
+	}
+	// Netflix (evening): 21h >> 10h.
+	if ShapeModifier(services.ShapeEvening, 21, false) <= ShapeModifier(services.ShapeEvening, 10, false) {
+		t.Fatal("evening shape should peak at night")
+	}
+	// Spotify (commute): 8h >> 13h on weekdays.
+	if ShapeModifier(services.ShapeCommute, 8, false) <= ShapeModifier(services.ShapeCommute, 13, false) {
+		t.Fatal("commute shape should peak at 8am")
+	}
+	// Night shape: 2h >> 14h.
+	if ShapeModifier(services.ShapeNight, 2, false) <= ShapeModifier(services.ShapeNight, 14, false) {
+		t.Fatal("night shape should peak overnight")
+	}
+	// Flat shape is 1 everywhere.
+	for h := 0; h < 24; h++ {
+		if ShapeModifier(services.ShapeFlat, h, false) != 1 {
+			t.Fatal("flat shape must be 1")
+		}
+	}
+	// All shapes stay positive.
+	for shape := services.ShapeFlat; shape <= services.ShapePostEvent; shape++ {
+		for h := 0; h < 24; h++ {
+			for _, we := range []bool{false, true} {
+				if ShapeModifier(shape, h, we) <= 0 {
+					t.Fatalf("shape %d hour %d non-positive", shape, h)
+				}
+			}
+		}
+	}
+}
+
+func TestTemplateNamesComplete(t *testing.T) {
+	names := TemplateNames()
+	if len(names) < 7 {
+		t.Fatalf("only %d templates registered", len(names))
+	}
+}
