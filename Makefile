@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench artifacts
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Full suite under the race detector — the shared worker pool and the
+# staged scheduler must stay race-free.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table/figure and the machine-readable stage timings.
+artifacts:
+	$(GO) run ./cmd/icnbench -benchjson BENCH_pipeline.json

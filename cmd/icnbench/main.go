@@ -6,13 +6,18 @@
 // Usage:
 //
 //	icnbench [-seed N] [-scale F] [-k N] [-trees N] [-out DIR] [-quiet]
+//	         [-benchjson FILE]
 //
 // At -scale 1 the run uses the paper's full population (4,762 indoor and
 // 22,000 outdoor antennas); this takes a few minutes and ~1 GiB of memory.
-// The default scale 0.25 reproduces every shape in seconds.
+// The default scale 0.25 reproduces every shape in seconds. -benchjson
+// writes a machine-readable record of the run (per-stage wall/wait times,
+// allocation estimates, pool counters) for tracking the performance
+// trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 	trees := flag.Int("trees", 100, "surrogate random-forest size")
 	outDir := flag.String("out", "", "directory to write per-artifact text files (optional)")
 	mdPath := flag.String("md", "", "write a consolidated markdown report to this path (optional)")
+	benchPath := flag.String("benchjson", "", "write a machine-readable stage-timing record to this path (optional)")
 	quiet := flag.Bool("quiet", false, "print only the check summary")
 	flag.Parse()
 
@@ -41,10 +48,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "icnbench: running pipeline (seed=%d scale=%.2f k=%d trees=%d)...\n",
 		cfg.Seed, cfg.Scale, cfg.K, cfg.ForestTrees)
-	suite := experiments.NewSuite(cfg)
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "icnbench: pipeline done — %d indoor antennas, %d outdoor, purity %.3f, ARI %.3f, surrogate acc %.3f\n",
 		len(suite.Res.Dataset.Indoor), len(suite.Res.Dataset.Outdoor),
 		suite.Res.Purity(), suite.Res.AdjustedRandIndex(), suite.Res.SurrogateAccuracy)
+	fmt.Fprintln(os.Stderr, suite.Res.Trace())
+
+	if *benchPath != "" {
+		if err := writeBenchJSON(*benchPath, cfg, suite); err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "icnbench: wrote stage timings to %s\n", *benchPath)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -89,6 +109,58 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is the schema of the -benchjson output: one self-contained
+// snapshot of a pipeline run's configuration and per-stage costs.
+type benchRecord struct {
+	Seed     uint64           `json:"seed"`
+	Scale    float64          `json:"scale"`
+	K        int              `json:"k"`
+	Trees    int              `json:"trees"`
+	Indoor   int              `json:"indoor_antennas"`
+	Outdoor  int              `json:"outdoor_antennas"`
+	TotalMS  float64          `json:"total_ms"`
+	Stages   []stageJSON      `json:"stages"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+type stageJSON struct {
+	Name       string   `json:"name"`
+	Deps       []string `json:"deps,omitempty"`
+	WallMS     float64  `json:"wall_ms"`
+	WaitedMS   float64  `json:"waited_ms"`
+	AllocBytes uint64   `json:"alloc_bytes"`
+	Goroutines int      `json:"goroutines"`
+}
+
+func writeBenchJSON(path string, cfg analysis.Config, suite *experiments.Suite) error {
+	tr := suite.Res.Trace()
+	rec := benchRecord{
+		Seed:     cfg.Seed,
+		Scale:    cfg.Scale,
+		K:        cfg.K,
+		Trees:    cfg.ForestTrees,
+		Indoor:   len(suite.Res.Dataset.Indoor),
+		Outdoor:  len(suite.Res.Dataset.Outdoor),
+		TotalMS:  float64(tr.Total().Microseconds()) / 1000,
+		Counters: obs.Counters(),
+	}
+	for _, st := range tr.Stages() {
+		rec.Stages = append(rec.Stages, stageJSON{
+			Name:       st.Name,
+			Deps:       st.Deps,
+			WallMS:     float64(st.Wall.Microseconds()) / 1000,
+			WaitedMS:   float64(st.Waited.Microseconds()) / 1000,
+			AllocBytes: st.AllocBytes,
+			Goroutines: st.Goroutines,
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeMarkdown renders every artifact into a single markdown document

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	icnprofile [-seed N] [-scale F] [-top N]
+//	icnprofile [-seed N] [-scale F] [-top N] [-trace]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/analysis"
@@ -22,14 +23,23 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	scale := flag.Float64("scale", 0.15, "fraction of the paper's antenna population")
 	top := flag.Int("top", 8, "characterizing services per cluster")
+	trace := flag.Bool("trace", false, "print the per-stage pipeline trace")
 	flag.Parse()
 
-	res := analysis.Run(analysis.Config{Seed: *seed, Scale: *scale})
+	res, err := analysis.Run(analysis.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icnprofile: %v\n", err)
+		os.Exit(1)
+	}
 	profiles := core.BuildProfiles(res, core.Options{TopServices: *top})
 	plans := core.PlanSlices(profiles)
 
 	fmt.Printf("pipeline: %d antennas, %d clusters, purity %.3f, Cramér's V %.3f\n\n",
 		len(res.Labels), res.K, res.Purity(), res.Contingency.CramersV())
+	if *trace {
+		fmt.Println("stage trace:")
+		fmt.Println(res.Trace())
+	}
 
 	for i, p := range profiles {
 		fmt.Printf("=== cluster %d (%s group, %d antennas) ===\n", p.Cluster, p.Group, p.Size)

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	icn "repro"
 	"repro/internal/envmodel"
@@ -18,11 +19,14 @@ import (
 )
 
 func main() {
-	result := icn.Run(icn.Config{
+	result, err := icn.Run(icn.Config{
 		Seed:        21,
 		Scale:       0.1,
 		ForestTrees: 40,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The synthetic generator's weekly envelope is deterministic, so we
 	// overlay the multiplicative hour-level jitter a production network

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 
 	icn "repro"
@@ -16,12 +17,15 @@ import (
 )
 
 func main() {
-	result := icn.Run(icn.Config{
+	result, err := icn.Run(icn.Config{
 		Seed:         5,
 		Scale:        0.1,
 		OutdoorCount: 1500,
 		ForestTrees:  50,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ds := result.Dataset
 
 	// 1 km neighbourhoods: how many outdoor macro cells sit within reach

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	icn "repro"
 )
@@ -13,11 +14,14 @@ import (
 func main() {
 	// A 10% deployment keeps the run to a couple of seconds. Scale: 1
 	// reproduces the paper's full population (4,762 indoor antennas).
-	result := icn.Run(icn.Config{
+	result, err := icn.Run(icn.Config{
 		Seed:        1,
 		Scale:       0.1,
 		ForestTrees: 50,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("indoor antennas: %d across %d sites\n",
 		len(result.Dataset.Indoor), result.Dataset.Sites)

@@ -12,17 +12,21 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"strings"
 
 	icn "repro"
 )
 
 func main() {
-	result := icn.Run(icn.Config{
+	result, err := icn.Run(icn.Config{
 		Seed:        11,
 		Scale:       0.1,
 		ForestTrees: 50,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	profiles := icn.BuildProfiles(result, icn.ProfileOptions{TopServices: 8})
 	plans := icn.PlanSlices(profiles)
 

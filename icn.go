@@ -9,20 +9,32 @@
 //
 // Quick start:
 //
-//	result := icn.Run(icn.Config{Seed: 1, Scale: 0.1})
+//	result, err := icn.Run(icn.Config{Seed: 1, Scale: 0.1})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println("clusters:", result.ClusterSizes())
 //	fmt.Println("purity vs ground truth:", result.Purity())
 //
 // To regenerate the paper's artifacts:
 //
-//	suite := icn.NewSuite(icn.Config{Seed: 1, Scale: 0.1})
+//	suite, err := icn.NewSuite(icn.Config{Seed: 1, Scale: 0.1})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	for _, artifact := range suite.All() {
 //		fmt.Println(artifact.Title)
 //		fmt.Println(artifact.Text)
 //	}
+//
+// The pipeline runs as a staged DAG on a shared worker pool; pass a
+// context through RunContext to cancel a run, and read per-stage
+// timings from result.Trace().
 package icn
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -53,14 +65,26 @@ type Dataset = synth.Dataset
 type DatasetConfig = synth.Config
 
 // Run executes the full pipeline on a freshly generated dataset.
-func Run(cfg Config) *Result { return analysis.Run(cfg) }
+func Run(cfg Config) (*Result, error) { return analysis.Run(cfg) }
+
+// RunContext is Run with caller-controlled cancellation: when ctx is
+// cancelled, in-flight stages stop at their next checkpoint and the run
+// returns ctx's error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return analysis.RunContext(ctx, cfg)
+}
 
 // RunOnDataset executes the pipeline on an existing dataset, allowing the
 // dataset to be shared across experiments.
-func RunOnDataset(ds *Dataset, cfg Config) *Result { return analysis.RunOnDataset(ds, cfg) }
+func RunOnDataset(ds *Dataset, cfg Config) (*Result, error) { return analysis.RunOnDataset(ds, cfg) }
+
+// RunOnDatasetContext is RunOnDataset with caller-controlled cancellation.
+func RunOnDatasetContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
+	return analysis.RunOnDatasetContext(ctx, ds, cfg)
+}
 
 // NewSuite runs the pipeline and wraps it in the experiment suite.
-func NewSuite(cfg Config) *Suite { return experiments.NewSuite(cfg) }
+func NewSuite(cfg Config) (*Suite, error) { return experiments.NewSuite(cfg) }
 
 // GenerateDataset builds a synthetic nationwide measurement dataset
 // without running the analysis.

@@ -9,7 +9,10 @@ import (
 // detailed behavioural tests live with the internal packages.
 
 func TestRunEndToEnd(t *testing.T) {
-	res := Run(Config{Seed: 3, Scale: 0.05, OutdoorCount: 150, ForestTrees: 25})
+	res, err := Run(Config{Seed: 3, Scale: 0.05, OutdoorCount: 150, ForestTrees: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.K != 9 {
 		t.Fatalf("K = %d", res.K)
 	}
@@ -26,8 +29,14 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunOnSharedDataset(t *testing.T) {
 	ds := GenerateDataset(DatasetConfig{Seed: 5, Scale: 0.05, OutdoorCount: 100})
-	a := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
-	b := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	a, err := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("pipeline on same dataset should be deterministic")

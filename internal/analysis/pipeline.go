@@ -7,14 +7,18 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/envmodel"
 	"repro/internal/forest"
 	"repro/internal/geo"
 	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/pipe"
 	"repro/internal/rca"
 	"repro/internal/rng"
 	"repro/internal/shap"
@@ -99,61 +103,194 @@ type Result struct {
 	// (Fig. 9) and OutdoorShare the per-cluster fraction.
 	OutdoorLabels []int
 	OutdoorShare  []float64
+
+	// trace holds the per-stage execution records of the staged engine.
+	trace *obs.Trace
+
+	// mu guards the lazily built caches below.
+	mu sync.Mutex
+	// dists is the condensed Euclidean pairwise distance matrix over the
+	// RSCA rows, computed once by the distance stage and shared with every
+	// downstream consumer (selection sweep, cophenetic fidelity, k-means
+	// ablation). Callers must treat it as read-only.
+	dists *mat.Condensed
+	// temporalCache memoizes ClusterTemporalProfiles /
+	// ServiceTemporalProfiles per (service, antenna-cap) pair; the
+	// temporal stage warms it concurrently with forest training.
+	temporalCache map[temporalKey][]TemporalProfile
+}
+
+type temporalKey struct {
+	service int // -1 = total traffic
+	cap     int
+}
+
+// defaultTemporalCap is the per-cluster antenna cap the temporal stage
+// precomputes profiles at — the experiment suite's default sample size.
+const defaultTemporalCap = 40
+
+// Trace returns the per-stage observability records of the run that built
+// this result: wall time, queueing delay, allocation delta and goroutine
+// count per stage (see internal/obs). Results built outside the staged
+// engine return an empty trace.
+func (r *Result) Trace() *obs.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trace == nil {
+		r.trace = obs.NewTrace()
+	}
+	return r.trace
+}
+
+// Distances returns the condensed Euclidean pairwise distance matrix over
+// the RSCA rows, computing it on first use when the result was not built
+// by the staged engine. The matrix is shared: callers must not mutate it.
+func (r *Result) Distances() *mat.Condensed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dists == nil {
+		r.dists = cluster.PairwiseDistances(r.RSCA)
+	}
+	return r.dists
 }
 
 // Run executes the full pipeline on a freshly generated dataset.
-func Run(cfg Config) *Result {
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: cancelling ctx stops
+// pending stages and in-stage work loops, and returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	ds := synth.Generate(synth.Config{
 		Seed:         cfg.Seed,
 		Scale:        cfg.Scale,
 		OutdoorCount: cfg.OutdoorCount,
 	})
-	return RunOnDataset(ds, cfg)
+	return RunOnDatasetContext(ctx, ds, cfg)
 }
 
 // RunOnDataset executes the pipeline on an existing dataset.
-func RunOnDataset(ds *synth.Dataset, cfg Config) *Result {
+func RunOnDataset(ds *synth.Dataset, cfg Config) (*Result, error) {
+	return RunOnDatasetContext(context.Background(), ds, cfg)
+}
+
+// RunOnDatasetContext executes the pipeline on an existing dataset as a
+// stage graph on the pipe engine. Each paper section is a named stage with
+// explicit dependencies; independent stages — the model-selection sweep,
+// surrogate forest training, environment contingency, outdoor
+// classification and temporal profiling — run concurrently on the shared
+// worker pool, and the O(N²·M) pairwise distance matrix is computed once
+// and shared between Ward clustering and the selection metrics. Stage
+// failures (e.g. invalid RSCA features) are returned as errors wrapped
+// with the failing stage's name; per-stage timings are available through
+// Result.Trace().
+func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Config: cfg, Dataset: ds}
+	res := &Result{Config: cfg, Dataset: ds, trace: obs.NewTrace()}
 
-	// Section 4.1: feature transformation.
-	res.RSCA = rca.RSCA(ds.Traffic)
-	if err := rca.Validate(res.RSCA); err != nil {
-		panic(fmt.Sprintf("analysis: invalid RSCA: %v", err))
-	}
+	// d2 carries the condensed squared distances from the distance stage
+	// to the linkage stage, which consumes (mutates) them.
+	var d2 *mat.Condensed
 
-	// Section 4.2: Ward clustering and model selection.
-	res.Linkage = cluster.Ward(res.RSCA)
-	dists := cluster.PairwiseDistances(res.RSCA)
-	res.Selection = cluster.SweepK(res.Linkage, dists, 2, cfg.SweepKMax)
-	res.Knees = cluster.Knees(res.Selection, 3)
-	res.K = cfg.K
-	rawLabels := res.Linkage.CutK(res.K)
+	g := pipe.NewGraph()
 
-	// Align discovered labels to the paper's cluster numbering through
+	// Section 4.1: feature transformation. Invalid features surface as a
+	// stage error instead of a panic.
+	g.Add("rsca", nil, func(ctx context.Context) error {
+		if ds.Traffic == nil || ds.Traffic.Rows() < 2 {
+			return fmt.Errorf("analysis: need at least 2 antennas to cluster")
+		}
+		res.RSCA = rca.RSCA(ds.Traffic)
+		if err := rca.Validate(res.RSCA); err != nil {
+			return fmt.Errorf("invalid RSCA: %w", err)
+		}
+		if cfg.K < 1 || cfg.K > res.RSCA.Rows() {
+			return fmt.Errorf("analysis: K=%d outside [1,%d]", cfg.K, res.RSCA.Rows())
+		}
+		return nil
+	})
+
+	// Squared pairwise distances, computed once; the Euclidean variant the
+	// selection metrics consume is a cheap copy, not a recomputation.
+	g.Add("distances", []string{"rsca"}, func(ctx context.Context) error {
+		var err error
+		d2, err = mat.PairwiseSqDistContext(ctx, res.RSCA)
+		if err != nil {
+			return err
+		}
+		res.mu.Lock()
+		res.dists = cluster.PairwiseDistancesFromSq(d2)
+		res.mu.Unlock()
+		return nil
+	})
+
+	// Section 4.2.1: Ward clustering from the shared squared distances.
+	g.Add("linkage", []string{"distances"}, func(ctx context.Context) error {
+		res.Linkage = cluster.WardFromSqDistances(d2)
+		d2 = nil // consumed
+		return nil
+	})
+
+	// Fig. 2: the Silhouette/Dunn model-selection sweep, concurrent with
+	// everything downstream of the flat cut.
+	g.Add("selection", []string{"linkage"}, func(ctx context.Context) error {
+		res.Selection = cluster.SweepK(res.Linkage, res.Distances(), 2, cfg.SweepKMax)
+		res.Knees = cluster.Knees(res.Selection, 3)
+		return nil
+	})
+
+	// Flat cut plus alignment to the paper's cluster numbering through
 	// the ground-truth archetypes (validation/reporting only).
-	res.LabelAlignment = alignLabels(rawLabels, ds, res.K)
-	res.Labels = make([]int, len(rawLabels))
-	for i, l := range rawLabels {
-		res.Labels[i] = res.LabelAlignment[l]
-	}
+	g.Add("labels", []string{"linkage"}, func(ctx context.Context) error {
+		res.K = cfg.K
+		rawLabels := res.Linkage.CutK(res.K)
+		res.LabelAlignment = alignLabels(rawLabels, ds, res.K)
+		res.Labels = make([]int, len(rawLabels))
+		for i, l := range rawLabels {
+			res.Labels[i] = res.LabelAlignment[l]
+		}
+		return nil
+	})
 
 	// Section 5.1.2: surrogate forest on the cluster labels.
-	res.Surrogate = forest.Train(res.RSCA, res.Labels, res.K, forest.Config{
-		Trees:    cfg.ForestTrees,
-		MaxDepth: cfg.ForestDepth,
-		Seed:     cfg.Seed + 1,
+	g.Add("forest", []string{"labels"}, func(ctx context.Context) error {
+		f, err := forest.TrainContext(ctx, res.RSCA, res.Labels, res.K, forest.Config{
+			Trees:    cfg.ForestTrees,
+			MaxDepth: cfg.ForestDepth,
+			Seed:     cfg.Seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		res.Surrogate = f
+		res.SurrogateAccuracy = f.Accuracy(res.RSCA, res.Labels)
+		return nil
 	})
-	res.SurrogateAccuracy = res.Surrogate.Accuracy(res.RSCA, res.Labels)
 
 	// Section 5.2: environment association.
-	res.Contingency = EnvContingency(res.Labels, ds, res.K)
+	g.Add("contingency", []string{"labels"}, func(ctx context.Context) error {
+		res.Contingency = EnvContingency(res.Labels, ds, res.K)
+		return nil
+	})
 
 	// Section 5.3: outdoor antennas against the indoor reference.
-	res.classifyOutdoor()
+	g.Add("outdoor", []string{"forest"}, func(ctx context.Context) error {
+		return res.classifyOutdoor()
+	})
 
-	return res
+	// Section 6: warm the per-cluster temporal profile cache at the
+	// experiment suite's sample cap, overlapping the forest stage.
+	g.Add("temporal", []string{"labels"}, func(ctx context.Context) error {
+		res.ClusterTemporalProfiles(defaultTemporalCap)
+		return nil
+	})
+
+	if err := g.Run(ctx, res.trace); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // alignLabels maps raw cluster labels to paper archetype ids by greedy
@@ -240,18 +377,18 @@ func EnvContingency(labels []int, ds *synth.Dataset, k int) *stats.Contingency {
 
 // classifyOutdoor computes Eq. 5 RSCA for the outdoor population and runs
 // it through the surrogate forest.
-func (r *Result) classifyOutdoor() {
+func (r *Result) classifyOutdoor() error {
 	if len(r.Dataset.Outdoor) == 0 {
 		r.OutdoorShare = make([]float64, r.K)
-		return
+		return nil
 	}
 	ref, err := rca.NewOutdoorReference(r.Dataset.Traffic)
 	if err != nil {
-		panic(fmt.Sprintf("analysis: outdoor reference: %v", err))
+		return fmt.Errorf("outdoor reference: %w", err)
 	}
 	outRSCA, err := ref.RSCAOutdoor(r.Dataset.OutdoorTraffic)
 	if err != nil {
-		panic(fmt.Sprintf("analysis: outdoor RSCA: %v", err))
+		return fmt.Errorf("outdoor RSCA: %w", err)
 	}
 	r.OutdoorLabels = r.Surrogate.PredictAll(outRSCA)
 	r.OutdoorShare = make([]float64, r.K)
@@ -261,6 +398,7 @@ func (r *Result) classifyOutdoor() {
 	for i := range r.OutdoorShare {
 		r.OutdoorShare[i] /= float64(len(r.OutdoorLabels))
 	}
+	return nil
 }
 
 // ParisShareByCluster returns the fraction of each cluster's antennas
@@ -464,7 +602,10 @@ type StabilityReport struct {
 // (fraction frac of the population, without replacement) and measures the
 // adjusted Rand index against the full-run labels. The RSCA features are
 // recomputed from the traffic submatrix each round, so the subsample sees
-// exactly what a smaller measurement campaign would have seen.
+// exactly what a smaller measurement campaign would have seen. Rounds are
+// independent and run concurrently on the shared worker pool; the
+// subsample permutations are drawn sequentially up front, so the report
+// is identical to a serial execution.
 func (r *Result) Stability(rounds int, frac float64, seed uint64) StabilityReport {
 	if rounds <= 0 {
 		rounds = 5
@@ -475,23 +616,30 @@ func (r *Result) Stability(rounds int, frac float64, seed uint64) StabilityRepor
 	n := len(r.Labels)
 	size := int(float64(n) * frac)
 	if size < r.K*2 {
-		size = minInt(n, r.K*2)
+		size = min(n, r.K*2)
 	}
-	rep := StabilityReport{Rounds: rounds, MinARI: 2}
 	src := rng.New(seed)
-	var sum float64
-	for round := 0; round < rounds; round++ {
+	perms := make([][]int, rounds)
+	for round := range perms {
 		perm := src.Perm(n)[:size]
 		sort.Ints(perm)
+		perms[round] = perm
+	}
+	aris := make([]float64, rounds)
+	pipe.Shared().ForEach(context.Background(), rounds, func(round int) {
 		sub := mat.NewDense(size, r.Dataset.Traffic.Cols())
 		ref := make([]int, size)
-		for i, idx := range perm {
+		for i, idx := range perms[round] {
 			copy(sub.Row(i), r.Dataset.Traffic.Row(idx))
 			ref[i] = r.Labels[idx]
 		}
 		features := rca.RSCA(sub)
 		labels := cluster.Ward(features).CutK(r.K)
-		ari := ARI(labels, ref)
+		aris[round] = ARI(labels, ref)
+	})
+	rep := StabilityReport{Rounds: rounds, MinARI: 2}
+	var sum float64
+	for _, ari := range aris {
 		sum += ari
 		if ari < rep.MinARI {
 			rep.MinARI = ari
@@ -499,13 +647,6 @@ func (r *Result) Stability(rounds int, frac float64, seed uint64) StabilityRepor
 	}
 	rep.MeanARI = sum / float64(rounds)
 	return rep
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // ARI computes the adjusted Rand index between two labelings.

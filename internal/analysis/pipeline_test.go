@@ -15,12 +15,16 @@ var testResultCache *Result
 func testResult(t *testing.T) *Result {
 	t.Helper()
 	if testResultCache == nil {
-		testResultCache = Run(Config{
+		res, err := Run(Config{
 			Seed:         42,
 			Scale:        0.12,
 			OutdoorCount: 600,
 			ForestTrees:  40,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testResultCache = res
 	}
 	return testResultCache
 }

@@ -1,9 +1,9 @@
 package analysis
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
+	"repro/internal/pipe"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -31,25 +31,45 @@ func (r *Result) windowBounds() (firstDay, lastDay, hours int) {
 // every cluster, the median across member antennas of hourly total
 // traffic, normalized to the cluster's maximum. maxAntennasPerCluster
 // bounds the per-cluster sample for tractability (0 = all members).
+// Results are memoized per cap — the pipeline's temporal stage warms the
+// cache concurrently with forest training — and must be treated as
+// read-only by callers.
 func (r *Result) ClusterTemporalProfiles(maxAntennasPerCluster int) []TemporalProfile {
-	firstDay, _, hours := r.windowBounds()
-	out := make([]TemporalProfile, r.K)
-	for c := 0; c < r.K; c++ {
-		members := subsample(r.ClusterMembers(c), maxAntennasPerCluster)
-		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: medianSeries(r, members, -1, firstDay, hours)}
-	}
-	return out
+	return r.temporalProfiles(-1, maxAntennasPerCluster)
 }
 
 // ServiceTemporalProfiles computes the Fig. 11 heatmaps for one service:
 // per cluster, the normalized median of the service's hourly traffic.
+// Results are memoized per (service, cap) and must be treated as
+// read-only by callers.
 func (r *Result) ServiceTemporalProfiles(serviceID int, maxAntennasPerCluster int) []TemporalProfile {
+	return r.temporalProfiles(serviceID, maxAntennasPerCluster)
+}
+
+// temporalProfiles computes (or returns the memoized) per-cluster profile
+// set for one service (-1 = total traffic) at the given antenna cap.
+func (r *Result) temporalProfiles(serviceID, cap int) []TemporalProfile {
+	key := temporalKey{service: serviceID, cap: cap}
+	r.mu.Lock()
+	if cached, ok := r.temporalCache[key]; ok {
+		r.mu.Unlock()
+		return cached
+	}
+	r.mu.Unlock()
+
 	firstDay, _, hours := r.windowBounds()
 	out := make([]TemporalProfile, r.K)
 	for c := 0; c < r.K; c++ {
-		members := subsample(r.ClusterMembers(c), maxAntennasPerCluster)
+		members := subsample(r.ClusterMembers(c), cap)
 		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: medianSeries(r, members, serviceID, firstDay, hours)}
 	}
+
+	r.mu.Lock()
+	if r.temporalCache == nil {
+		r.temporalCache = map[temporalKey][]TemporalProfile{}
+	}
+	r.temporalCache[key] = out
+	r.mu.Unlock()
 	return out
 }
 
@@ -83,37 +103,20 @@ func (r *Result) ClusterHourlySeries(clusterID, maxAntennas int) []float64 {
 // medianSeries computes the per-hour median over the given antennas of
 // total traffic (serviceID < 0) or one service's traffic, normalized to
 // the series maximum. The per-antenna hourly series (the expensive part)
-// are computed in parallel; each worker fills its own slot.
+// are computed on the shared worker pool; each item fills its own slot.
 func medianSeries(r *Result, members []int, serviceID, firstDay, hours int) []float64 {
 	if len(members) == 0 {
 		return make([]float64, hours)
 	}
 	perAntenna := make([][]float64, len(members))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(members) {
-		workers = len(members)
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for mi := range jobs {
-				ant := r.Dataset.Indoor[members[mi]]
-				if serviceID < 0 {
-					perAntenna[mi] = r.Dataset.HourlyTotals(ant)
-				} else {
-					perAntenna[mi] = r.Dataset.HourlyService(ant, serviceID)
-				}
-			}
-		}()
-	}
-	for mi := range members {
-		jobs <- mi
-	}
-	close(jobs)
-	wg.Wait()
+	pipe.Shared().ForEach(context.Background(), len(members), func(mi int) {
+		ant := r.Dataset.Indoor[members[mi]]
+		if serviceID < 0 {
+			perAntenna[mi] = r.Dataset.HourlyTotals(ant)
+		} else {
+			perAntenna[mi] = r.Dataset.HourlyService(ant, serviceID)
+		}
+	})
 
 	offset := firstDay * 24
 	med := make([]float64, hours)

@@ -10,14 +10,16 @@ import (
 // distance matrix over the rows of x, for reuse across Silhouette and Dunn
 // evaluations at multiple k.
 func PairwiseDistances(x *mat.Dense) *mat.Condensed {
-	d := mat.PairwiseSqDist(x)
-	n := d.N()
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d.Set(i, j, math.Sqrt(d.At(i, j)))
-		}
-	}
-	return d
+	return mat.PairwiseSqDist(x).Sqrt()
+}
+
+// PairwiseDistancesFromSq derives the condensed Euclidean distance matrix
+// from an already-computed squared-distance matrix without touching the
+// input — the staged pipeline computes the O(N²·M) squared distances once
+// and shares them between Ward (which consumes squared distances) and the
+// selection metrics (which want Euclidean ones).
+func PairwiseDistancesFromSq(d2 *mat.Condensed) *mat.Condensed {
+	return d2.Clone().Sqrt()
 }
 
 // numLabels returns the number of clusters (max label + 1) and the size of

@@ -85,11 +85,14 @@ func TestMeasurementToAnalysisPipeline(t *testing.T) {
 	// Swap the collected matrix into the dataset and run the analysis:
 	// the clusters must still be discovered from wire-collected data.
 	ds.Traffic = collected
-	res := analysis.RunOnDataset(ds, analysis.Config{
+	res, err := analysis.RunOnDataset(ds, analysis.Config{
 		Seed:        77,
 		Scale:       0.04,
 		ForestTrees: 20,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p := res.Purity(); p < 0.8 {
 		t.Fatalf("pipeline purity on wire-collected data: %.3f", p)
 	}

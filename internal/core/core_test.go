@@ -13,12 +13,16 @@ var resultCache *analysis.Result
 func testResult(t *testing.T) *analysis.Result {
 	t.Helper()
 	if resultCache == nil {
-		resultCache = analysis.Run(analysis.Config{
+		res, err := analysis.Run(analysis.Config{
 			Seed:         42,
 			Scale:        0.1,
 			OutdoorCount: 200,
 			ForestTrees:  30,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultCache = res
 	}
 	return resultCache
 }

@@ -57,8 +57,12 @@ type Suite struct {
 }
 
 // NewSuite runs the pipeline with the given configuration and wraps it.
-func NewSuite(cfg analysis.Config) *Suite {
-	return &Suite{Res: analysis.Run(cfg), TemporalAntennasPerCluster: 40}
+func NewSuite(cfg analysis.Config) (*Suite, error) {
+	res, err := analysis.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Res: res, TemporalAntennasPerCluster: 40}, nil
 }
 
 func check(name string, pass bool, format string, args ...interface{}) Check {
@@ -230,8 +234,8 @@ func (s *Suite) Figure3() Artifact {
 	fmt.Fprintf(&b, "three-branch / paper-group agreement: %.3f\n", branchPurity)
 
 	// Dendrogram fidelity: cophenetic correlation between the hierarchy
-	// and the underlying RSCA distances.
-	coph := cluster.CopheneticCorrelation(l, cluster.PairwiseDistances(s.Res.RSCA))
+	// and the pipeline's shared RSCA distance matrix.
+	coph := cluster.CopheneticCorrelation(l, s.Res.Distances())
 	fmt.Fprintf(&b, "cophenetic correlation: %.3f\n", coph)
 
 	tb := report.NewTable("clusters at k=9", "cluster", "group", "antennas")

@@ -14,13 +14,17 @@ var suiteCache *Suite
 func testSuite(t *testing.T) *Suite {
 	t.Helper()
 	if suiteCache == nil {
-		suiteCache = NewSuite(analysis.Config{
+		s, err := NewSuite(analysis.Config{
 			Seed:         42,
 			Scale:        0.12,
 			OutdoorCount: 600,
 			ForestTrees:  40,
 		})
-		suiteCache.TemporalAntennasPerCluster = 20
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TemporalAntennasPerCluster = 20
+		suiteCache = s
 	}
 	return suiteCache
 }

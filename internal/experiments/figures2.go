@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/envmodel"
+	"repro/internal/mat"
 	"repro/internal/report"
 	"repro/internal/services"
 	"repro/internal/shap"
@@ -288,13 +289,19 @@ func (s *Suite) AblationFeatureTransform() Artifact {
 	for i, a := range s.Res.Dataset.Indoor {
 		truth[i] = a.Archetype
 	}
+	// Alternative feature sets compute squared distances once and share
+	// them between Ward (which consumes them) and Silhouette (which wants
+	// the Euclidean copy) — the same sharing the pipeline does for RSCA.
 	evaluate := func(features *matDense) (float64, float64) {
-		l := cluster.Ward(features)
-		labels := l.CutK(s.Res.K)
-		d := cluster.PairwiseDistances(features)
+		d2 := mat.PairwiseSqDist(features)
+		d := cluster.PairwiseDistancesFromSq(d2)
+		labels := cluster.WardFromSqDistances(d2).CutK(s.Res.K)
 		return cluster.Silhouette(d, labels), analysisARI(labels, truth)
 	}
-	rscaSil, rscaARI := evaluate(s.Res.RSCA)
+	// The RSCA column reuses the pipeline's own linkage and distances.
+	rscaLabels := s.Res.Linkage.CutK(s.Res.K)
+	rscaSil := cluster.Silhouette(s.Res.Distances(), rscaLabels)
+	rscaARI := analysisARI(rscaLabels, truth)
 	rcaSil, rcaARI := evaluate(rcaOf(t))
 	normSil, normARI := evaluate(normOf(t))
 
@@ -324,7 +331,7 @@ func (s *Suite) AblationWardVsKMeans() Artifact {
 	km := cluster.KMeans(s.Res.RSCA, s.Res.K, s.Res.Config.Seed+7, 100)
 	wardARI := analysisARI(s.Res.Labels, truth)
 	kmARI := analysisARI(km.Labels, truth)
-	d := cluster.PairwiseDistances(s.Res.RSCA)
+	d := s.Res.Distances()
 	wardSil := cluster.Silhouette(d, s.Res.Labels)
 	kmSil := cluster.Silhouette(d, km.Labels)
 

@@ -1,12 +1,12 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/pipe"
 	"repro/internal/rng"
 )
 
@@ -52,6 +52,14 @@ type Forest struct {
 // Train fits a random forest on the rows of x with labels y in
 // [0, classes). Identical configs yield identical forests.
 func Train(x *mat.Dense, y []int, classes int, cfg Config) *Forest {
+	f, _ := TrainContext(context.Background(), x, y, classes, cfg)
+	return f
+}
+
+// TrainContext is Train with cooperative cancellation: tree training runs
+// on the shared worker pool and stops claiming new trees once ctx is
+// cancelled, returning ctx.Err() and no forest.
+func TrainContext(ctx context.Context, x *mat.Dense, y []int, classes int, cfg Config) (*Forest, error) {
 	n := x.Rows()
 	if len(y) != n {
 		panic(fmt.Sprintf("forest: %d labels for %d rows", len(y), n))
@@ -68,9 +76,9 @@ func Train(x *mat.Dense, y []int, classes int, cfg Config) *Forest {
 	oobVotes := mat.NewDense(n, classes)
 	oobSeen := make([]bool, n)
 
-	// Trees are independent given their seed, so they train in parallel;
-	// seeds are pre-split sequentially so results are identical to the
-	// serial order regardless of scheduling.
+	// Trees are independent given their seed, so they train in parallel on
+	// the shared worker pool; seeds are pre-split sequentially so results
+	// are identical to the serial order regardless of scheduling.
 	treeCfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Features: cfg.Features}
 	seeds := make([]*rng.Source, cfg.Trees)
 	for t := range seeds {
@@ -79,35 +87,21 @@ func Train(x *mat.Dense, y []int, classes int, cfg Config) *Forest {
 	f.Trees = make([]*Tree, cfg.Trees)
 	inBags := make([][]bool, cfg.Trees)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Trees {
-		workers = cfg.Trees
+	err := pipe.Shared().ForEach(ctx, cfg.Trees, func(t int) {
+		r := seeds[t]
+		idx := make([]int, n)
+		inBag := make([]bool, n)
+		for i := range idx {
+			s := r.Intn(n)
+			idx[i] = s
+			inBag[s] = true
+		}
+		f.Trees[t] = BuildTree(x, y, idx, classes, treeCfg, r)
+		inBags[t] = inBag
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				r := seeds[t]
-				idx := make([]int, n)
-				inBag := make([]bool, n)
-				for i := range idx {
-					s := r.Intn(n)
-					idx[i] = s
-					inBag[s] = true
-				}
-				f.Trees[t] = BuildTree(x, y, idx, classes, treeCfg, r)
-				inBags[t] = inBag
-			}
-		}()
-	}
-	for t := 0; t < cfg.Trees; t++ {
-		next <- t
-	}
-	close(next)
-	wg.Wait()
 
 	// Out-of-bag voting, accumulated serially for determinism.
 	for t, tree := range f.Trees {
@@ -147,7 +141,7 @@ func Train(x *mat.Dense, y []int, classes int, cfg Config) *Forest {
 	} else {
 		f.OOBAccuracy = float64(correct) / float64(counted)
 	}
-	return f
+	return f, nil
 }
 
 // PredictProbs returns the ensemble-averaged class probabilities.

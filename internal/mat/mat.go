@@ -6,11 +6,12 @@
 package mat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"repro/internal/pipe"
 )
 
 // Dense is a row-major dense matrix of float64 values.
@@ -209,45 +210,55 @@ func (c *Condensed) At(i, j int) float64 { return c.data[c.index(i, j)] }
 // Set assigns element (i, j) (and, implicitly, (j, i)).
 func (c *Condensed) Set(i, j int, v float64) { c.data[c.index(i, j)] = v }
 
-// PairwiseSqDist computes the condensed matrix of squared Euclidean
-// distances between all row pairs of m. Rows are processed in parallel;
-// each worker writes a disjoint slice of the condensed storage, so the
-// result is deterministic.
-func PairwiseSqDist(m *Dense) *Condensed {
-	c := NewCondensed(m.rows)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.rows {
-		workers = m.rows
+// Clone returns a deep copy of the condensed matrix.
+func (c *Condensed) Clone() *Condensed {
+	out := &Condensed{n: c.n, data: make([]float64, len(c.data))}
+	copy(out.data, c.data)
+	return out
+}
+
+// Sqrt replaces every stored distance with its square root in place and
+// returns the receiver — the condensed squared-distance → Euclidean
+// conversion the clustering metrics consume.
+func (c *Condensed) Sqrt() *Condensed {
+	for i, v := range c.data {
+		c.data[i] = math.Sqrt(v)
 	}
-	if workers <= 1 || m.rows < 128 {
+	return c
+}
+
+// PairwiseSqDist computes the condensed matrix of squared Euclidean
+// distances between all row pairs of m. Rows are processed in parallel on
+// the shared worker pool; each row writes a disjoint slice of the
+// condensed storage, so the result is deterministic.
+func PairwiseSqDist(m *Dense) *Condensed {
+	c, _ := PairwiseSqDistContext(context.Background(), m)
+	return c
+}
+
+// PairwiseSqDistContext is PairwiseSqDist with cooperative cancellation:
+// the row loop stops early and returns ctx.Err() when ctx is cancelled.
+func PairwiseSqDistContext(ctx context.Context, m *Dense) (*Condensed, error) {
+	c := NewCondensed(m.rows)
+	if m.rows < 128 {
 		for i := 0; i < m.rows; i++ {
 			ri := m.Row(i)
 			for j := i + 1; j < m.rows; j++ {
 				c.Set(i, j, SqDist(ri, m.Row(j)))
 			}
 		}
-		return c
+		return c, ctx.Err()
 	}
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				ri := m.Row(i)
-				for j := i + 1; j < m.rows; j++ {
-					c.Set(i, j, SqDist(ri, m.Row(j)))
-				}
-			}
-		}()
+	err := pipe.Shared().ForEach(ctx, m.rows, func(i int) {
+		ri := m.Row(i)
+		for j := i + 1; j < m.rows; j++ {
+			c.Set(i, j, SqDist(ri, m.Row(j)))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < m.rows; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
-	return c
+	return c, nil
 }
 
 // ErrSingular reports a numerically singular system in SolveLinear.

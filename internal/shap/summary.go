@@ -1,11 +1,11 @@
 package shap
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/forest"
 	"repro/internal/mat"
+	"repro/internal/pipe"
 	"repro/internal/stats"
 )
 
@@ -64,7 +64,7 @@ func Summarize(f *forest.Forest, x *mat.Dense, sampleIdx []int, topK int) []Clas
 	// phiPerClass[c] is an nSamples × m matrix of Shapley values.
 	phiPerClass := make([]*mat.Dense, f.Classes)
 	for c := range phiPerClass {
-		phiPerClass[c] = mat.NewDense(maxInt(nSamples, 1), m)
+		phiPerClass[c] = mat.NewDense(max(nSamples, 1), m)
 	}
 	for si, rowIdx := range sampleIdx {
 		row := x.Row(rowIdx)
@@ -100,7 +100,7 @@ func summarizeFromPhi(x *mat.Dense, sampleIdx []int, phiPerClass []*mat.Dense, t
 			}
 			imp := FeatureImportance{
 				Feature:          j,
-				MeanAbs:          absSum / float64(maxInt(nSamples, 1)),
+				MeanAbs:          absSum / float64(max(nSamples, 1)),
 				ValueCorrelation: stats.PearsonCorrelation(vals, phis),
 			}
 			if posCount > 0 {
@@ -149,42 +149,18 @@ func SummarizeClass(f *forest.Forest, x *mat.Dense, class int, sampleIdx []int, 
 		}
 	}
 	m := x.Cols()
-	phi := mat.NewDense(maxInt(len(sampleIdx), 1), m)
+	phi := mat.NewDense(max(len(sampleIdx), 1), m)
 	// Each sample's explanation is independent and writes its own row, so
-	// the computation parallelizes deterministically.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sampleIdx) {
-		workers = len(sampleIdx)
-	}
-	if workers <= 1 {
-		for si, rowIdx := range sampleIdx {
-			e := ForestSHAP(f, x.Row(rowIdx), class, m)
-			copy(phi.Row(si), e.Phi)
-		}
-	} else {
-		var wg sync.WaitGroup
-		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for si := range jobs {
-					e := ForestSHAP(f, x.Row(sampleIdx[si]), class, m)
-					copy(phi.Row(si), e.Phi)
-				}
-			}()
-		}
-		for si := range sampleIdx {
-			jobs <- si
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	// the shared-pool computation is deterministic.
+	pipe.Shared().ForEach(context.Background(), len(sampleIdx), func(si int) {
+		e := ForestSHAP(f, x.Row(sampleIdx[si]), class, m)
+		copy(phi.Row(si), e.Phi)
+	})
 	phiPerClass := make([]*mat.Dense, class+1)
 	phiPerClass[class] = phi
 	for c := range phiPerClass {
 		if phiPerClass[c] == nil {
-			phiPerClass[c] = mat.NewDense(maxInt(len(sampleIdx), 1), m)
+			phiPerClass[c] = mat.NewDense(max(len(sampleIdx), 1), m)
 		}
 	}
 	sums := summarizeFromPhi(x, sampleIdx, phiPerClass, topK)
@@ -219,11 +195,4 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

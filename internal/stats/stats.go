@@ -349,18 +349,11 @@ func (c *Contingency) CramersV() float64 {
 			chi2 += d * d / expected
 		}
 	}
-	k := float64(minInt(rows, cols) - 1)
+	k := float64(min(rows, cols) - 1)
 	if k <= 0 {
 		return 0
 	}
 	return math.Sqrt(chi2 / (float64(n) * k))
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // PearsonCorrelation returns the linear correlation of xs and ys, or 0 when

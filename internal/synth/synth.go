@@ -328,7 +328,7 @@ func Generate(cfg Config) *Dataset {
 	}
 	outRng := root.Split()
 	ds.Outdoor = make([]*Antenna, 0, cfg.OutdoorCount)
-	ds.OutdoorTraffic = mat.NewDense(maxInt(cfg.OutdoorCount, 1), services.M)
+	ds.OutdoorTraffic = mat.NewDense(max(cfg.OutdoorCount, 1), services.M)
 	for i := 0; i < cfg.OutdoorCount; i++ {
 		// Anchor near a random indoor site so the 1 km neighbourhood
 		// queries of Section 5.3 find real neighbours.
@@ -390,13 +390,6 @@ func upper(s string) string {
 	return string(b)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // attachSignatureEvents wires the two landmark events the paper calls out.
 func attachSignatureEvents(ds *Dataset, cal *temporal.Calendar) {
 	jan19 := cal.StrikeDay()
@@ -412,7 +405,7 @@ func attachSignatureEvents(ds *Dataset, cal *temporal.Calendar) {
 		}
 		if !sirhaDone && ant.Env == envmodel.Expo && ant.City == "Lyon" && ant.Archetype == 5 {
 			markSite(ds, ant.Site, temporal.Event{
-				FirstDay: jan19, LastDay: minInt(jan19+5, cal.Days()-1),
+				FirstDay: jan19, LastDay: min(jan19+5, cal.Days()-1),
 				StartHour: 9, EndHour: 19,
 				Intensity: 18, Label: "sirha-lyon",
 			})
@@ -422,13 +415,6 @@ func attachSignatureEvents(ds *Dataset, cal *temporal.Calendar) {
 			break
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func markSite(ds *Dataset, site int, ev temporal.Event) {
