@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: build test race bench artifacts
+.PHONY: build lint test race bench artifacts
 
 build:
 	$(GO) build ./...
 
-test: build
+# Domain lint: icnvet machine-checks the pipeline's determinism,
+# concurrency and error-handling contracts (see DESIGN.md).
+lint: build
+	$(GO) run ./cmd/icnvet
+
+test: lint
 	$(GO) test ./...
 
 # Full suite under the race detector — the shared worker pool and the

@@ -65,7 +65,10 @@ func main() {
 	if kk > table.Traffic.Rows() {
 		kk = table.Traffic.Rows()
 	}
-	labels := linkage.CutK(kk)
+	labels, err := linkage.Cut(kk)
+	if err != nil {
+		fatal(err)
+	}
 	sizes := make([]int, kk)
 	for _, l := range labels {
 		sizes[l]++

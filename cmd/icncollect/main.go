@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/pipe"
 	"repro/internal/probe"
 	"repro/internal/rng"
 	"repro/internal/services"
@@ -56,7 +57,10 @@ func runCollector(addr string, interval time.Duration) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	go func() {
+	// The reporter rides on pipe.Tasks like every other goroutine in the
+	// module, so it is tracked and drained before the process exits.
+	var reporter pipe.Tasks
+	reporter.Go(func() {
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		var last collect.Stats
@@ -73,9 +77,11 @@ func runCollector(addr string, interval time.Duration) {
 				}
 			}
 		}
-	}()
+	})
 
 	err = c.Serve(ctx)
+	stop()
+	reporter.Wait()
 	st := c.Snapshot()
 	fmt.Printf("icncollect: stopped (%v) — %d connections, %d records aggregated\n",
 		err, st.Connections, st.Records)

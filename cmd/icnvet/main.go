@@ -1,0 +1,74 @@
+// Command icnvet is the module's domain linter: it loads every package and
+// enforces the pipeline's determinism, concurrency and error-handling
+// contracts with the internal/lint analyzer suite.
+//
+// Usage:
+//
+//	icnvet [-C dir] [-json] [-analyzers poolgo,errwrap] [-list]
+//
+// Exit status: 0 when the module is clean, 1 when findings were reported,
+// 2 when the module could not be loaded. Individual findings are
+// suppressed in source with "//lint:allow <analyzer> <reason>".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *names != "" {
+		var err error
+		analyzers, err = lint.ByName(*names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icnvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	findings, err := lint.Run(*dir, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icnvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "icnvet: encode: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "icnvet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

@@ -245,7 +245,10 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 	// the ground-truth archetypes (validation/reporting only).
 	g.Add("labels", []string{"linkage"}, func(ctx context.Context) error {
 		res.K = cfg.K
-		rawLabels := res.Linkage.CutK(res.K)
+		rawLabels, err := res.Linkage.Cut(res.K)
+		if err != nil {
+			return fmt.Errorf("flat cut: %w", err)
+		}
 		res.LabelAlignment = alignLabels(rawLabels, ds, res.K)
 		res.Labels = make([]int, len(rawLabels))
 		for i, l := range rawLabels {
@@ -649,9 +652,14 @@ func (r *Result) Stability(rounds int, frac float64, seed uint64) StabilityRepor
 	return rep
 }
 
-// ARI computes the adjusted Rand index between two labelings.
+// ARI computes the adjusted Rand index between two labelings. All pair
+// counts accumulate as integers — the contingency tables are maps, and
+// summing floats in randomized map order would leak iteration order into
+// the low bits of the result, breaking golden parity.
 func ARI(a, b []int) float64 {
 	if len(a) != len(b) {
+		// Both labelings always describe the same antenna set.
+		//lint:allow nopanic paired labelings derive from one antenna set
 		panic("analysis: ARI length mismatch")
 	}
 	n := len(a)
@@ -664,8 +672,11 @@ func ARI(a, b []int) float64 {
 		aCount[a[i]]++
 		bCount[b[i]]++
 	}
-	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
-	var sumCont, sumA, sumB float64
+	// m*(m-1) is even, so choose2 is exact in int64; sums stay exact and
+	// order-independent (labelings cap at millions of antennas, far from
+	// overflow).
+	choose2 := func(m int) int64 { return int64(m) * int64(m-1) / 2 }
+	var sumCont, sumA, sumB int64
 	for _, c := range cont {
 		sumCont += choose2(c)
 	}
@@ -679,10 +690,13 @@ func ARI(a, b []int) float64 {
 	if total == 0 {
 		return 1
 	}
-	expected := sumA * sumB / total
-	maxIdx := (sumA + sumB) / 2
-	if maxIdx == expected {
+	// Degenerate-agreement guard on the integer identity
+	// (sumA+sumB)/2 == sumA*sumB/total, cross-multiplied to avoid any
+	// float comparison.
+	if (sumA+sumB)*total == 2*sumA*sumB {
 		return 1
 	}
-	return (sumCont - expected) / (maxIdx - expected)
+	expected := float64(sumA) * float64(sumB) / float64(total)
+	maxIdx := float64(sumA+sumB) / 2
+	return (float64(sumCont) - expected) / (maxIdx - expected)
 }

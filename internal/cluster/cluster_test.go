@@ -68,7 +68,7 @@ func TestWardRecoversBlobs(t *testing.T) {
 }
 
 func TestWardSingle(t *testing.T) {
-	x := mat.FromRows([][]float64{{1, 2}})
+	x := mat.MustFromRows([][]float64{{1, 2}})
 	l := Ward(x)
 	if l.N != 1 || len(l.Merges) != 0 {
 		t.Fatal("single point linkage")
@@ -80,7 +80,7 @@ func TestWardSingle(t *testing.T) {
 }
 
 func TestWardTwoPoints(t *testing.T) {
-	x := mat.FromRows([][]float64{{0, 0}, {3, 4}})
+	x := mat.MustFromRows([][]float64{{0, 0}, {3, 4}})
 	l := Ward(x)
 	if len(l.Merges) != 1 {
 		t.Fatalf("%d merges", len(l.Merges))
@@ -167,18 +167,23 @@ func TestCutKNested(t *testing.T) {
 	}
 }
 
-func TestCutKPanics(t *testing.T) {
-	l := Ward(mat.FromRows([][]float64{{0}, {1}}))
+func TestCutRejectsOutOfRangeK(t *testing.T) {
+	l := Ward(mat.MustFromRows([][]float64{{0}, {1}}))
 	for _, k := range []int{0, 3} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("CutK(%d) should panic", k)
-				}
-			}()
-			l.CutK(k)
-		}()
+		if _, err := l.Cut(k); err == nil {
+			t.Fatalf("Cut(%d) should report an error", k)
+		}
 	}
+}
+
+func TestCutKPanicsOnOutOfRangeK(t *testing.T) {
+	l := Ward(mat.MustFromRows([][]float64{{0}, {1}}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CutK(0) should panic")
+		}
+	}()
+	l.CutK(0)
 }
 
 func TestThresholdSeparatesK(t *testing.T) {
@@ -222,7 +227,7 @@ func TestSilhouetteSeparatedVsRandom(t *testing.T) {
 }
 
 func TestSilhouetteDegenerate(t *testing.T) {
-	x := mat.FromRows([][]float64{{0}, {1}, {2}})
+	x := mat.MustFromRows([][]float64{{0}, {1}, {2}})
 	d := PairwiseDistances(x)
 	if Silhouette(d, []int{0, 0, 0}) != 0 {
 		t.Fatal("single cluster silhouette should be 0")
@@ -298,7 +303,10 @@ func TestSweepKAndKnees(t *testing.T) {
 
 func TestKMeansRecoversBlobs(t *testing.T) {
 	x, truth := blobs(4, 25, 5, 5, 41)
-	res := KMeans(x, 4, 1, 100)
+	res, err := KMeans(x, 4, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agreement(res.Labels, truth) < 0.95 {
 		t.Fatalf("k-means agreement %.2f", agreement(res.Labels, truth))
 	}
@@ -309,8 +317,14 @@ func TestKMeansRecoversBlobs(t *testing.T) {
 
 func TestKMeansDeterministic(t *testing.T) {
 	x, _ := blobs(3, 10, 3, 3, 43)
-	a := KMeans(x, 3, 9, 50)
-	b := KMeans(x, 3, 9, 50)
+	a, err := KMeans(x, 3, 9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(x, 3, 9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a.Labels {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("same seed should give same labels")
@@ -319,8 +333,11 @@ func TestKMeansDeterministic(t *testing.T) {
 }
 
 func TestKMeansKEqualsN(t *testing.T) {
-	x := mat.FromRows([][]float64{{0, 0}, {5, 5}, {9, 0}})
-	res := KMeans(x, 3, 1, 50)
+	x := mat.MustFromRows([][]float64{{0, 0}, {5, 5}, {9, 0}})
+	res, err := KMeans(x, 3, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	distinct := map[int]bool{}
 	for _, l := range res.Labels {
 		distinct[l] = true
@@ -333,14 +350,14 @@ func TestKMeansKEqualsN(t *testing.T) {
 	}
 }
 
-func TestKMeansPanics(t *testing.T) {
-	x := mat.FromRows([][]float64{{0}, {1}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	KMeans(x, 5, 1, 10)
+func TestKMeansRejectsOutOfRangeK(t *testing.T) {
+	x := mat.MustFromRows([][]float64{{0}, {1}})
+	if _, err := KMeans(x, 5, 1, 10); err == nil {
+		t.Fatal("k > n should report an error")
+	}
+	if _, err := KMeans(x, 0, 1, 10); err == nil {
+		t.Fatal("k < 1 should report an error")
+	}
 }
 
 // Property: Ward cut labels are always a valid partition for random data.

@@ -9,7 +9,7 @@ import (
 
 func TestCopheneticDistancesSimple(t *testing.T) {
 	// Three collinear points: 0 at x=0, 1 at x=1, 2 at x=10.
-	x := mat.FromRows([][]float64{{0}, {1}, {10}})
+	x := mat.MustFromRows([][]float64{{0}, {1}, {10}})
 	l := Ward(x)
 	coph := l.CopheneticDistances()
 	// Points 0 and 1 merge first at height 1.
@@ -59,7 +59,7 @@ func TestCopheneticCorrelationHighOnBlobs(t *testing.T) {
 }
 
 func TestCopheneticCorrelationTiny(t *testing.T) {
-	x := mat.FromRows([][]float64{{0}, {1}})
+	x := mat.MustFromRows([][]float64{{0}, {1}})
 	l := Ward(x)
 	if CopheneticCorrelation(l, PairwiseDistances(x)) != 1 {
 		t.Fatal("n<3 should return 1")

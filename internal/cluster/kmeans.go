@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mat"
@@ -22,11 +23,12 @@ type KMeansResult struct {
 // KMeans clusters the rows of x into k groups with Lloyd's algorithm and
 // k-means++ seeding. It serves as the flat-clustering baseline in the Ward
 // ablation bench. maxIter bounds the Lloyd iterations; convergence stops
-// earlier when assignments stabilize. It panics when k is out of range.
-func KMeans(x *mat.Dense, k int, seed uint64, maxIter int) *KMeansResult {
+// earlier when assignments stabilize. A k outside [1, rows] — typically a
+// caller-supplied configuration value — is reported as an error.
+func KMeans(x *mat.Dense, k int, seed uint64, maxIter int) (*KMeansResult, error) {
 	n := x.Rows()
 	if k < 1 || k > n {
-		panic("cluster: KMeans k out of range")
+		return nil, fmt.Errorf("cluster: KMeans k=%d outside [1,%d]", k, n)
 	}
 	r := rng.New(seed)
 	cols := x.Cols()
@@ -122,5 +124,5 @@ func KMeans(x *mat.Dense, k int, seed uint64, maxIter int) *KMeansResult {
 	for i := 0; i < n; i++ {
 		inertia += mat.SqDist(x.Row(i), centroids.Row(labels[i]))
 	}
-	return &KMeansResult{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}
+	return &KMeansResult{Labels: labels, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
 }

@@ -89,6 +89,9 @@ func agglomerateFromDistances(d *mat.Condensed, method Method) *Linkage {
 		case MethodSingle:
 			return math.Min(dik, djk)
 		}
+		// Method is an enum validated by Agglomerative's entry point;
+		// reaching here means a new Method constant missed a case.
+		//lint:allow nopanic exhaustive-switch guard over an internal enum
 		panic("cluster: unsupported method in update")
 	}
 

@@ -43,7 +43,7 @@ func TestSingleLinkageChains(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		rows = append(rows, []float64{100 + float64(i%3)*0.1, 50 + float64(i/3)*0.1})
 	}
-	x := mat.FromRows(rows)
+	x := mat.MustFromRows(rows)
 	single := Agglomerative(x, MethodSingle).CutK(2)
 	// All chain points share one label under single linkage.
 	for i := 1; i < 12; i++ {
@@ -64,7 +64,7 @@ func TestCompleteVsSingleOnChain(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		rows = append(rows, []float64{float64(i), 0})
 	}
-	x := mat.FromRows(rows)
+	x := mat.MustFromRows(rows)
 	complete := Agglomerative(x, MethodComplete).CutK(2)
 	changes := 0
 	for i := 1; i < len(complete); i++ {
@@ -158,7 +158,7 @@ func bruteForceAverageHeights(x *mat.Dense) []float64 {
 }
 
 func TestAgglomerativeSinglePoint(t *testing.T) {
-	x := mat.FromRows([][]float64{{1, 2}})
+	x := mat.MustFromRows([][]float64{{1, 2}})
 	for _, m := range []Method{MethodComplete, MethodAverage, MethodSingle} {
 		l := Agglomerative(x, m)
 		if l.N != 1 || len(l.Merges) != 0 {

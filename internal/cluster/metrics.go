@@ -46,6 +46,9 @@ func numLabels(labels []int) (int, []int) {
 func Silhouette(d *mat.Condensed, labels []int) float64 {
 	n := d.N()
 	if len(labels) != n {
+		// Labels always come from cutting a linkage built over the same
+		// distance matrix; a mismatch is a wiring bug, not bad input.
+		//lint:allow nopanic labels and distances derive from the same matrix
 		panic("cluster: Silhouette label length mismatch")
 	}
 	k, sizes := numLabels(labels)
@@ -93,6 +96,7 @@ func Silhouette(d *mat.Condensed, labels []int) float64 {
 func DunnIndex(d *mat.Condensed, labels []int) float64 {
 	n := d.N()
 	if len(labels) != n {
+		//lint:allow nopanic labels and distances derive from the same matrix
 		panic("cluster: DunnIndex label length mismatch")
 	}
 	k, _ := numLabels(labels)

@@ -170,12 +170,14 @@ func mergeInto(d2 *mat.Condensed, active []bool, size []int, src, dst int, dij f
 	active[src] = false
 }
 
-// CutK cuts the dendrogram into k flat clusters, returning a label in
+// Cut cuts the dendrogram into k flat clusters, returning a label in
 // [0, k) for every leaf. Labels are assigned in order of first appearance
-// (leaf 0 always gets label 0). It panics unless 1 <= k <= N.
-func (l *Linkage) CutK(k int) []int {
+// (leaf 0 always gets label 0). A k outside [1, N] — e.g. straight from a
+// CLI flag or a config file — is reported as an error; use CutK when k is
+// already validated.
+func (l *Linkage) Cut(k int) ([]int, error) {
 	if k < 1 || k > l.N {
-		panic(fmt.Sprintf("cluster: CutK(%d) outside [1,%d]", k, l.N))
+		return nil, fmt.Errorf("cluster: cut at k=%d outside [1,%d]", k, l.N)
 	}
 	parent := make([]int, l.N+len(l.Merges))
 	for i := range parent {
@@ -210,7 +212,23 @@ func (l *Linkage) CutK(k int) []int {
 		labels[i] = id
 	}
 	if next != k {
+		// The union-find cut applies exactly N-k merges, so any other
+		// cluster count means the dendrogram itself is corrupt.
+		//lint:allow nopanic dendrogram structural invariant, not reachable from input
 		panic(fmt.Sprintf("cluster: cut produced %d clusters, want %d", next, k))
+	}
+	return labels, nil
+}
+
+// CutK is Cut for callers whose k is already validated (the pipeline
+// checks its configured K against the antenna count before clustering):
+// it panics instead of returning an error, keeping label derivations
+// chainable.
+func (l *Linkage) CutK(k int) []int {
+	labels, err := l.Cut(k)
+	if err != nil {
+		//lint:allow nopanic validated-k variant, callers check k at the boundary
+		panic(err)
 	}
 	return labels
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/pipe"
 	"repro/internal/probe"
 )
 
@@ -49,7 +50,10 @@ type Collector struct {
 	shutdown  bool
 	readLimit time.Duration
 
-	wg sync.WaitGroup
+	// handlers tracks per-connection goroutines so shutdown can drain
+	// them; all spawning goes through pipe.Tasks per the module's
+	// pool-only-goroutines contract.
+	handlers pipe.Tasks
 }
 
 // Option customizes a Collector.
@@ -88,8 +92,10 @@ func (c *Collector) Addr() net.Addr { return c.ln.Addr() }
 // clean shutdown, or the listener error otherwise.
 func (c *Collector) Serve(ctx context.Context) error {
 	done := make(chan struct{})
+	var watch pipe.Tasks
+	defer watch.Wait()
 	defer close(done)
-	go func() {
+	watch.Go(func() {
 		select {
 		case <-ctx.Done():
 			c.mu.Lock()
@@ -98,13 +104,13 @@ func (c *Collector) Serve(ctx context.Context) error {
 			c.ln.Close()
 		case <-done:
 		}
-	}()
+	})
 
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
 			// Drain in-flight connections before returning.
-			c.wg.Wait()
+			c.handlers.Wait()
 			c.mu.Lock()
 			wasShutdown := c.shutdown
 			c.mu.Unlock()
@@ -116,15 +122,13 @@ func (c *Collector) Serve(ctx context.Context) error {
 		c.mu.Lock()
 		c.stats.Connections++
 		c.mu.Unlock()
-		c.wg.Add(1)
-		go c.handle(conn)
+		c.handlers.Go(func() { c.handle(conn) })
 	}
 }
 
 // handle drains one probe stream. Records are aggregated as they arrive so
 // a long-lived probe feed contributes continuously.
 func (c *Collector) handle(conn net.Conn) {
-	defer c.wg.Done()
 	defer conn.Close()
 
 	reader := probe.NewReader(conn)

@@ -103,7 +103,11 @@ func ReadTraffic(r io.Reader) (*TrafficTable, error) {
 	if len(rows) < 2 {
 		return nil, fmt.Errorf("dataio: need at least two antennas, got %d", len(rows))
 	}
-	t.Traffic = mat.FromRows(rows)
+	traffic, err := mat.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: assemble traffic matrix: %w", err)
+	}
+	t.Traffic = traffic
 	return t, nil
 }
 

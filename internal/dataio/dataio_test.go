@@ -14,7 +14,7 @@ func sampleTable() *TrafficTable {
 	return &TrafficTable{
 		AntennaIDs: []string{"0", "1", "2"},
 		Services:   []string{"Netflix", "Spotify", `Odd "Name", Inc`},
-		Traffic: mat.FromRows([][]float64{
+		Traffic: mat.MustFromRows([][]float64{
 			{1.5, 0, 3},
 			{0, 2.25, 0},
 			{10, 20, 30},
@@ -153,7 +153,7 @@ func TestTrafficRoundTripProperty(t *testing.T) {
 		table := &TrafficTable{
 			AntennaIDs: []string{"a", "b"},
 			Services:   []string{"s1", "s2", "s3"},
-			Traffic: mat.FromRows([][]float64{
+			Traffic: mat.MustFromRows([][]float64{
 				{float64(cells[0]) / 16, float64(cells[1]) / 16, float64(cells[2]) / 16},
 				{float64(cells[3]) / 16, float64(cells[4]) / 16, float64(cells[5]) / 16},
 			}),

@@ -517,6 +517,7 @@ func Archetypes() []Archetype {
 
 	for i, a := range arch {
 		if a.Multipliers == nil || a.ID != i {
+			//lint:allow nopanic init-time consistency check of the compiled-in archetype table
 			panic(fmt.Sprintf("envmodel: archetype %d misconfigured", i))
 		}
 	}
@@ -576,6 +577,7 @@ func ArchetypeMix(env EnvType, paris bool) []MixEntry {
 	case PublicBuilding:
 		return []MixEntry{{2, 0.58}, {1, 0.32}, {3, 0.06}, {5, 0.04}}
 	}
+	//lint:allow nopanic exhaustive-switch guard over an internal enum
 	panic(fmt.Sprintf("envmodel: unknown environment %d", int(env)))
 }
 
@@ -621,6 +623,7 @@ func GroupOf(cluster int) Group {
 	case 1, 2, 3:
 		return GroupRed
 	}
+	//lint:allow nopanic exhaustive-switch guard over an internal enum
 	panic(fmt.Sprintf("envmodel: unknown cluster %d", cluster))
 }
 

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -65,6 +66,20 @@ func NewSuite(cfg analysis.Config) (*Suite, error) {
 	return &Suite{Res: res, TemporalAntennasPerCluster: 40}, nil
 }
 
+// failedArtifact renders an artifact whose generation failed: the error
+// becomes a failing check so EXPERIMENTS.md records the breakage instead
+// of the process dying mid-report.
+func failedArtifact(id, title string, err error) Artifact {
+	return Artifact{
+		ID:    id,
+		Title: title,
+		Text:  fmt.Sprintf("generation failed: %v\n", err),
+		Checks: []Check{
+			check("generated", false, "%v", err),
+		},
+	}
+}
+
 func check(name string, pass bool, format string, args ...interface{}) Check {
 	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
 }
@@ -83,6 +98,9 @@ func (s *Suite) Table1() Artifact {
 	}
 	tb.AddRow("TOTAL", total, envmodel.TotalIndoorAntennas)
 
+	// Exact equality intended: Scale is a configuration constant, not a
+	// computed value, and 1.0 is its full-scale sentinel.
+	//lint:allow floateq configured sentinel value, never computed
 	fullScale := s.Res.Config.Scale == 1
 	proportional := true
 	for _, e := range envmodel.AllEnvTypes() {
@@ -129,9 +147,13 @@ func (s *Suite) Figure1() Artifact {
 			}
 		}
 	}
-	hNorm := stats.NewHistogram(normVals, 40, 0, 1)
-	hRCA := stats.NewHistogram(rcaVals, 40, 0, 5)
-	hRSCA := stats.NewHistogram(rscaVals, 40, -1, 1)
+	const figure1Title = "Fig. 1 — normalized traffic vs RCA vs RSCA histograms"
+	hNorm, errNorm := stats.NewHistogram(normVals, 40, 0, 1)
+	hRCA, errRCA := stats.NewHistogram(rcaVals, 40, 0, 5)
+	hRSCA, errRSCA := stats.NewHistogram(rscaVals, 40, -1, 1)
+	if err := errors.Join(errNorm, errRCA, errRSCA); err != nil {
+		return failedArtifact("F1", figure1Title, err)
+	}
 
 	var b strings.Builder
 	b.WriteString(report.Histogram("Normalized traffic (by global max)", hNorm.Density(), 0, 1))
@@ -149,7 +171,7 @@ func (s *Suite) Figure1() Artifact {
 	inBounds := rca.Validate(rscaM) == nil
 	return Artifact{
 		ID:    "F1",
-		Title: "Fig. 1 — normalized traffic vs RCA vs RSCA histograms",
+		Title: figure1Title,
 		Text:  b.String(),
 		Checks: []Check{
 			check("normalized-spike-at-zero", normSpike, "mode bin %d density %.2f", hNorm.ModeBin(), hNorm.Density()[0]),

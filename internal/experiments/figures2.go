@@ -328,7 +328,11 @@ func (s *Suite) AblationWardVsKMeans() Artifact {
 	for i, a := range s.Res.Dataset.Indoor {
 		truth[i] = a.Archetype
 	}
-	km := cluster.KMeans(s.Res.RSCA, s.Res.K, s.Res.Config.Seed+7, 100)
+	const ablationTitle = "Ablation — Ward agglomerative vs k-means"
+	km, err := cluster.KMeans(s.Res.RSCA, s.Res.K, s.Res.Config.Seed+7, 100)
+	if err != nil {
+		return failedArtifact("A2", ablationTitle, err)
+	}
 	wardARI := analysisARI(s.Res.Labels, truth)
 	kmARI := analysisARI(km.Labels, truth)
 	d := s.Res.Distances()
@@ -340,7 +344,7 @@ func (s *Suite) AblationWardVsKMeans() Artifact {
 	tb.AddRow("k-means++", kmSil, kmARI)
 	return Artifact{
 		ID:    "A2",
-		Title: "Ablation — Ward agglomerative vs k-means",
+		Title: ablationTitle,
 		Text:  tb.String(),
 		Checks: []Check{
 			check("ward-competitive", wardARI >= kmARI-0.1,

@@ -62,10 +62,12 @@ func Train(x *mat.Dense, y []int, classes int, cfg Config) *Forest {
 func TrainContext(ctx context.Context, x *mat.Dense, y []int, classes int, cfg Config) (*Forest, error) {
 	n := x.Rows()
 	if len(y) != n {
+		//lint:allow nopanic paired features and labels derive from one training set
 		panic(fmt.Sprintf("forest: %d labels for %d rows", len(y), n))
 	}
 	for i, c := range y {
 		if c < 0 || c >= classes {
+			//lint:allow nopanic labels are produced by the clustering stage, not external input
 			panic(fmt.Sprintf("forest: label %d out of range at row %d", c, i))
 		}
 	}

@@ -83,7 +83,7 @@ func TestTreeProbsSumToOne(t *testing.T) {
 }
 
 func TestTreePureLeafConstantLabels(t *testing.T) {
-	x := mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := mat.MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	y := []int{1, 1, 1}
 	tree := BuildTree(x, y, nil, 2, TreeConfig{}, rng.New(1))
 	if tree.LeafCount() != 1 || tree.Depth() != 0 {
@@ -96,7 +96,7 @@ func TestTreePureLeafConstantLabels(t *testing.T) {
 
 func TestTreeIdenticalFeatures(t *testing.T) {
 	// No split possible when all feature vectors are identical.
-	x := mat.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
+	x := mat.MustFromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}})
 	y := []int{0, 1, 0, 1}
 	tree := BuildTree(x, y, nil, 2, TreeConfig{}, rng.New(1))
 	if tree.LeafCount() != 1 {
@@ -193,7 +193,7 @@ func TestForestPredictAll(t *testing.T) {
 }
 
 func TestTrainPanicsOnBadLabels(t *testing.T) {
-	x := mat.FromRows([][]float64{{1}, {2}})
+	x := mat.MustFromRows([][]float64{{1}, {2}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -203,7 +203,7 @@ func TestTrainPanicsOnBadLabels(t *testing.T) {
 }
 
 func TestTrainPanicsOnLengthMismatch(t *testing.T) {
-	x := mat.FromRows([][]float64{{1}, {2}})
+	x := mat.MustFromRows([][]float64{{1}, {2}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -61,6 +61,7 @@ type growContext struct {
 // labels y in [0, classes). A nil idx uses every row.
 func BuildTree(x *mat.Dense, y []int, idx []int, classes int, cfg TreeConfig, r *rng.Source) *Tree {
 	if len(y) != x.Rows() {
+		//lint:allow nopanic paired features and labels derive from one training set
 		panic(fmt.Sprintf("forest: %d labels for %d rows", len(y), x.Rows()))
 	}
 	if cfg.MinLeaf < 1 {
@@ -185,6 +186,7 @@ func (g *growContext) bestSplit(idx []int, parentCounts []int) (feature int, thr
 			nLeft++
 			v := vals[order[pos]]
 			next := vals[order[pos+1]]
+			//lint:allow floateq sorted neighbours compared for exact duplication, no arithmetic involved
 			if v == next {
 				continue // cannot split between equal values
 			}

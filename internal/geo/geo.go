@@ -41,6 +41,7 @@ type Index struct {
 // 1 km neighbourhood query).
 func NewIndex(points []Point, cellMeters float64) *Index {
 	if cellMeters <= 0 {
+		//lint:allow nopanic cell size is a compiled-in configuration constant
 		panic("geo: non-positive cell size")
 	}
 	// 1 degree of latitude ≈ 111.32 km.

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error-chain contract: when fmt.Errorf is given an
+// error argument, the format must wrap it with %w. Formatting an error
+// with %v or %s flattens it to text, so errors.Is and errors.As stop
+// working across stage boundaries — sentinel checks like
+// errors.Is(err, collect.ErrNoRecords) silently never match once a
+// careless wrap sits in between.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if funcFullName(calleeFunc(pass, call)) != "fmt.Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return true // dynamic format string: nothing to prove
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		wraps := countWrapVerbs(format)
+		errArgs := 0
+		for _, arg := range call.Args[1:] {
+			if implementsError(pass.TypeOf(arg)) {
+				errArgs++
+			}
+		}
+		if errArgs > wraps {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; errors.Is/As cannot see through it")
+		}
+		return true
+	})
+}
+
+// countWrapVerbs counts %w verbs, skipping literal %% escapes.
+func countWrapVerbs(format string) int {
+	count := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++ // skip the escape entirely
+			continue
+		}
+		// Scan past flags/width to the verb.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			count++
+		}
+		i = j
+	}
+	return count
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatDeterminism enforces the golden-parity contract on floating point:
+//
+//  1. No == or != between float operands. Computed floats differ in their
+//     low bits across refactors (fused operations, reassociation), so
+//     exact equality silently flips behaviour. Comparing against the exact
+//     constant 0 is exempt — a zero test on IEEE floats is well defined
+//     and the codebase uses it as a mass/degeneracy guard.
+//  2. No float accumulation inside a range over a map. Map iteration
+//     order is randomized per run, float addition is not associative, so
+//     the sum's low bits depend on the order — enough to flip a golden
+//     byte comparison. Accumulate integers, or iterate sorted keys.
+var FloatDeterminism = &Analyzer{
+	Name: "floateq",
+	Doc:  "no float ==/!=, no float accumulation over map iteration",
+	Run:  runFloatDeterminism,
+}
+
+func runFloatDeterminism(pass *Pass) {
+	inspectAll(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkFloatCompare(pass, n)
+		case *ast.RangeStmt:
+			checkMapRangeAccum(pass, n)
+		}
+		return true
+	})
+}
+
+func checkFloatCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+		return
+	}
+	// Exact-zero guards are deterministic and idiomatic; constant-only
+	// comparisons are folded at compile time.
+	if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+		return
+	}
+	pass.Reportf(be.OpPos, "float %s comparison; use an epsilon or annotate why exact equality is intended", be.Op)
+}
+
+// isZeroConst reports whether the expression is a compile-time constant
+// exactly equal to zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}
+
+// checkMapRangeAccum flags compound float assignments (+=, -=, *=, /=) to
+// variables declared outside a range-over-map body: their result depends
+// on the randomized iteration order.
+func checkMapRangeAccum(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				// Indexed/field targets keyed by loop state are fine;
+				// only whole-loop accumulators are order-sensitive.
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pos() >= rs.Pos() {
+				continue // declared inside the loop: reset every iteration
+			}
+			pass.Reportf(as.Pos(), "float accumulation over map iteration order is nondeterministic; accumulate integers or sort the keys first")
+		}
+		return true
+	})
+}

@@ -1,0 +1,234 @@
+// Package lint is a zero-dependency domain lint engine for this module: an
+// analyzer framework on the standard library's go/ast and go/types that
+// machine-checks the contracts the staged pipeline's correctness rests on —
+// goroutines only through internal/pipe, deterministic pre-split RNG, no
+// panics in library packages, %w error wrapping, and float comparisons /
+// accumulation patterns that keep golden outputs byte-identical.
+//
+// The cmd/icnvet driver loads every package in the module and runs the
+// Analyzers suite over it. Individual findings can be suppressed with an
+// annotation on the offending line or the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an annotation without one does not suppress
+// anything and is itself reported, so every escape hatch in the tree
+// documents why it exists.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation located in the analyzed source.
+type Finding struct {
+	// Analyzer is the name of the rule that fired.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the violation (file, line, column).
+	Pos token.Position `json:"pos"`
+	// Message explains the violation and the expected fix.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one domain rule. Run inspects the package behind the Pass and
+// reports violations through Pass.Reportf.
+type Analyzer struct {
+	// Name is the rule identifier used in findings and annotations.
+	Name string
+	// Doc is a one-line description of the enforced contract.
+	Doc string
+	// Run executes the rule over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file in the module.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (tests excluded).
+	Files []*ast.File
+	// PkgPath is the package import path (e.g. "repro/internal/mat").
+	PkgPath string
+	// ModulePath is the module path from go.mod (e.g. "repro").
+	ModulePath string
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object tables.
+	Info *types.Info
+
+	allows   allowIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shortcut for the type of an expression.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// allowKey identifies an annotation target: one analyzer on one source line.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowIndex maps annotated lines to suppressions. An annotation suppresses
+// findings on its own line and on the line immediately below it, so both
+// end-of-line and preceding-line comments work.
+type allowIndex map[allowKey]bool
+
+func (ai allowIndex) allowed(analyzer string, pos token.Position) bool {
+	if ai == nil {
+		return false
+	}
+	return ai[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		ai[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// allowDirective is the comment prefix of the suppression mechanism.
+const allowDirective = "//lint:allow"
+
+// indexAllows scans the files' comments for //lint:allow directives.
+// Malformed directives (missing analyzer or missing reason) are reported as
+// findings of the pseudo-analyzer "lint" so they cannot silently rot.
+func indexAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*findings = append(*findings, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed annotation: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				idx[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// Analyzers is the full suite icnvet runs by default.
+var Analyzers = []*Analyzer{
+	PoolOnlyGoroutines,
+	RNGDiscipline,
+	PanicFreeLibrary,
+	ErrWrap,
+	FloatDeterminism,
+}
+
+// ByName returns the analyzers matching the comma-separated names list, or
+// an error naming the first unknown entry.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range Analyzers {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// RunPackage executes the given analyzers over one loaded package and
+// returns the surviving (non-suppressed) findings.
+func RunPackage(mod *Module, pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	allows := indexAllows(mod.Fset, pkg.Files, &findings)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       mod.Fset,
+			Files:      pkg.Files,
+			PkgPath:    pkg.PkgPath,
+			ModulePath: mod.Path,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			allows:     allows,
+			findings:   &findings,
+		}
+		a.Run(pass)
+	}
+	return findings
+}
+
+// Run loads the module rooted at dir and executes the analyzers over every
+// package. Findings come back sorted by file, line, column and analyzer so
+// output is stable across runs.
+func Run(dir string, analyzers []*Analyzer) ([]Finding, error) {
+	mod, err := LoadModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		findings = append(findings, RunPackage(mod, pkg, analyzers)...)
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by position then analyzer name.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

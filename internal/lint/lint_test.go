@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The whole real module is loaded once and shared: srcimporter makes the
+// load the expensive part (~2s), and every test here only reads from it.
+var (
+	moduleOnce sync.Once
+	moduleVal  *Module
+	moduleErr  error
+)
+
+func loadTestModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		moduleVal, moduleErr = LoadModule(filepath.Join("..", ".."))
+	})
+	if moduleErr != nil {
+		t.Fatalf("LoadModule: %v", moduleErr)
+	}
+	return moduleVal
+}
+
+// checkFixture compiles the fixture directory under the synthetic import
+// path and runs the full analyzer suite, failing on any type error: a
+// fixture that does not compile proves nothing.
+func checkFixture(t *testing.T, name, pkgPath string) ([]Finding, *Package) {
+	t.Helper()
+	mod := loadTestModule(t)
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := mod.CheckPackageDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("CheckPackageDir(%s): %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	return RunPackage(mod, pkg, Analyzers), pkg
+}
+
+// wantMarkers extracts the fixture's "// want <analyzer>..." comments as a
+// line → expected-analyzers map.
+func wantMarkers(mod *Module, pkg *Package) map[int][]string {
+	wants := map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				line := mod.Fset.Position(c.Pos()).Line
+				wants[line] = append(wants[line], strings.Fields(rest)...)
+			}
+		}
+	}
+	return wants
+}
+
+// matchWants compares actual findings against the fixture's markers, in
+// both directions: every marker must fire, and nothing else may.
+func matchWants(t *testing.T, mod *Module, pkg *Package, findings []Finding) {
+	t.Helper()
+	wants := wantMarkers(mod, pkg)
+	got := map[int][]string{}
+	for _, f := range findings {
+		got[f.Pos.Line] = append(got[f.Pos.Line], f.Analyzer)
+	}
+	for line, analyzers := range wants {
+		sort.Strings(analyzers)
+		g := append([]string(nil), got[line]...)
+		sort.Strings(g)
+		if fmt.Sprint(analyzers) != fmt.Sprint(g) {
+			t.Errorf("line %d: want findings %v, got %v", line, analyzers, g)
+		}
+	}
+	for line, analyzers := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("line %d: unexpected findings %v", line, analyzers)
+		}
+	}
+}
+
+// Each analyzer's fixture is checked under an internal/ path so the
+// path-sensitive rules treat it as library code; the markers pin both the
+// positive cases and (by absence) the negative ones.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"poolgo", "rngdet", "nopanic", "errwrap", "floateq"} {
+		t.Run(name, func(t *testing.T) {
+			mod := loadTestModule(t)
+			findings, pkg := checkFixture(t, name, mod.Path+"/internal/"+name+"fixture")
+			matchWants(t, mod, pkg, findings)
+		})
+	}
+}
+
+// The poolgo and nopanic contracts do not apply to cmd/ main packages:
+// the same fixtures checked under a cmd/ path must come back clean.
+func TestCmdPackagesAreExempt(t *testing.T) {
+	mod := loadTestModule(t)
+	for _, name := range []string{"poolgo", "nopanic"} {
+		findings, _ := checkFixture(t, name, mod.Path+"/cmd/"+name+"fixture")
+		for _, f := range findings {
+			t.Errorf("fixture %s under cmd/: unexpected finding: %s", name, f)
+		}
+	}
+}
+
+// A //lint:allow without a reason must not suppress anything and is itself
+// reported by the pseudo-analyzer "lint".
+func TestMalformedAnnotation(t *testing.T) {
+	mod := loadTestModule(t)
+	findings, _ := checkFixture(t, "allowbad", mod.Path+"/internal/allowbadfixture")
+	var analyzers []string
+	for _, f := range findings {
+		analyzers = append(analyzers, f.Analyzer)
+	}
+	sort.Strings(analyzers)
+	if fmt.Sprint(analyzers) != fmt.Sprint([]string{"lint", "nopanic"}) {
+		t.Fatalf("want [lint nopanic] findings, got %v:\n%v", analyzers, findings)
+	}
+}
+
+// The module's own source must lint clean with the full suite — this is
+// the tree-wide contract check that cmd/icnvet enforces in CI, run here so
+// `go test` alone catches a regression.
+func TestModuleIsClean(t *testing.T) {
+	mod := loadTestModule(t)
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	var all []Finding
+	for _, pkg := range mod.Pkgs {
+		all = append(all, RunPackage(mod, pkg, Analyzers)...)
+	}
+	SortFindings(all)
+	for _, f := range all {
+		t.Errorf("module not lint-clean: %s", f)
+	}
+}
+
+func TestModuleLoadShape(t *testing.T) {
+	mod := loadTestModule(t)
+	if mod.Path != "repro" {
+		t.Fatalf("module path = %q, want repro", mod.Path)
+	}
+	for _, path := range []string{"repro/internal/pipe", "repro/internal/rng", "repro/internal/mat", "repro/cmd/icnvet"} {
+		if mod.PackageByPath(path) == nil {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+	// Dependencies-first ordering: pipe must be checked before analysis,
+	// which imports it.
+	idx := map[string]int{}
+	for i, pkg := range mod.Pkgs {
+		idx[pkg.PkgPath] = i
+	}
+	if idx["repro/internal/pipe"] > idx["repro/internal/analysis"] {
+		t.Errorf("pipe checked after analysis: topo order broken")
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("nopanic, errwrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "nopanic" || got[1].Name != "errwrap" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestCountWrapVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   int
+	}{
+		{"plain", 0},
+		{"%w", 1},
+		{"%v and %w", 1},
+		{"%w then %w", 2},
+		{"100%% %w", 1},
+		{"%%w", 0},
+		{"%+w", 1},
+		{"%[1]w", 1},
+	}
+	for _, c := range cases {
+		if got := countWrapVerbs(c.format); got != c.want {
+			t.Errorf("countWrapVerbs(%q) = %d, want %d", c.format, got, c.want)
+		}
+	}
+}
+
+func TestAllowAdjacency(t *testing.T) {
+	ai := allowIndex{
+		allowKey{"f.go", 10, "nopanic"}: true,
+	}
+	for _, c := range []struct {
+		line int
+		want bool
+	}{
+		{10, true},  // same line
+		{11, true},  // line below the annotation
+		{12, false}, // two lines down: not covered
+		{9, false},  // line above: not covered
+	} {
+		pos := token.Position{Filename: "f.go", Line: c.line}
+		if got := ai.allowed("nopanic", pos); got != c.want {
+			t.Errorf("allowed(line %d) = %v, want %v", c.line, got, c.want)
+		}
+	}
+	if ai.allowed("errwrap", token.Position{Filename: "f.go", Line: 10}) {
+		t.Error("annotation for nopanic suppressed errwrap")
+	}
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PanicFreeLibrary enforces the error-propagation contract: library
+// packages (internal/*) surface failures as returned errors flowing
+// through the pipeline's StageError machinery, not as panics. A panic in
+// a stage body tears down the whole process instead of cancelling the run
+// cleanly, and it cannot be inspected with errors.Is/As across stage
+// boundaries.
+//
+// Panics that check compiled-in invariants (impossible-by-construction
+// states, programmer errors caught at development time) are permitted
+// when annotated with //lint:allow nopanic <reason>; the annotation forces
+// the "why is this not a returned error" justification into the source.
+var PanicFreeLibrary = &Analyzer{
+	Name: "nopanic",
+	Doc:  "internal/* packages must return errors instead of panicking",
+	Run:  runPanicFreeLibrary,
+}
+
+func runPanicFreeLibrary(pass *Pass) {
+	if !underModule(pass.PkgPath, pass.ModulePath, "internal") {
+		return
+	}
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !isBuiltin(pass, id, "panic") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "panic in library package; return an error (it flows through pipe.StageError) or annotate the invariant")
+		return true
+	})
+}

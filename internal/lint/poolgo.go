@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PoolOnlyGoroutines enforces the pipeline's fan-out contract: every
+// goroutine in library code is spawned by internal/pipe (the bounded
+// worker pool and the Tasks tracker), never by a raw go statement. Raw go
+// statements hide concurrency from the scheduler's observability, escape
+// the pool's backpressure, and — because they are not awaited anywhere —
+// are the classic source of leaked goroutines on error paths.
+//
+// go statements are permitted inside internal/pipe itself (that is the
+// spawn point the contract funnels through) and in cmd/ main packages,
+// which own their process lifecycle. Everything else must route work
+// through pipe.Pool.ForEach / pipe.Tasks.Go or carry a //lint:allow with a
+// reason.
+var PoolOnlyGoroutines = &Analyzer{
+	Name: "poolgo",
+	Doc:  "goroutines must be spawned through internal/pipe, not raw go statements",
+	Run:  runPoolOnlyGoroutines,
+}
+
+func runPoolOnlyGoroutines(pass *Pass) {
+	if pass.PkgPath == pass.ModulePath+"/internal/pipe" || underModule(pass.PkgPath, pass.ModulePath, "cmd") {
+		return
+	}
+	inspectAll(pass, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(), "raw go statement outside internal/pipe; use pipe.Pool.ForEach or pipe.Tasks.Go")
+		}
+		return true
+	})
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// RNGDiscipline enforces the reproducibility contract on randomness: all
+// pseudo-randomness flows from internal/rng sources with explicit seeds,
+// and data-parallel loops consume pre-split per-index streams.
+//
+// Three rules:
+//
+//  1. math/rand and math/rand/v2 are banned outside internal/rng. Their
+//     global generators are process-wide mutable state seeded differently
+//     across runs, which breaks byte-identical golden outputs.
+//  2. rng constructors must not be seeded from the clock: passing a
+//     time.Now()-derived value into internal/rng makes every run unique.
+//  3. Inside a function literal handed to pipe.Pool.ForEach, calling a
+//     method on an rng.Source captured from the enclosing scope is a data
+//     race on the generator state and makes results depend on goroutine
+//     scheduling. Split one child Source per index before the loop
+//     (Source.Split) and index into the slice instead.
+var RNGDiscipline = &Analyzer{
+	Name: "rngdet",
+	Doc:  "randomness must come from explicitly seeded, pre-split internal/rng sources",
+	Run:  runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *Pass) {
+	rngPath := pass.ModulePath + "/internal/rng"
+	if pass.PkgPath == rngPath {
+		return
+	}
+
+	// Rule 1: no math/rand imports.
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rng; use rng.New with an explicit seed", path)
+			}
+		}
+	}
+
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 2: rng constructors seeded from the clock.
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == rngPath {
+			for _, arg := range call.Args {
+				if tc := findTimeCall(pass, arg); tc != nil {
+					pass.Reportf(tc.Pos(), "time-seeded %s breaks reproducibility; thread an explicit seed", fn.Name())
+				}
+			}
+		}
+		// Rule 3: shared Source inside a pool fan-out body.
+		if lit := forEachBody(pass, call); lit != nil {
+			checkSharedSource(pass, lit)
+		}
+		return true
+	})
+}
+
+// findTimeCall returns a call to time.Now (or time.Since etc.) nested in
+// the expression, or nil.
+func findTimeCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// forEachBody returns the function-literal work body of a
+// pipe.Pool.ForEach call, or nil when call is something else.
+func forEachBody(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "ForEach" {
+		return nil
+	}
+	if !strings.HasPrefix(funcFullName(fn), "(*"+pass.ModulePath+"/internal/pipe.Pool)") {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	return lit
+}
+
+// checkSharedSource reports method calls on rng.Source identifiers whose
+// declaration lies outside the literal — i.e. a generator shared across
+// all work items.
+func checkSharedSource(pass *Pass, lit *ast.FuncLit) {
+	rngPath := pass.ModulePath + "/internal/rng"
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !namedType(obj.Type(), rngPath, "Source") {
+			return true
+		}
+		if declaredOutside(obj.Pos(), lit) {
+			pass.Reportf(call.Pos(), "rng.Source %q is shared across pool work items; pre-split one Source per index with Split", id.Name)
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether a declaration position falls outside the
+// literal's source range.
+func declaredOutside(pos token.Pos, lit *ast.FuncLit) bool {
+	return pos < lit.Pos() || pos > lit.End()
+}

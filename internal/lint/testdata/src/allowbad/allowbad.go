@@ -1,0 +1,9 @@
+// Package allowbad is a lint fixture: a //lint:allow annotation without a
+// reason. It must not suppress the panic below it, and the annotation
+// itself must be reported by the pseudo-analyzer "lint".
+package allowbad
+
+func explode() {
+	//lint:allow nopanic
+	panic("still flagged")
+}

@@ -1,0 +1,26 @@
+// Package errwrap is a lint fixture: fmt.Errorf calls that flatten error
+// arguments with %v or %s (flagged) against compliant %w wraps, literal %%
+// escapes, and non-error arguments.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func wraps(err error) error {
+	bad := fmt.Errorf("stage failed: %v", err) // want errwrap
+	_ = bad
+	alsoBad := fmt.Errorf("stage %d: %w then %s", 3, err, errSentinel) // want errwrap
+	_ = alsoBad
+	good := fmt.Errorf("stage failed: %w", err)
+	_ = good
+	both := fmt.Errorf("stage %d: %w then %w", 3, err, errSentinel)
+	return both
+}
+
+func nonError(pct int) error {
+	return fmt.Errorf("loaded %d%% of shard", pct)
+}

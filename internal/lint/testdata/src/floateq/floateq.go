@@ -1,0 +1,44 @@
+// Package floateq is a lint fixture: exact float comparisons (flagged
+// unless against the constant zero or annotated) and float accumulation
+// over map iteration order (flagged unless the keys are sorted first).
+package floateq
+
+import "sort"
+
+func compare(a, b float64) int {
+	if a == b { // want floateq
+		return 0
+	}
+	if a != b { // want floateq
+		return 1
+	}
+	if a == 0 {
+		return 2 // exact-zero guard is exempt
+	}
+	//lint:allow floateq fixture annotated exact comparison
+	if a == b {
+		return 3
+	}
+	return 4
+}
+
+func accumulate(m map[string]float64) (float64, int) {
+	var sum float64
+	for _, v := range m {
+		sum += v // want floateq
+	}
+	count := 0
+	for range m {
+		count += 1 // integer accumulation is order-independent
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sorted float64
+	for _, k := range keys {
+		sorted += m[k] // slice iteration: deterministic order
+	}
+	return sum + sorted, count
+}

@@ -1,0 +1,22 @@
+// Package nopanic is a lint fixture: a bare panic that the nopanic
+// analyzer must flag under an internal/ path, an annotated invariant it
+// must pass, and an error return that is always fine.
+package nopanic
+
+import "errors"
+
+var errNegative = errors.New("negative input")
+
+func validate(n int) error {
+	if n < 0 {
+		panic("negative input") // want nopanic
+	}
+	if n > 1<<20 {
+		//lint:allow nopanic fixture invariant with a documented reason
+		panic("implausible size")
+	}
+	if n == 0 {
+		return errNegative
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package poolgo is a lint fixture: raw go statements that the poolgo
+// analyzer must flag when the package is checked under an internal/ path,
+// and must not flag when checked under cmd/ or when annotated.
+package poolgo
+
+func spawn(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want poolgo
+	}
+	done := make(chan struct{})
+	//lint:allow poolgo fixture exercising the annotation escape hatch
+	go close(done)
+	<-done
+}

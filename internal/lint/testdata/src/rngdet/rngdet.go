@@ -1,0 +1,38 @@
+// Package rngdet is a lint fixture: a banned math/rand import, a
+// time-seeded rng constructor, and a pool fan-out body that reads a shared
+// rng.Source — against the compliant pre-split pattern.
+package rngdet
+
+import (
+	"context"
+	"math/rand" // want rngdet
+	"time"
+
+	"repro/internal/pipe"
+	"repro/internal/rng"
+)
+
+func badSeed() *rng.Source {
+	_ = rand.Int()
+	return rng.New(uint64(time.Now().UnixNano())) // want rngdet
+}
+
+func goodSeed(seed uint64) *rng.Source {
+	return rng.New(seed)
+}
+
+func shared(p *pipe.Pool, src *rng.Source, out []float64) error {
+	return p.ForEach(context.Background(), len(out), func(i int) {
+		out[i] = src.Float64() // want rngdet
+	})
+}
+
+func preSplit(p *pipe.Pool, src *rng.Source, out []float64) error {
+	streams := make([]*rng.Source, len(out))
+	for i := range streams {
+		streams[i] = src.Split()
+	}
+	return p.ForEach(context.Background(), len(out), func(i int) {
+		out[i] = streams[i].Float64()
+	})
+}

@@ -24,23 +24,38 @@ type Dense struct {
 // dimensions.
 func NewDense(rows, cols int) *Dense {
 	if rows <= 0 || cols <= 0 {
+		// Dimensions always come from the shapes of existing data, never
+		// from external input, so a bad value is a programming error.
+		//lint:allow nopanic dimensions are compiled-in shape invariants, not input
 		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
 	}
 	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
 
 // FromRows builds a Dense matrix copying the given row slices, which must
-// all share the same non-zero length.
-func FromRows(rows [][]float64) *Dense {
+// all share the same non-zero length. Empty or ragged input — the shapes
+// unvalidated external data arrives in — is reported as an error.
+func FromRows(rows [][]float64) (*Dense, error) {
 	if len(rows) == 0 || len(rows[0]) == 0 {
-		panic("mat: FromRows with empty input")
+		return nil, errors.New("mat: FromRows with empty input")
 	}
 	m := NewDense(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.cols {
-			panic(fmt.Sprintf("mat: ragged row %d: %d != %d", i, len(r), m.cols))
+			return nil, fmt.Errorf("mat: ragged row %d: %d != %d", i, len(r), m.cols)
 		}
 		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows for compiled-in literal matrices (tests,
+// fixtures): it panics on invalid input instead of returning an error.
+func MustFromRows(rows [][]float64) *Dense {
+	m, err := FromRows(rows)
+	if err != nil {
+		//lint:allow nopanic Must variant for compiled-in literals
+		panic(err)
 	}
 	return m
 }
@@ -147,6 +162,10 @@ func (m *Dense) MeanRows(idx []int) []float64 {
 // vectors. It panics on a length mismatch.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
+		// Hot kernel on the N² distance path: an error return would cost
+		// a branch per call pair, and mismatched rows of one matrix are
+		// impossible by construction.
+		//lint:allow nopanic hot-path invariant, rows of one matrix share a length
 		panic("mat: SqDist length mismatch")
 	}
 	var s float64
@@ -163,6 +182,7 @@ func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
 // Dot returns the inner product of two equal-length vectors.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:allow nopanic hot-path invariant, rows of one matrix share a length
 		panic("mat: Dot length mismatch")
 	}
 	var s float64
@@ -184,6 +204,9 @@ type Condensed struct {
 // diagonal. It panics when n < 2.
 func NewCondensed(n int) *Condensed {
 	if n < 2 {
+		// Callers (pipeline, clustering) validate the antenna count
+		// before any Condensed matrix exists.
+		//lint:allow nopanic dimension validated at the pipeline boundary
 		panic("mat: Condensed needs n >= 2")
 	}
 	return &Condensed{n: n, data: make([]float64, n*(n-1)/2)}
@@ -194,6 +217,7 @@ func (c *Condensed) N() int { return c.n }
 
 func (c *Condensed) index(i, j int) int {
 	if i == j {
+		//lint:allow nopanic index invariant of the condensed representation
 		panic("mat: Condensed diagonal access")
 	}
 	if i > j {

@@ -32,7 +32,7 @@ func TestDenseBasics(t *testing.T) {
 }
 
 func TestFromRowsAndClone(t *testing.T) {
-	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
 	c := m.Clone()
 	c.Set(0, 0, 9)
 	if m.At(0, 0) != 1 {
@@ -40,17 +40,29 @@ func TestFromRowsAndClone(t *testing.T) {
 	}
 }
 
-func TestFromRowsRaggedPanics(t *testing.T) {
+func TestFromRowsRejectsBadInput(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows should be rejected")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Fatal("zero-width rows should be rejected")
+	}
+}
+
+func TestMustFromRowsPanicsOnBadInput(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	FromRows([][]float64{{1, 2}, {3}})
+	MustFromRows([][]float64{{1, 2}, {3}})
 }
 
 func TestSumsAndScale(t *testing.T) {
-	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
 	rs := m.RowSums()
 	cs := m.ColSums()
 	if rs[0] != 3 || rs[1] != 7 {
@@ -69,7 +81,7 @@ func TestSumsAndScale(t *testing.T) {
 }
 
 func TestMeanRows(t *testing.T) {
-	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	all := m.MeanRows(nil)
 	if all[0] != 3 || all[1] != 4 {
 		t.Fatalf("MeanRows(nil) = %v", all)
@@ -139,7 +151,7 @@ func TestCondensedDiagonalPanics(t *testing.T) {
 }
 
 func TestPairwiseSqDist(t *testing.T) {
-	m := FromRows([][]float64{{0, 0}, {3, 4}, {0, 1}})
+	m := MustFromRows([][]float64{{0, 0}, {3, 4}, {0, 1}})
 	c := PairwiseSqDist(m)
 	if c.At(0, 1) != 25 || c.At(0, 2) != 1 || c.At(1, 2) != 18 {
 		t.Fatal("pairwise distances wrong")
@@ -147,7 +159,7 @@ func TestPairwiseSqDist(t *testing.T) {
 }
 
 func TestSolveLinear(t *testing.T) {
-	a := FromRows([][]float64{
+	a := MustFromRows([][]float64{
 		{2, 1, -1},
 		{-3, -1, 2},
 		{-2, 1, 2},
@@ -165,7 +177,7 @@ func TestSolveLinear(t *testing.T) {
 }
 
 func TestSolveLinearSingular(t *testing.T) {
-	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	a := MustFromRows([][]float64{{1, 2}, {2, 4}})
 	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
 		t.Fatal("expected singular error")
 	}
@@ -173,7 +185,7 @@ func TestSolveLinearSingular(t *testing.T) {
 
 func TestSolveLinearNeedsPivoting(t *testing.T) {
 	// Leading zero pivot forces a row swap.
-	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	a := MustFromRows([][]float64{{0, 1}, {1, 0}})
 	x, err := SolveLinear(a, []float64{3, 5})
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +208,7 @@ func TestSolveLinearShapeErrors(t *testing.T) {
 
 func TestWeightedLeastSquaresExactFit(t *testing.T) {
 	// y = 2*x0 + 3*x1, recoverable exactly.
-	x := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	x := MustFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
 	y := []float64{2, 3, 5, 7}
 	w := []float64{1, 1, 1, 1}
 	beta, err := WeightedLeastSquares(x, y, w)
@@ -210,7 +222,7 @@ func TestWeightedLeastSquaresExactFit(t *testing.T) {
 
 func TestWeightedLeastSquaresWeighting(t *testing.T) {
 	// Two contradictory points; the heavier one dominates.
-	x := FromRows([][]float64{{1}, {1}})
+	x := MustFromRows([][]float64{{1}, {1}})
 	y := []float64{0, 10}
 	beta, err := WeightedLeastSquares(x, y, []float64{1, 99})
 	if err != nil {
@@ -222,7 +234,7 @@ func TestWeightedLeastSquaresWeighting(t *testing.T) {
 }
 
 func TestWeightedLeastSquaresNegativeWeight(t *testing.T) {
-	x := FromRows([][]float64{{1}})
+	x := MustFromRows([][]float64{{1}})
 	if _, err := WeightedLeastSquares(x, []float64{1}, []float64{-1}); err == nil {
 		t.Fatal("expected negative-weight error")
 	}

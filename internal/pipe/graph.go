@@ -39,6 +39,7 @@ func NewGraph() *Graph {
 // validation errors; execution order is governed solely by dependencies.
 func (g *Graph) Add(name string, deps []string, fn StageFunc) {
 	if _, dup := g.index[name]; dup {
+		//lint:allow nopanic duplicate registration is a wiring bug, caught at startup
 		panic(fmt.Sprintf("pipe: duplicate stage %q", name))
 	}
 	g.index[name] = len(g.stages)

@@ -1,0 +1,37 @@
+package pipe
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Tasks tracks long-lived auxiliary goroutines — listeners, per-connection
+// handlers, tickers — that fall outside the bounded data-parallel Pool.
+// It is the second (and last) sanctioned goroutine spawn point of the
+// module: library code never uses a raw go statement, so every goroutine
+// is either a pool worker or a tracked task, observable through the
+// "pipe.tasks" counter and awaitable on shutdown.
+//
+// Unlike Pool, Tasks is deliberately unbounded: its goroutines are
+// lifecycle-bound (they exit when their connection closes or their context
+// is cancelled), not work-bound, so backpressure belongs to the caller
+// (e.g. an accept loop), not to the spawn point.
+//
+// The zero value is ready to use.
+type Tasks struct {
+	wg sync.WaitGroup
+}
+
+// Go runs fn on a tracked goroutine.
+func (t *Tasks) Go(fn func()) {
+	obs.Add("pipe.tasks", 1)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every tracked goroutine has returned.
+func (t *Tasks) Wait() { t.wg.Wait() }

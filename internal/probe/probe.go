@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/rng"
@@ -354,13 +355,22 @@ func (a *Aggregator) ForEachTotal(fn func(antenna uint32, service int, mb float6
 	}
 }
 
-// AntennaTotalMB returns the total classified MB of one antenna.
+// AntennaTotalMB returns the total classified MB of one antenna. The
+// per-service contributions are summed in service order, not map order, so
+// the float result is identical across runs.
 func (a *Aggregator) AntennaTotalMB(antenna uint32) float64 {
-	var sum float64
+	perService := map[int]float64{}
+	order := make([]int, 0, 8)
 	for k, v := range a.totals {
 		if k.antenna == antenna {
-			sum += v
+			perService[k.service] = v
+			order = append(order, k.service)
 		}
+	}
+	sort.Ints(order)
+	var sum float64
+	for _, s := range order {
+		sum += perService[s]
 	}
 	return sum
 }

@@ -11,7 +11,7 @@ import (
 func TestRCAUniformMatrixIsOne(t *testing.T) {
 	// When every antenna has the same service mix, no antenna is
 	// advantaged: RCA = 1 everywhere.
-	m := mat.FromRows([][]float64{
+	m := mat.MustFromRows([][]float64{
 		{10, 20, 30},
 		{1, 2, 3},
 		{100, 200, 300},
@@ -29,7 +29,7 @@ func TestRCAUniformMatrixIsOne(t *testing.T) {
 func TestRCADetectsOverUtilization(t *testing.T) {
 	// Antenna 0 spends all its traffic on service 0 while the network is
 	// split evenly: service 0 is over-utilized there.
-	m := mat.FromRows([][]float64{
+	m := mat.MustFromRows([][]float64{
 		{10, 0},
 		{5, 15},
 	})
@@ -46,7 +46,7 @@ func TestRCADetectsOverUtilization(t *testing.T) {
 }
 
 func TestRCAHandlesZeroTotals(t *testing.T) {
-	m := mat.FromRows([][]float64{
+	m := mat.MustFromRows([][]float64{
 		{0, 0},
 		{1, 0},
 	})
@@ -63,7 +63,7 @@ func TestRCAHandlesZeroTotals(t *testing.T) {
 }
 
 func TestRSCAMapping(t *testing.T) {
-	rcaM := mat.FromRows([][]float64{{0, 1, 3}})
+	rcaM := mat.MustFromRows([][]float64{{0, 1, 3}})
 	s := RSCAFromRCA(rcaM)
 	if s.At(0, 0) != -1 {
 		t.Fatalf("RCA 0 → RSCA %v, want -1", s.At(0, 0))
@@ -106,7 +106,7 @@ func TestRSCASymmetryProperty(t *testing.T) {
 func TestRSCAUnderOverBalance(t *testing.T) {
 	// Build a matrix with one heavily skewed antenna: its RSCA must show
 	// both over-utilization (>0) and under-utilization (<0), bounded.
-	m := mat.FromRows([][]float64{
+	m := mat.MustFromRows([][]float64{
 		{100, 1, 1},
 		{10, 10, 10},
 		{10, 10, 10},
@@ -124,7 +124,7 @@ func TestRSCAUnderOverBalance(t *testing.T) {
 }
 
 func TestOutdoorReference(t *testing.T) {
-	indoor := mat.FromRows([][]float64{
+	indoor := mat.MustFromRows([][]float64{
 		{30, 10},
 		{30, 30},
 	})
@@ -137,7 +137,7 @@ func TestOutdoorReference(t *testing.T) {
 		t.Fatalf("shares = %v", ref.ServiceShare)
 	}
 
-	outdoor := mat.FromRows([][]float64{
+	outdoor := mat.MustFromRows([][]float64{
 		{60, 40}, // exactly the indoor composition → RCA 1
 		{0, 100}, // all service 1 → RCA 0 / 2.5
 	})
@@ -165,7 +165,7 @@ func TestOutdoorReferenceErrors(t *testing.T) {
 	if _, err := NewOutdoorReference(mat.NewDense(2, 2)); err == nil {
 		t.Fatal("zero indoor matrix should error")
 	}
-	ref, err := NewOutdoorReference(mat.FromRows([][]float64{{1, 1}}))
+	ref, err := NewOutdoorReference(mat.MustFromRows([][]float64{{1, 1}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestOutdoorReferenceErrors(t *testing.T) {
 }
 
 func TestNormalizeByGlobalMax(t *testing.T) {
-	m := mat.FromRows([][]float64{{1, 2}, {4, 0}})
+	m := mat.MustFromRows([][]float64{{1, 2}, {4, 0}})
 	n := NormalizeByGlobalMax(m)
 	if n.At(1, 0) != 1 || n.At(0, 0) != 0.25 {
 		t.Fatalf("normalized = %v %v", n.At(1, 0), n.At(0, 0))
@@ -190,11 +190,11 @@ func TestNormalizeByGlobalMax(t *testing.T) {
 }
 
 func TestValidateCatchesViolations(t *testing.T) {
-	bad := mat.FromRows([][]float64{{0, 1.5}})
+	bad := mat.MustFromRows([][]float64{{0, 1.5}})
 	if err := Validate(bad); err == nil {
 		t.Fatal("out-of-range value should fail validation")
 	}
-	nan := mat.FromRows([][]float64{{math.NaN()}})
+	nan := mat.MustFromRows([][]float64{{math.NaN()}})
 	if err := Validate(nan); err == nil {
 		t.Fatal("NaN should fail validation")
 	}

@@ -60,6 +60,7 @@ func (r *Source) Float64() float64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
+		//lint:allow nopanic documented parameter contract, mirrors math/rand
 		panic("rng: Intn with non-positive n")
 	}
 	// Lemire's nearly-divisionless bounded sampling.
@@ -137,6 +138,7 @@ func (r *Source) LogNormal(mu, sigma float64) float64 {
 // Exponential returns a sample from Exp(rate).
 func (r *Source) Exponential(rate float64) float64 {
 	if rate <= 0 {
+		//lint:allow nopanic documented parameter contract, mirrors math/rand
 		panic("rng: Exponential with non-positive rate")
 	}
 	return -math.Log(1-r.Float64()) / rate
@@ -188,6 +190,7 @@ func (r *Source) Poisson(lambda float64) int {
 // method; for shape < 1 it applies the standard boost trick.
 func (r *Source) Gamma(shape float64) float64 {
 	if shape <= 0 {
+		//lint:allow nopanic documented parameter contract, mirrors math/rand
 		panic("rng: Gamma with non-positive shape")
 	}
 	if shape < 1 {
@@ -218,6 +221,7 @@ func (r *Source) Gamma(shape float64) float64 {
 // component. It panics if len(out) != len(alpha).
 func (r *Source) Dirichlet(alpha []float64, out []float64) {
 	if len(out) != len(alpha) {
+		//lint:allow nopanic documented parameter contract, caller allocates both slices
 		panic("rng: Dirichlet output length mismatch")
 	}
 	var sum float64
@@ -253,6 +257,7 @@ type Zipf struct {
 // NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
 func NewZipf(src *Source, n int, s float64) *Zipf {
 	if n <= 0 || s <= 0 {
+		//lint:allow nopanic documented parameter contract, mirrors math/rand
 		panic("rng: NewZipf requires n > 0 and s > 0")
 	}
 	cdf := make([]float64, n)
@@ -299,11 +304,13 @@ func (r *Source) Choice(weights []float64) int {
 	var sum float64
 	for _, w := range weights {
 		if w < 0 {
+			//lint:allow nopanic documented parameter contract for compiled-in weight tables
 			panic("rng: Choice with negative weight")
 		}
 		sum += w
 	}
 	if sum <= 0 {
+		//lint:allow nopanic documented parameter contract for compiled-in weight tables
 		panic("rng: Choice with zero total weight")
 	}
 	u := r.Float64() * sum

@@ -221,16 +221,19 @@ const M = 73
 
 func init() {
 	if len(catalog) != M {
+		//lint:allow nopanic init-time validation of the compiled-in service catalog
 		panic(fmt.Sprintf("services: catalog has %d entries, want %d", len(catalog), M))
 	}
 	seen := make(map[string]bool, M)
 	for i := range catalog {
 		catalog[i].ID = i
 		if seen[catalog[i].Name] {
+			//lint:allow nopanic init-time validation of the compiled-in service catalog
 			panic("services: duplicate service name " + catalog[i].Name)
 		}
 		seen[catalog[i].Name] = true
 		if catalog[i].BaseWeight <= 0 {
+			//lint:allow nopanic init-time validation of the compiled-in service catalog
 			panic("services: non-positive base weight for " + catalog[i].Name)
 		}
 	}
@@ -279,6 +282,7 @@ func IDsByCategory(c Category) []int {
 func MustID(name string) int {
 	s, ok := ByName(name)
 	if !ok {
+		//lint:allow nopanic Must variant for static references to paper-named services
 		panic("services: unknown service " + name)
 	}
 	return s.ID

@@ -35,6 +35,7 @@ func pathExpectation(t *forest.Tree, x []float64, inS func(int) bool, class int)
 // exponential and exists to verify TreeSHAP; keep nFeatures small.
 func BruteForceTreeSHAP(t *forest.Tree, x []float64, class int, nFeatures int) Explanation {
 	if nFeatures > 20 {
+		//lint:allow nopanic guard against exponential blowup in a verification-only helper
 		panic("shap: brute force limited to 20 features")
 	}
 	phi := make([]float64, nFeatures)

@@ -166,6 +166,7 @@ func KernelSHAPForest(f *forest.Forest, x []float64, class int, background *mat.
 func BruteForceMarginalSHAP(model func([]float64) float64, x []float64, background *mat.Dense) Explanation {
 	m := len(x)
 	if m > 16 {
+		//lint:allow nopanic guard against exponential blowup in a verification-only helper
 		panic("shap: marginal brute force limited to 16 features")
 	}
 	work := make([]float64, m)
@@ -207,6 +208,7 @@ func BruteForceMarginalSHAP(model func([]float64) float64, x []float64, backgrou
 		}
 	}
 	if math.IsNaN(phi[0]) {
+		//lint:allow nopanic numerical invariant of a verification-only helper
 		panic("shap: NaN in brute-force marginal Shapley")
 	}
 	return Explanation{Base: values[0], Phi: phi}

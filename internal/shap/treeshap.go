@@ -43,6 +43,7 @@ type pathElement struct {
 // accuracy: Base + ΣPhi equals the tree's predicted class probability.
 func TreeSHAP(t *forest.Tree, x []float64, class int, nFeatures int) Explanation {
 	if class < 0 || class >= t.Classes {
+		//lint:allow nopanic class index comes from the trained forest, not external input
 		panic(fmt.Sprintf("shap: class %d out of range", class))
 	}
 	phi := make([]float64, nFeatures)

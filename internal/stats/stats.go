@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -176,13 +177,14 @@ type Histogram struct {
 }
 
 // NewHistogram builds a histogram of xs with the given number of bins over
-// [lo, hi]. It panics when bins <= 0 or hi <= lo.
-func NewHistogram(xs []float64, bins int, lo, hi float64) *Histogram {
+// [lo, hi]. Bin counts and ranges are caller-chosen presentation
+// parameters, so invalid ones are reported as errors rather than panics.
+func NewHistogram(xs []float64, bins int, lo, hi float64) (*Histogram, error) {
 	if bins <= 0 {
-		panic("stats: histogram with non-positive bin count")
+		return nil, fmt.Errorf("stats: histogram with non-positive bin count %d", bins)
 	}
 	if hi <= lo {
-		panic("stats: histogram with empty range")
+		return nil, fmt.Errorf("stats: histogram with empty range [%g,%g]", lo, hi)
 	}
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 	width := (hi - lo) / float64(bins)
@@ -197,7 +199,7 @@ func NewHistogram(xs []float64, bins int, lo, hi float64) *Histogram {
 		h.Counts[b]++
 		h.N++
 	}
-	return h
+	return h, nil
 }
 
 // Density returns the per-bin fraction of total mass; an empty histogram
@@ -360,6 +362,9 @@ func (c *Contingency) CramersV() float64 {
 // undefined. It panics if the lengths differ.
 func PearsonCorrelation(xs, ys []float64) float64 {
 	if len(xs) != len(ys) {
+		// Both series are always projections of one sample set (SHAP
+		// values vs feature values, cophenetic vs observed distances).
+		//lint:allow nopanic paired series derive from one sample set
 		panic("stats: correlation length mismatch")
 	}
 	n := float64(len(xs))

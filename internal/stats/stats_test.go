@@ -99,7 +99,10 @@ func TestSkewness(t *testing.T) {
 
 func TestHistogram(t *testing.T) {
 	xs := []float64{0.1, 0.2, 0.9, 1.5, -3}
-	h := NewHistogram(xs, 4, 0, 1)
+	h, err := NewHistogram(xs, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.N != 5 {
 		t.Fatalf("N = %d", h.N)
 	}
@@ -124,19 +127,12 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for _, tc := range []func(){
-		func() { NewHistogram(nil, 0, 0, 1) },
-		func() { NewHistogram(nil, 4, 1, 1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			tc()
-		}()
+func TestHistogramRejectsBadParams(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 0, 1); err == nil {
+		t.Fatal("non-positive bin count should be rejected")
+	}
+	if _, err := NewHistogram(nil, 4, 1, 1); err == nil {
+		t.Fatal("empty range should be rejected")
 	}
 }
 
@@ -251,7 +247,10 @@ func TestHistogramMassProperty(t *testing.T) {
 		for i, v := range raw {
 			xs[i] = float64(v)
 		}
-		h := NewHistogram(xs, 8, -10, 10)
+		h, err := NewHistogram(xs, 8, -10, 10)
+		if err != nil {
+			return false
+		}
 		total := 0
 		for _, c := range h.Counts {
 			total += c

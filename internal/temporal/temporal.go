@@ -131,6 +131,7 @@ var templates = map[string]*Template{}
 
 func register(t *Template) {
 	if _, dup := templates[t.Name]; dup {
+		//lint:allow nopanic init-time registration of compiled-in templates
 		panic("temporal: duplicate template " + t.Name)
 	}
 	templates[t.Name] = t
@@ -234,6 +235,7 @@ func init() {
 func ByName(name string) *Template {
 	t, ok := templates[name]
 	if !ok {
+		//lint:allow nopanic template names are compiled into the archetype table
 		panic(fmt.Sprintf("temporal: unknown template %q", name))
 	}
 	return t
