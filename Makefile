@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race bench artifacts
+.PHONY: build lint test race bench artifacts serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,12 @@ bench:
 # Regenerate every table/figure and the machine-readable stage timings.
 artifacts:
 	$(GO) run ./cmd/icnbench -benchjson BENCH_pipeline.json
+
+# End-to-end smoke of the online service: start icnserve at a tiny scale,
+# ingest a probe batch, classify, scrape /metrics, stop it gracefully.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Sustained concurrent classify load against an in-process icnserve.
+serve-bench:
+	$(GO) run ./cmd/icnbench -serve -scale 0.1 -trees 25 -servejson BENCH_serve.json

@@ -9,6 +9,7 @@ package icn
 // paper scale.
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -126,7 +127,7 @@ func BenchmarkAblationStability(b *testing.B) {
 // numbers; Figure10/Figure11 benches correspondingly hit a warm cache.
 func BenchmarkFullPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Seed: 7, Scale: 0.05, OutdoorCount: 200, ForestTrees: 20}); err != nil {
+		if _, err := Run(context.Background(), Config{Seed: 7, Scale: 0.05, OutdoorCount: 200, ForestTrees: 20}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,14 @@
 //
 //	icnbench [-seed N] [-scale F] [-k N] [-trees N] [-out DIR] [-quiet]
 //	         [-benchjson FILE]
+//	icnbench -serve [-serveclients N] [-servereqs N] [-servebatch N]
+//	         [-servejson FILE]
+//
+// With -serve the command instead benchmarks the online path: it stands up
+// an in-process icnserve instance around a freshly trained snapshot,
+// sustains a concurrent classify load over HTTP, drains the server
+// gracefully, and writes throughput plus p50/p99 latency to -servejson
+// (default BENCH_serve.json).
 //
 // At -scale 1 the run uses the paper's full population (4,762 indoor and
 // 22,000 outdoor antennas); this takes a few minutes and ~1 GiB of memory.
@@ -38,6 +46,11 @@ func main() {
 	mdPath := flag.String("md", "", "write a consolidated markdown report to this path (optional)")
 	benchPath := flag.String("benchjson", "", "write a machine-readable stage-timing record to this path (optional)")
 	quiet := flag.Bool("quiet", false, "print only the check summary")
+	serveBench := flag.Bool("serve", false, "benchmark the online serving path instead of regenerating artifacts")
+	serveClients := flag.Int("serveclients", 8, "concurrent classify clients (with -serve)")
+	serveReqs := flag.Int("servereqs", 50, "requests per client (with -serve)")
+	serveBatch := flag.Int("servebatch", 64, "antennas per classify request (with -serve)")
+	serveJSON := flag.String("servejson", "BENCH_serve.json", "serving benchmark output path (with -serve)")
 	flag.Parse()
 
 	cfg := analysis.Config{
@@ -45,6 +58,13 @@ func main() {
 		Scale:       *scale,
 		K:           *k,
 		ForestTrees: *trees,
+	}
+	if *serveBench {
+		if err := runServeBench(cfg, *serveClients, *serveReqs, *serveBatch, *serveJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Fprintf(os.Stderr, "icnbench: running pipeline (seed=%d scale=%.2f k=%d trees=%d)...\n",
 		cfg.Seed, cfg.Scale, cfg.K, cfg.ForestTrees)

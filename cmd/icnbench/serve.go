@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/pipe"
+	"repro/internal/serve"
+)
+
+// serveBenchRecord is the BENCH_serve.json schema: one snapshot of the
+// serving path's sustained throughput and latency under concurrent load.
+type serveBenchRecord struct {
+	Seed          uint64  `json:"seed"`
+	Scale         float64 `json:"scale"`
+	Trees         int     `json:"trees"`
+	Clients       int     `json:"clients"`
+	RequestsPerC  int     `json:"requests_per_client"`
+	BatchAntennas int     `json:"batch_antennas"`
+	ModelRevision uint64  `json:"model_revision"`
+
+	TotalRequests int     `json:"total_requests"`
+	FailedReqs    int     `json:"failed_requests"`
+	WallMS        float64 `json:"wall_ms"`
+	RequestsPerS  float64 `json:"requests_per_s"`
+	VectorsPerS   float64 `json:"vectors_per_s"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+
+	IngestRecords int64 `json:"ingest_records"`
+	CacheHits     int64 `json:"cache_hits"`
+}
+
+// runServeBench stands up an in-process icnserve instance around a freshly
+// trained snapshot and sustains a concurrent classify load against it over
+// real HTTP, then writes the latency/throughput record and drains the
+// server gracefully.
+func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath string) error {
+	fmt.Fprintf(os.Stderr, "icnbench: training snapshot (seed=%d scale=%.2f trees=%d)...\n",
+		cfg.Seed, cfg.Scale, cfg.ForestTrees)
+	res, err := analysis.Run(cfg)
+	if err != nil {
+		return err
+	}
+	snap, err := serve.NewModelSnapshot(res)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(snap, nil, serve.Config{QueueDepth: 256})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	url := "http://" + srv.Addr().String()
+
+	// The load uses the synthetic outdoor population's raw vectors — the
+	// exact Section 5.3 workload — cycling through the rows per request.
+	outdoor := res.Dataset.OutdoorTraffic
+	if batch > outdoor.Rows() {
+		batch = outdoor.Rows()
+	}
+	bodies := make([][]byte, clients)
+	for c := range bodies {
+		var req serve.ClassifyRequest
+		for i := 0; i < batch; i++ {
+			row := (c*batch + i) % outdoor.Rows()
+			req.Antennas = append(req.Antennas, serve.AntennaVector{
+				ID: uint32(row), Traffic: outdoor.Row(row),
+			})
+		}
+		bodies[c], err = json.Marshal(req)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "icnbench: serve load — %d clients × %d requests × %d antennas against %s\n",
+		clients, requests, batch, url)
+	latencies := make([][]float64, clients)
+	failures := make([]int, clients)
+	start := time.Now()
+	var loaders pipe.Tasks
+	for c := 0; c < clients; c++ {
+		c := c
+		loaders.Go(func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			lat := make([]float64, 0, requests)
+			for r := 0; r < requests; r++ {
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/classify", "application/json", bytes.NewReader(bodies[c]))
+				if err != nil {
+					failures[c]++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures[c]++
+					continue
+				}
+				lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+			}
+			latencies[c] = lat
+		})
+	}
+	loaders.Wait()
+	wall := time.Since(start)
+
+	var all []float64
+	failed := 0
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		failed += failures[c]
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("icnbench: every serve-bench request failed")
+	}
+	sort.Float64s(all)
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+
+	st := srv.Stats()
+	rec := serveBenchRecord{
+		Seed: cfg.Seed, Scale: cfg.Scale, Trees: cfg.ForestTrees,
+		Clients: clients, RequestsPerC: requests, BatchAntennas: batch,
+		ModelRevision: snap.Revision,
+		TotalRequests: len(all),
+		FailedReqs:    failed,
+		WallMS:        float64(wall.Microseconds()) / 1000,
+		RequestsPerS:  float64(len(all)) / wall.Seconds(),
+		VectorsPerS:   float64(len(all)*batch) / wall.Seconds(),
+		P50MS:         quantile(0.50),
+		P99MS:         quantile(0.99),
+		MaxMS:         all[len(all)-1],
+		IngestRecords: st.IngestRecords,
+		CacheHits:     st.CacheHits,
+	}
+
+	shutdownStart := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("icnbench: serve shutdown: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "icnbench: serve drained in %v — %.0f req/s, %.0f vectors/s, p50 %.2fms p99 %.2fms (%d failed)\n",
+		time.Since(shutdownStart).Round(time.Millisecond),
+		rec.RequestsPerS, rec.VectorsPerS, rec.P50MS, rec.P99MS, failed)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "icnbench: wrote serving benchmark to %s\n", outPath)
+	return nil
+}

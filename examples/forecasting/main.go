@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	result, err := icn.Run(icn.Config{
+	result, err := icn.Run(context.Background(), icn.Config{
 		Seed:        21,
 		Scale:       0.1,
 		ForestTrees: 40,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	result, err := icn.Run(icn.Config{
+	result, err := icn.Run(context.Background(), icn.Config{
 		Seed:         5,
 		Scale:        0.1,
 		OutdoorCount: 1500,

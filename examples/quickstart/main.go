@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ import (
 func main() {
 	// A 10% deployment keeps the run to a couple of seconds. Scale: 1
 	// reproduces the paper's full population (4,762 indoor antennas).
-	result, err := icn.Run(icn.Config{
+	result, err := icn.Run(context.Background(), icn.Config{
 		Seed:        1,
 		Scale:       0.1,
 		ForestTrees: 50,

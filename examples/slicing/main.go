@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	result, err := icn.Run(icn.Config{
+	result, err := icn.Run(context.Background(), icn.Config{
 		Seed:        11,
 		Scale:       0.1,
 		ForestTrees: 50,

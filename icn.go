@@ -5,16 +5,41 @@
 // Silhouette/Dunn model selection, a random-forest surrogate explained with
 // TreeSHAP, environment association, the indoor/outdoor comparison, and
 // temporal profiling — plus an experiment suite that regenerates every
-// table and figure of the paper's evaluation.
+// table and figure of the paper's evaluation, and the online serving path
+// that classifies new antennas against a trained snapshot.
 //
-// Quick start:
+// # Stable API
 //
-//	result, err := icn.Run(icn.Config{Seed: 1, Scale: 0.1})
+// External callers use this package alone; nothing under repro/internal is
+// part of the contract. The stable surface is:
+//
+//   - Pipeline: Run (context-first, functional options WithDataset and
+//     WithPool), Config, Result, GenerateDataset, Dataset, DatasetConfig.
+//   - Experiments: NewSuite, Suite, Artifact, Check.
+//   - Profiles: BuildProfiles, PlanSlices, Profile, ProfileOptions,
+//     SlicePlan.
+//   - Observability: Trace and StageTrace (per-stage wall/queue/alloc
+//     records, from Result.Trace), Pool and NewPool (bounded worker pool,
+//     attach with WithPool).
+//   - Serving: NewModelSnapshot, ModelSnapshot, NewServer, Server,
+//     ServeConfig, ServeStats, ClassifyRequest, AntennaVector,
+//     ClassifyResponse, AntennaVerdict.
+//
+// The pre-context entrypoints (RunContext, RunOnDataset,
+// RunOnDatasetContext) remain as thin deprecated wrappers over Run.
+//
+// # Quick start
+//
+//	result, err := icn.Run(context.Background(), icn.Config{Seed: 1, Scale: 0.1})
 //	if err != nil {
 //		log.Fatal(err)
 //	}
 //	fmt.Println("clusters:", result.ClusterSizes())
 //	fmt.Println("purity vs ground truth:", result.Purity())
+//
+// Cancel a run through the context, bound its parallelism with
+// WithPool(NewPool(n)), share one generated dataset across runs with
+// WithDataset, and read per-stage timings from result.Trace().
 //
 // To regenerate the paper's artifacts:
 //
@@ -27,9 +52,20 @@
 //		fmt.Println(artifact.Text)
 //	}
 //
-// The pipeline runs as a staged DAG on a shared worker pool; pass a
-// context through RunContext to cancel a run, and read per-stage
-// timings from result.Trace().
+// To serve a trained model online (see also cmd/icnserve):
+//
+//	snap, err := icn.NewModelSnapshot(result)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	srv, err := icn.NewServer(snap, icn.ServeConfig{Addr: "127.0.0.1:9470"})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	if err := srv.Start(); err != nil {
+//		log.Fatal(err)
+//	}
+//	defer srv.Shutdown(context.Background())
 package icn
 
 import (
@@ -38,6 +74,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/pipe"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -64,23 +103,82 @@ type Dataset = synth.Dataset
 // DatasetConfig parameterizes standalone dataset generation.
 type DatasetConfig = synth.Config
 
-// Run executes the full pipeline on a freshly generated dataset.
-func Run(cfg Config) (*Result, error) { return analysis.Run(cfg) }
+// Trace is the per-stage observability record of a pipeline run: wall
+// time, queueing delay, allocation delta and goroutine count per stage.
+// Obtain it from Result.Trace().
+type Trace = obs.Trace
 
-// RunContext is Run with caller-controlled cancellation: when ctx is
-// cancelled, in-flight stages stop at their next checkpoint and the run
-// returns ctx's error.
-func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+// StageTrace is one stage's execution record within a Trace.
+type StageTrace = obs.StageTrace
+
+// Pool is the bounded worker pool the pipeline's data-parallel kernels run
+// on. Attach a custom pool to a run with WithPool.
+type Pool = pipe.Pool
+
+// NewPool builds a pool running at most capacity work items at once.
+func NewPool(capacity int) *Pool { return pipe.NewPool(capacity) }
+
+// Option customizes one Run call.
+type Option func(*runOptions)
+
+type runOptions struct {
+	ds   *Dataset
+	pool *Pool
+}
+
+// WithDataset runs the pipeline on an existing dataset instead of
+// generating a fresh one, allowing the dataset to be shared across
+// experiments.
+func WithDataset(ds *Dataset) Option {
+	return func(o *runOptions) { o.ds = ds }
+}
+
+// WithPool bounds the run's data-parallel stages (pairwise distances,
+// forest training) to the given worker pool instead of the process-shared
+// one — one knob for callers embedding the pipeline next to other load.
+func WithPool(p *Pool) Option {
+	return func(o *runOptions) { o.pool = p }
+}
+
+// Run executes the full pipeline. The context cancels in-flight stages at
+// their next checkpoint; options select an existing dataset (WithDataset)
+// or a caller-bounded worker pool (WithPool).
+func Run(ctx context.Context, cfg Config, opts ...Option) (*Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.pool != nil {
+		ctx = pipe.WithPool(ctx, o.pool)
+	}
+	if o.ds != nil {
+		return analysis.RunOnDatasetContext(ctx, o.ds, cfg)
+	}
 	return analysis.RunContext(ctx, cfg)
 }
 
-// RunOnDataset executes the pipeline on an existing dataset, allowing the
-// dataset to be shared across experiments.
-func RunOnDataset(ds *Dataset, cfg Config) (*Result, error) { return analysis.RunOnDataset(ds, cfg) }
+// RunContext executes the full pipeline with caller-controlled
+// cancellation.
+//
+// Deprecated: RunContext is the pre-option spelling of Run; call Run
+// directly.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return Run(ctx, cfg)
+}
 
-// RunOnDatasetContext is RunOnDataset with caller-controlled cancellation.
+// RunOnDataset executes the pipeline on an existing dataset.
+//
+// Deprecated: use Run with WithDataset.
+func RunOnDataset(ds *Dataset, cfg Config) (*Result, error) {
+	return Run(context.Background(), cfg, WithDataset(ds))
+}
+
+// RunOnDatasetContext executes the pipeline on an existing dataset with
+// caller-controlled cancellation.
+//
+// Deprecated: use Run with WithDataset.
 func RunOnDatasetContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
-	return analysis.RunOnDatasetContext(ctx, ds, cfg)
+	return Run(ctx, cfg, WithDataset(ds))
 }
 
 // NewSuite runs the pipeline and wraps it in the experiment suite.
@@ -108,3 +206,43 @@ func BuildProfiles(res *Result, opts ProfileOptions) []Profile {
 
 // PlanSlices derives a network-slice plan per cluster profile.
 func PlanSlices(profiles []Profile) []SlicePlan { return core.PlanSlices(profiles) }
+
+// --- Serving ----------------------------------------------------------------
+
+// ModelSnapshot is the frozen, servable output of a pipeline run: the
+// Eq. 5 indoor-reference shares plus the trained surrogate forest.
+type ModelSnapshot = serve.ModelSnapshot
+
+// NewModelSnapshot freezes the servable state of a finished run.
+func NewModelSnapshot(res *Result) (*ModelSnapshot, error) {
+	return serve.NewModelSnapshot(res)
+}
+
+// ServeConfig parameterizes the online classification service.
+type ServeConfig = serve.Config
+
+// ServeStats is a point-in-time snapshot of a Server's activity.
+type ServeStats = serve.Stats
+
+// Server is the online antenna-classification HTTP service: batched probe
+// ingest with bounded-queue backpressure, Eq. 5 + surrogate-forest
+// classification with an LRU verdict cache, and observability endpoints.
+type Server = serve.Server
+
+// NewServer builds a serving instance around a model snapshot. Call Start
+// to bind the listener and Shutdown for a drained stop.
+func NewServer(snap *ModelSnapshot, cfg ServeConfig) (*Server, error) {
+	return serve.New(snap, nil, cfg)
+}
+
+// ClassifyRequest is the POST /v1/classify body.
+type ClassifyRequest = serve.ClassifyRequest
+
+// AntennaVector is one antenna's raw per-service traffic totals.
+type AntennaVector = serve.AntennaVector
+
+// ClassifyResponse is the POST /v1/classify response.
+type ClassifyResponse = serve.ClassifyResponse
+
+// AntennaVerdict is one antenna's inferred demand cluster.
+type AntennaVerdict = serve.AntennaVerdict

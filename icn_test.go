@@ -1,6 +1,7 @@
 package icn
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // detailed behavioural tests live with the internal packages.
 
 func TestRunEndToEnd(t *testing.T) {
-	res, err := Run(Config{Seed: 3, Scale: 0.05, OutdoorCount: 150, ForestTrees: 25})
+	res, err := Run(context.Background(), Config{Seed: 3, Scale: 0.05, OutdoorCount: 150, ForestTrees: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,10 +30,12 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunOnSharedDataset(t *testing.T) {
 	ds := GenerateDataset(DatasetConfig{Seed: 5, Scale: 0.05, OutdoorCount: 100})
-	a, err := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	a, err := Run(context.Background(), Config{Seed: 5, Scale: 0.05, ForestTrees: 15}, WithDataset(ds))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The deprecated wrapper must stay behaviourally identical to the
+	// option form.
 	b, err := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +44,32 @@ func TestRunOnSharedDataset(t *testing.T) {
 		if a.Labels[i] != b.Labels[i] {
 			t.Fatal("pipeline on same dataset should be deterministic")
 		}
+	}
+}
+
+func TestRunWithPool(t *testing.T) {
+	pool := NewPool(2)
+	res, err := Run(context.Background(), Config{Seed: 5, Scale: 0.05, OutdoorCount: 100, ForestTrees: 15},
+		WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(context.Background(), Config{Seed: 5, Scale: 0.05, OutdoorCount: 100, ForestTrees: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Labels {
+		if res.Labels[i] != ref.Labels[i] {
+			t.Fatal("custom pool must not change results")
+		}
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Seed: 3, Scale: 0.05, ForestTrees: 10}); err == nil {
+		t.Fatal("cancelled run should fail")
 	}
 }
 

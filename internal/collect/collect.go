@@ -6,10 +6,12 @@
 //
 // The collector accepts many concurrent probe connections, applies the
 // wire-format validation of the probe package, classifies and aggregates
-// records under a single lock-guarded aggregator, counts malformed streams
-// without letting them poison the aggregate, and shuts down gracefully:
-// closing the listener, draining in-flight connections, and honoring
-// context cancellation.
+// records under a single lock-guarded aggregator (the Sink, shared with the
+// HTTP serving path in internal/serve), counts malformed streams without
+// letting them poison the aggregate, and shuts down gracefully: closing the
+// listener, draining in-flight connections, and honoring context
+// cancellation. The exporter client retries transient dial failures with
+// jittered exponential backoff under an explicit retry budget.
 package collect
 
 import (
@@ -18,12 +20,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/mat"
 	"repro/internal/pipe"
 	"repro/internal/probe"
+	"repro/internal/rng"
 )
 
 // Stats is a point-in-time snapshot of collector activity.
@@ -39,16 +41,12 @@ type Stats struct {
 	UnclassifiedMB float64
 }
 
-// Collector is a TCP server aggregating probe record streams.
+// Collector is a TCP server aggregating probe record streams into a Sink.
 type Collector struct {
-	ln         net.Listener
-	classifier *probe.Classifier
-
-	mu        sync.Mutex
-	agg       *probe.Aggregator
-	stats     Stats
-	shutdown  bool
+	ln        net.Listener
+	sink      *Sink
 	readLimit time.Duration
+	shutdown  chan struct{}
 
 	// handlers tracks per-connection goroutines so shutdown can drain
 	// them; all spawning goes through pipe.Tasks per the module's
@@ -65,6 +63,16 @@ func WithReadTimeout(d time.Duration) Option {
 	return func(c *Collector) { c.readLimit = d }
 }
 
+// WithSink folds records into an existing sink instead of a fresh one,
+// letting one aggregate receive both TCP and HTTP producers.
+func WithSink(s *Sink) Option {
+	return func(c *Collector) {
+		if s != nil {
+			c.sink = s
+		}
+	}
+}
+
 // Listen starts a collector on addr ("host:port"; use "127.0.0.1:0" for an
 // ephemeral port). The caller must invoke Serve to accept connections.
 func Listen(addr string, opts ...Option) (*Collector, error) {
@@ -73,10 +81,10 @@ func Listen(addr string, opts ...Option) (*Collector, error) {
 		return nil, fmt.Errorf("collect: listen %s: %w", addr, err)
 	}
 	c := &Collector{
-		ln:         ln,
-		classifier: probe.NewClassifier(),
-		agg:        probe.NewAggregator(probe.NewClassifier()),
-		readLimit:  30 * time.Second,
+		ln:        ln,
+		sink:      NewSink(),
+		readLimit: 30 * time.Second,
+		shutdown:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(c)
@@ -86,6 +94,9 @@ func Listen(addr string, opts ...Option) (*Collector, error) {
 
 // Addr returns the listener address (useful with ephemeral ports).
 func (c *Collector) Addr() net.Addr { return c.ln.Addr() }
+
+// Sink returns the aggregation core records are folded into.
+func (c *Collector) Sink() *Sink { return c.sink }
 
 // Serve accepts probe connections until the context is canceled or the
 // listener fails. It always returns a non-nil error: ctx.Err() after a
@@ -98,9 +109,7 @@ func (c *Collector) Serve(ctx context.Context) error {
 	watch.Go(func() {
 		select {
 		case <-ctx.Done():
-			c.mu.Lock()
-			c.shutdown = true
-			c.mu.Unlock()
+			close(c.shutdown)
 			c.ln.Close()
 		case <-done:
 		}
@@ -111,17 +120,14 @@ func (c *Collector) Serve(ctx context.Context) error {
 		if err != nil {
 			// Drain in-flight connections before returning.
 			c.handlers.Wait()
-			c.mu.Lock()
-			wasShutdown := c.shutdown
-			c.mu.Unlock()
-			if wasShutdown {
+			select {
+			case <-c.shutdown:
 				return ctx.Err()
+			default:
 			}
 			return fmt.Errorf("collect: accept: %w", err)
 		}
-		c.mu.Lock()
-		c.stats.Connections++
-		c.mu.Unlock()
+		c.sink.NoteConnection()
 		c.handlers.Go(func() { c.handle(conn) })
 	}
 }
@@ -143,39 +149,24 @@ func (c *Collector) handle(conn net.Conn) {
 			return
 		}
 		if err != nil {
-			c.mu.Lock()
-			c.stats.MalformedStreams++
-			c.stats.UnclassifiedMB = c.agg.UnclassifiedMB
-			c.mu.Unlock()
+			c.sink.NoteMalformed()
 			return
 		}
-		c.mu.Lock()
-		c.agg.Add(rec)
-		c.stats.Records++
-		c.stats.UnclassifiedMB = c.agg.UnclassifiedMB
-		c.mu.Unlock()
+		c.sink.Add(rec)
 	}
 }
 
 // Snapshot returns current collector statistics.
-func (c *Collector) Snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+func (c *Collector) Snapshot() Stats { return c.sink.Snapshot() }
 
 // TotalMB returns the aggregated MB for (antenna, service).
 func (c *Collector) TotalMB(antenna uint32, service int) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.agg.TotalMB(antenna, service)
+	return c.sink.TotalMB(antenna, service)
 }
 
 // HourlyMB returns the aggregated MB for (antenna, service, hour).
 func (c *Collector) HourlyMB(antenna uint32, service int, hour uint32) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.agg.HourlyMB(antenna, service, hour)
+	return c.sink.HourlyMB(antenna, service, hour)
 }
 
 // Close stops the listener immediately. In-flight handlers finish on their
@@ -184,33 +175,103 @@ func (c *Collector) Close() error { return c.ln.Close() }
 
 // TrafficMatrix materializes the aggregated totals as an antennas × M
 // traffic matrix for antenna ids [0, antennas) — the T matrix of
-// Section 4.1 as collected over the wire. Records for antennas outside
-// the range are ignored.
+// Section 4.1 as collected over the wire.
 func (c *Collector) TrafficMatrix(antennas, numServices int) *mat.Dense {
-	t := mat.NewDense(antennas, numServices)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.agg.ForEachTotal(func(antenna uint32, service int, mb float64) {
-		if int(antenna) < antennas && service < numServices {
-			t.Set(int(antenna), service, mb)
-		}
-	})
-	return t
+	return c.sink.TrafficMatrix(antennas, numServices)
 }
 
 // ErrNoRecords reports an Export call with nothing to send.
 var ErrNoRecords = errors.New("collect: no records to export")
 
+// exportConfig carries the exporter's retry policy.
+type exportConfig struct {
+	attempts int
+	base     time.Duration
+	maxDelay time.Duration
+	seed     uint64
+}
+
+// ExportOption customizes Export.
+type ExportOption func(*exportConfig)
+
+// WithDialRetry retries transient dial failures up to budget additional
+// attempts, sleeping base·2ⁱ plus up to 50% deterministic jitter between
+// attempts (capped at 8·base). A refused connection during a collector
+// restart no longer fails the whole export.
+func WithDialRetry(budget int, base time.Duration) ExportOption {
+	return func(c *exportConfig) {
+		if budget > 0 {
+			c.attempts = budget
+		}
+		if base > 0 {
+			c.base = base
+			c.maxDelay = 8 * base
+		}
+	}
+}
+
+// WithRetrySeed selects the jitter stream (the default derives it from the
+// target address, so distinct exporters desynchronize their retries).
+func WithRetrySeed(seed uint64) ExportOption {
+	return func(c *exportConfig) { c.seed = seed }
+}
+
+// dialRetry dials addr, retrying per cfg with jittered exponential backoff.
+// Backoff sleeps honor context cancellation.
+func dialRetry(ctx context.Context, addr string, cfg exportConfig) (net.Conn, error) {
+	var d net.Dialer
+	jitter := rng.New(cfg.seed)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= cfg.attempts || ctx.Err() != nil {
+			break
+		}
+		delay := cfg.base << uint(attempt)
+		if cfg.maxDelay > 0 && delay > cfg.maxDelay {
+			delay = cfg.maxDelay
+		}
+		// Up to 50% jitter, drawn from a deterministic per-exporter stream.
+		delay += time.Duration(jitter.Float64() * 0.5 * float64(delay))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("collect: dial %s: %w", addr, ctx.Err())
+		case <-timer.C:
+		}
+	}
+	return nil, fmt.Errorf("collect: dial %s after %d attempts: %w", addr, cfg.attempts+1, lastErr)
+}
+
+// seedFromAddr hashes the target address into a jitter seed (FNV-1a).
+func seedFromAddr(addr string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
 // Export dials a collector and streams the given records over one
-// connection, honoring context cancellation between writes.
-func Export(ctx context.Context, addr string, records []probe.Record) error {
+// connection, honoring context cancellation between writes. By default the
+// dial is attempted once; pass WithDialRetry to survive transient refusals.
+func Export(ctx context.Context, addr string, records []probe.Record, opts ...ExportOption) error {
 	if len(records) == 0 {
 		return ErrNoRecords
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	cfg := exportConfig{base: 50 * time.Millisecond, seed: seedFromAddr(addr)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := dialRetry(ctx, addr, cfg)
 	if err != nil {
-		return fmt.Errorf("collect: dial %s: %w", addr, err)
+		return err
 	}
 	defer conn.Close()
 

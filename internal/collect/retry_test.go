@@ -1,0 +1,125 @@
+package collect
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+)
+
+func sampleRecords(n int) []probe.Record {
+	recs := make([]probe.Record, n)
+	for i := range recs {
+		recs[i] = probe.Record{
+			Hour: uint32(i % 24), AntennaID: 1, Protocol: probe.TCP,
+			ServerPort: 443, ServerName: "netflix.example",
+			DownBytes: 1 << 20, UpBytes: 1 << 16,
+		}
+	}
+	return recs
+}
+
+// TestExportRetrySurvivesLateCollector reserves a port, starts the export
+// against it while nothing is listening, then brings a collector up: the
+// retry budget must absorb the refused dials.
+func TestExportRetrySurvivesLateCollector(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; dials now get refused
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var exportErr error
+	go func() {
+		defer wg.Done()
+		exportErr = Export(ctx, addr, sampleRecords(10),
+			WithDialRetry(8, 20*time.Millisecond), WithRetrySeed(1))
+	}()
+
+	// Let at least one dial fail before the collector appears.
+	time.Sleep(50 * time.Millisecond)
+	c, err := Listen(addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	srvCtx, stop := context.WithCancel(context.Background())
+	var srv sync.WaitGroup
+	srv.Add(1)
+	go func() {
+		defer srv.Done()
+		_ = c.Serve(srvCtx)
+	}()
+
+	wg.Wait()
+	if exportErr != nil {
+		t.Fatalf("export with retry budget failed: %v", exportErr)
+	}
+	// Wait for the collector to fold the stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().Records < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	srv.Wait()
+	if got := c.Snapshot().Records; got != 10 {
+		t.Fatalf("collector aggregated %d records, want 10", got)
+	}
+}
+
+// TestExportRetryBudgetExhausted verifies a dead endpoint still fails after
+// the budget, and that the error reports the attempt count.
+func TestExportRetryBudgetExhausted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	err = Export(context.Background(), addr, sampleRecords(1),
+		WithDialRetry(2, 10*time.Millisecond), WithRetrySeed(7))
+	if err == nil {
+		t.Fatal("export to dead endpoint should fail")
+	}
+	// 2 retries at ≥10ms and ≥20ms backoff: at least ~30ms elapsed.
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("retries returned too fast (%v): backoff not applied", elapsed)
+	}
+}
+
+// TestExportRetryHonorsCancel checks a canceled context aborts the backoff
+// sleep promptly instead of burning the remaining budget.
+func TestExportRetryHonorsCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Export(ctx, addr, sampleRecords(1), WithDialRetry(10, time.Second))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled export should fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("export did not honor cancellation during backoff")
+	}
+}

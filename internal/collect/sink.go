@@ -1,0 +1,109 @@
+package collect
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/probe"
+)
+
+// Sink is the transport-independent aggregation core shared by the TCP
+// Collector and the HTTP serving path (internal/serve): a lock-guarded
+// probe.Aggregator plus the running Stats. Producers on any transport fold
+// classified records into one Sink; consumers snapshot totals or
+// materialize the traffic matrix.
+type Sink struct {
+	// mu guards agg and stats. Methods never call out under the lock, so
+	// the critical sections stay O(records folded).
+	mu    sync.Mutex
+	agg   *probe.Aggregator
+	stats Stats
+}
+
+// NewSink returns an empty sink classifying with the full service catalog.
+func NewSink() *Sink {
+	return &Sink{agg: probe.NewAggregator(probe.NewClassifier())}
+}
+
+// Add classifies and folds one record.
+func (s *Sink) Add(rec probe.Record) {
+	s.mu.Lock()
+	s.addLocked(rec)
+	s.mu.Unlock()
+}
+
+// AddBatch folds a batch of records under one lock acquisition — the
+// ingest path's unit of work.
+func (s *Sink) AddBatch(recs []probe.Record) {
+	s.mu.Lock()
+	for _, rec := range recs {
+		s.addLocked(rec)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Sink) addLocked(rec probe.Record) {
+	s.agg.Add(rec)
+	s.stats.Records++
+	s.stats.UnclassifiedMB = s.agg.UnclassifiedMB
+}
+
+// NoteConnection counts one accepted producer connection (or HTTP ingest
+// request).
+func (s *Sink) NoteConnection() {
+	s.mu.Lock()
+	s.stats.Connections++
+	s.mu.Unlock()
+}
+
+// NoteMalformed counts one producer stream dropped for framing errors.
+func (s *Sink) NoteMalformed() {
+	s.mu.Lock()
+	s.stats.MalformedStreams++
+	s.stats.UnclassifiedMB = s.agg.UnclassifiedMB
+	s.mu.Unlock()
+}
+
+// Snapshot returns current sink statistics.
+func (s *Sink) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// TotalMB returns the aggregated MB for (antenna, service).
+func (s *Sink) TotalMB(antenna uint32, service int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.TotalMB(antenna, service)
+}
+
+// HourlyMB returns the aggregated MB for (antenna, service, hour).
+func (s *Sink) HourlyMB(antenna uint32, service int, hour uint32) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.HourlyMB(antenna, service, hour)
+}
+
+// AntennaTotalMB returns the total classified MB of one antenna.
+func (s *Sink) AntennaTotalMB(antenna uint32) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.AntennaTotalMB(antenna)
+}
+
+// TrafficMatrix materializes the aggregated totals as an antennas × M
+// traffic matrix for antenna ids [0, antennas) — the T matrix of
+// Section 4.1 as collected over the wire. Records for antennas outside the
+// range are ignored.
+func (s *Sink) TrafficMatrix(antennas, numServices int) *mat.Dense {
+	t := mat.NewDense(antennas, numServices)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agg.ForEachTotal(func(antenna uint32, service int, mb float64) {
+		if int(antenna) < antennas && service < numServices {
+			t.Set(int(antenna), service, mb)
+		}
+	})
+	return t
+}

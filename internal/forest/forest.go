@@ -89,7 +89,7 @@ func TrainContext(ctx context.Context, x *mat.Dense, y []int, classes int, cfg C
 	f.Trees = make([]*Tree, cfg.Trees)
 	inBags := make([][]bool, cfg.Trees)
 
-	err := pipe.Shared().ForEach(ctx, cfg.Trees, func(t int) {
+	err := pipe.FromContext(ctx).ForEach(ctx, cfg.Trees, func(t int) {
 		r := seeds[t]
 		idx := make([]int, n)
 		inBag := make([]bool, n)

@@ -273,7 +273,7 @@ func PairwiseSqDistContext(ctx context.Context, m *Dense) (*Condensed, error) {
 		}
 		return c, ctx.Err()
 	}
-	err := pipe.Shared().ForEach(ctx, m.rows, func(i int) {
+	err := pipe.FromContext(ctx).ForEach(ctx, m.rows, func(i int) {
 		ri := m.Row(i)
 		for j := i + 1; j < m.rows; j++ {
 			c.Set(i, j, SqDist(ri, m.Row(j)))

@@ -1,0 +1,26 @@
+package pipe
+
+import "context"
+
+// poolKey carries a caller-selected Pool through a context.
+type poolKey struct{}
+
+// WithPool returns a context carrying p. Substrates that parallelize under
+// a context (pairwise distances, forest training, the serving path) pick
+// the pool up with FromContext, so one caller-provided pool bounds the
+// whole run without threading a *Pool parameter through every layer.
+func WithPool(ctx context.Context, p *Pool) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+// FromContext returns the pool carried by ctx, or the process-shared pool
+// when the context carries none.
+func FromContext(ctx context.Context) *Pool {
+	if p, ok := ctx.Value(poolKey{}).(*Pool); ok {
+		return p
+	}
+	return shared
+}

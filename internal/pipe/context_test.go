@@ -1,0 +1,33 @@
+package pipe
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFromContextFallsBackToShared(t *testing.T) {
+	if got := FromContext(context.Background()); got != shared {
+		t.Fatal("bare context should yield the shared pool")
+	}
+}
+
+func TestWithPoolCarriesPool(t *testing.T) {
+	p := NewPool(2)
+	ctx := WithPool(context.Background(), p)
+	if got := FromContext(ctx); got != p {
+		t.Fatal("context did not carry the attached pool")
+	}
+	// A derived context inherits the pool.
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if got := FromContext(child); got != p {
+		t.Fatal("derived context lost the attached pool")
+	}
+}
+
+func TestWithPoolNilIsNoop(t *testing.T) {
+	ctx := WithPool(context.Background(), nil)
+	if got := FromContext(ctx); got != shared {
+		t.Fatal("nil pool should leave the shared fallback in place")
+	}
+}

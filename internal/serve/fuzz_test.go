@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/probe"
+)
+
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *Server
+)
+
+// fuzzServer builds one shared server whose handler the fuzzer drives
+// directly (no network); its drain workers run for the process lifetime.
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	fuzzSrvOnce.Do(func() {
+		snap := tinySnapshot(f)
+		var err error
+		fuzzSrv, err = New(snap, nil, Config{QueueDepth: 1024})
+		if err != nil {
+			f.Fatal(err)
+		}
+	})
+	return fuzzSrv
+}
+
+// FuzzIngestBody feeds arbitrary bytes to POST /v1/ingest alongside the
+// probe package's own reader fuzz: the handler must always answer one of
+// the documented statuses and never panic, hang, or poison the aggregate
+// with partial batches.
+func FuzzIngestBody(f *testing.F) {
+	s := fuzzServer(f)
+
+	var buf bytes.Buffer
+	w := probe.NewWriter(&buf)
+	_ = w.Write(probe.Record{Hour: 1, AntennaID: 2, Protocol: probe.TCP, ServerPort: 443, ServerName: "netflix.example", DownBytes: 10, UpBytes: 1})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add([]byte{0x49, 0x43, 0x4e, 0x50, 0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(append(append([]byte{}, valid...), valid[6:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusAccepted, http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("ingest answered %d for %d fuzz bytes", rr.Code, len(data))
+		}
+	})
+}
+
+// FuzzClassifyBody feeds arbitrary JSON to POST /v1/classify; malformed
+// bodies and wrong-shape vectors must come back 4xx, never crash the
+// model.
+func FuzzClassifyBody(f *testing.F) {
+	s := fuzzServer(f)
+	f.Add([]byte(`{"antennas":[{"id":1,"traffic":[1,2,3]}]}`))
+	f.Add([]byte(`{"antennas":[{"id":1,"revision":9,"traffic":[1e308,-1,0]}]}`))
+	f.Add([]byte(`{"antennas":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"antennas":[{"traffic":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/classify", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		if rr.Code >= 500 && rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("classify answered %d for %q", rr.Code, data)
+		}
+	})
+}

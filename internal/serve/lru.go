@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one classified antenna state: callers bump the
+// revision whenever the antenna's traffic vector changes, so a stale entry
+// is simply never asked for again and ages out of the LRU.
+type cacheKey struct {
+	antenna  uint32
+	revision uint64
+}
+
+// lruCache is a fixed-capacity LRU of classify verdicts, safe for
+// concurrent handlers. A capacity ≤ 0 disables caching entirely.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key     cacheKey
+	cluster int
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached cluster for key and marks it most-recently used.
+func (c *lruCache) get(key cacheKey) (int, bool) {
+	if c.cap <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).cluster, true
+}
+
+// put inserts or refreshes key, evicting the least-recently used entry
+// beyond capacity.
+func (c *lruCache) put(key cacheKey, cluster int) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).cluster = cluster
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, cluster: cluster})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,516 @@
+// Package serve is the online half of the reproduction: a long-running
+// HTTP service that wraps a pipeline-trained model snapshot (the Eq. 5
+// indoor-reference shares plus the Section 5.1.2 surrogate forest) and
+// turns the offline two-months-in/nine-clusters-out pipeline into a live
+// classification path for new antennas — the Section 6 use of the
+// surrogate, operationalized.
+//
+// Endpoints:
+//
+//	POST /v1/ingest    probe-record batches (probe wire format) folded
+//	                   through the collect.Sink aggregator, with a bounded
+//	                   queue and explicit 429 backpressure
+//	POST /v1/classify  antenna traffic vectors → Eq. 5 RSCA → forest
+//	                   cluster, batched on the shared worker pool with an
+//	                   LRU verdict cache keyed by (antenna, revision)
+//	GET  /v1/stats     JSON serving statistics
+//	GET  /v1/model     model snapshot metadata (vector length, k, revision)
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text: obs counters + latency histograms
+//
+// Production behaviors: per-request context deadlines, bounded ingest queue
+// with Retry-After hints, and graceful shutdown that stops intake, drains
+// queued batches into the aggregate, and only then returns — an acked
+// (202) record is never lost.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/obs"
+	"repro/internal/pipe"
+	"repro/internal/probe"
+)
+
+// Config parameterizes a Server. The zero value serves on an ephemeral
+// localhost port with production-shaped defaults.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// QueueDepth bounds the ingest queue in batches; a full queue answers
+	// 429 with a Retry-After hint (default 64).
+	QueueDepth int
+	// IngestWorkers is the number of goroutines folding queued batches
+	// into the aggregate (default 2).
+	IngestWorkers int
+	// RequestTimeout is the per-request context deadline (default 5s).
+	RequestTimeout time.Duration
+	// CacheSize bounds the classify LRU in entries; 0 selects the default
+	// 4096, negative disables caching.
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxIngestRecords caps records per ingest batch (default 262144).
+	MaxIngestRecords int
+	// MaxClassifyAntennas caps vectors per classify call (default 4096).
+	MaxClassifyAntennas int
+	// RetryAfter is the backpressure hint on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Pool overrides the worker pool classify batches fan out on
+	// (default: the process-shared pool).
+	Pool *pipe.Pool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.IngestWorkers <= 0 {
+		c.IngestWorkers = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxIngestRecords <= 0 {
+		c.MaxIngestRecords = 262144
+	}
+	if c.MaxClassifyAntennas <= 0 {
+		c.MaxClassifyAntennas = 4096
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of one server's activity.
+type Stats struct {
+	// ModelRevision identifies the served snapshot.
+	ModelRevision uint64 `json:"model_revision"`
+	// Ingest side.
+	IngestBatches   int64 `json:"ingest_batches"`
+	IngestRecords   int64 `json:"ingest_records"`
+	IngestRejected  int64 `json:"ingest_rejected"`
+	IngestMalformed int64 `json:"ingest_malformed"`
+	QueueDepth      int   `json:"queue_depth"`
+	QueueCapacity   int   `json:"queue_capacity"`
+	// Classify side.
+	ClassifyRequests  int64 `json:"classify_requests"`
+	ClassifiedVectors int64 `json:"classified_vectors"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEntries      int   `json:"cache_entries"`
+	// Aggregate holds the sink's collector-compatible statistics.
+	Aggregate collect.Stats `json:"aggregate"`
+}
+
+// Server is the online classification service.
+type Server struct {
+	cfg   Config
+	snap  *ModelSnapshot
+	sink  *collect.Sink
+	pool  *pipe.Pool
+	cache *lruCache
+
+	queue chan []probe.Record
+	tasks pipe.Tasks
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	ln      net.Listener
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	draining  atomic.Bool
+
+	// foldDelayNS throttles the drain workers (test hook for exercising
+	// queue backpressure deterministically; zero in production).
+	foldDelayNS atomic.Int64
+
+	ingestBatches   atomic.Int64
+	ingestRecords   atomic.Int64
+	ingestRejected  atomic.Int64
+	ingestMalformed atomic.Int64
+	classifyReqs    atomic.Int64
+	classifiedVecs  atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+}
+
+// New builds a server around a model snapshot. The sink may be shared with
+// a TCP Collector; pass nil for a private aggregate.
+func New(snap *ModelSnapshot, sink *collect.Sink, cfg Config) (*Server, error) {
+	if snap == nil {
+		return nil, errors.New("serve: nil model snapshot")
+	}
+	cfg = cfg.withDefaults()
+	if sink == nil {
+		sink = collect.NewSink()
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = pipe.Shared()
+	}
+	s := &Server{
+		cfg:   cfg,
+		snap:  snap,
+		sink:  sink,
+		pool:  pool,
+		cache: newLRUCache(cfg.CacheSize),
+		queue: make(chan []probe.Record, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/ingest", s.withDeadline(s.handleIngest))
+	s.mux.HandleFunc("/v1/classify", s.withDeadline(s.handleClassify))
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+
+	// The drain workers start with the server's lifetime, not with Start:
+	// a handler exercised directly (tests, fuzzing) still gets its batches
+	// folded.
+	for w := 0; w < cfg.IngestWorkers; w++ {
+		s.tasks.Go(s.drainQueue)
+	}
+	return s, nil
+}
+
+// Handler exposes the route table (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sink returns the aggregate records are folded into.
+func (s *Server) Sink() *collect.Sink { return s.sink }
+
+// Snapshot returns the served model snapshot.
+func (s *Server) Snapshot() *ModelSnapshot { return s.snap }
+
+// Start binds the listen address and begins serving on a tracked
+// goroutine. It returns once the listener is bound; use Addr for the bound
+// address and Shutdown to stop.
+func (s *Server) Start() error {
+	var err error
+	s.startOnce.Do(func() {
+		s.ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			err = fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+			return
+		}
+		s.tasks.Go(func() {
+			// ErrServerClosed is the expected Shutdown outcome.
+			_ = s.httpSrv.Serve(s.ln)
+		})
+	})
+	return err
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully stops the server: it stops accepting requests, waits
+// for in-flight handlers (bounded by ctx), then drains every queued ingest
+// batch into the aggregate before returning. Records acked with 202 are
+// therefore never lost across a graceful stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		if s.ln != nil {
+			err = s.httpSrv.Shutdown(ctx)
+		}
+		// No handler can be running now (Shutdown waits for them), so the
+		// queue can close; workers exit after folding what remains.
+		s.draining.Store(true)
+		close(s.queue)
+		s.tasks.Wait()
+	})
+	return err
+}
+
+// drainQueue folds queued ingest batches until the queue closes.
+func (s *Server) drainQueue() {
+	for batch := range s.queue {
+		if d := s.foldDelayNS.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		s.sink.AddBatch(batch)
+		obs.Add("serve.ingest.folded", int64(len(batch)))
+	}
+}
+
+// withDeadline wraps a handler with the per-request context deadline and
+// the server's worker pool.
+func (s *Server) withDeadline(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		ctx = pipe.WithPool(ctx, s.pool)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection owns delivery; nothing to do on error
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleIngest accepts one probe-wire-format batch, acks it with 202 once
+// it is safely queued, and answers 429 with Retry-After when the bounded
+// queue is full.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	startAt := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a probe stream")
+		return
+	}
+	s.sink.NoteConnection()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	reader := probe.NewReader(body)
+	var batch []probe.Record
+	for {
+		rec, err := reader.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"body exceeds %d bytes", tooLarge.Limit)
+				return
+			}
+			s.ingestMalformed.Add(1)
+			s.sink.NoteMalformed()
+			obs.Add("serve.ingest.malformed", 1)
+			writeError(w, http.StatusBadRequest, "malformed probe stream: %v", err)
+			return
+		}
+		batch = append(batch, rec)
+		if len(batch) > s.cfg.MaxIngestRecords {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d records", s.cfg.MaxIngestRecords)
+			return
+		}
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.queue <- batch:
+		s.ingestBatches.Add(1)
+		s.ingestRecords.Add(int64(len(batch)))
+		obs.Add("serve.ingest.batches", 1)
+		obs.Add("serve.ingest.records", int64(len(batch)))
+		obs.ObserveMS("serve.ingest.latency.ms", msSince(startAt))
+		writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
+	default:
+		s.ingestRejected.Add(1)
+		obs.Add("serve.ingest.rejected", 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "ingest queue full, retry later")
+	}
+}
+
+// ClassifyRequest is the /v1/classify body: one traffic vector per
+// antenna, with an optional caller-managed revision enabling the verdict
+// cache.
+type ClassifyRequest struct {
+	Antennas []AntennaVector `json:"antennas"`
+}
+
+// AntennaVector is one antenna's raw per-service traffic totals.
+type AntennaVector struct {
+	// ID identifies the antenna across requests.
+	ID uint32 `json:"id"`
+	// Revision versions the traffic vector; repeats of (id, revision > 0)
+	// are served from the LRU without re-running the model.
+	Revision uint64 `json:"revision,omitempty"`
+	// Traffic holds the per-service MB totals (length = model services).
+	Traffic []float64 `json:"traffic"`
+}
+
+// ClassifyResponse mirrors the request order.
+type ClassifyResponse struct {
+	ModelRevision uint64           `json:"model_revision"`
+	Results       []AntennaVerdict `json:"results"`
+	CacheHits     int              `json:"cache_hits"`
+}
+
+// AntennaVerdict is one antenna's inferred demand cluster.
+type AntennaVerdict struct {
+	ID      uint32 `json:"id"`
+	Cluster int    `json:"cluster"`
+	Cached  bool   `json:"cached,omitempty"`
+}
+
+// handleClassify transforms the submitted traffic vectors with the Eq. 5
+// indoor reference and classifies them with the surrogate forest, serving
+// revision-cached antennas from the LRU.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	startAt := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a classify request")
+		return
+	}
+	var req ClassifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Antennas) == 0 {
+		writeError(w, http.StatusBadRequest, "no antennas in request")
+		return
+	}
+	if len(req.Antennas) > s.cfg.MaxClassifyAntennas {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d antennas exceeds the %d per-request cap", len(req.Antennas), s.cfg.MaxClassifyAntennas)
+		return
+	}
+	s.classifyReqs.Add(1)
+	obs.Add("serve.classify.requests", 1)
+
+	resp := ClassifyResponse{
+		ModelRevision: s.snap.Revision,
+		Results:       make([]AntennaVerdict, len(req.Antennas)),
+	}
+	var missIdx []int
+	var missRows [][]float64
+	for i, a := range req.Antennas {
+		resp.Results[i].ID = a.ID
+		if a.Revision > 0 {
+			if cluster, ok := s.cache.get(cacheKey{a.ID, a.Revision}); ok {
+				resp.Results[i].Cluster = cluster
+				resp.Results[i].Cached = true
+				resp.CacheHits++
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+		missRows = append(missRows, a.Traffic)
+	}
+	s.cacheHits.Add(int64(resp.CacheHits))
+	s.cacheMisses.Add(int64(len(missIdx)))
+	obs.Add("serve.classify.cache.hits", int64(resp.CacheHits))
+	obs.Add("serve.classify.cache.misses", int64(len(missIdx)))
+
+	if len(missIdx) > 0 {
+		clusters, err := s.snap.Classify(r.Context(), missRows)
+		if err != nil {
+			if r.Context().Err() != nil {
+				writeError(w, http.StatusServiceUnavailable, "deadline exceeded: %v", r.Context().Err())
+				return
+			}
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for mi, i := range missIdx {
+			a := req.Antennas[i]
+			resp.Results[i].Cluster = clusters[mi]
+			if a.Revision > 0 {
+				s.cache.put(cacheKey{a.ID, a.Revision}, clusters[mi])
+			}
+		}
+	}
+	s.classifiedVecs.Add(int64(len(req.Antennas)))
+	obs.Add("serve.classify.antennas", int64(len(req.Antennas)))
+	obs.ObserveMS("serve.classify.latency.ms", msSince(startAt))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats reports the server's activity snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the serving statistics backing /v1/stats.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ModelRevision:     s.snap.Revision,
+		IngestBatches:     s.ingestBatches.Load(),
+		IngestRecords:     s.ingestRecords.Load(),
+		IngestRejected:    s.ingestRejected.Load(),
+		IngestMalformed:   s.ingestMalformed.Load(),
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     cap(s.queue),
+		ClassifyRequests:  s.classifyReqs.Load(),
+		ClassifiedVectors: s.classifiedVecs.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		CacheEntries:      s.cache.len(),
+		Aggregate:         s.sink.Snapshot(),
+	}
+}
+
+// handleModel reports snapshot metadata so clients can size vectors.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"services": s.snap.Services,
+		"k":        s.snap.K,
+		"trees":    len(s.snap.Forest.Trees),
+		"revision": s.snap.Revision,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the obs counters and latency histograms in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(obs.MetricsText()))
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

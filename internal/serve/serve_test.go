@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/probe"
+	"repro/internal/rca"
+	"repro/internal/synth"
+)
+
+// --- fixtures ---------------------------------------------------------------
+
+// tinySnapshot builds a minimal servable model without running the full
+// pipeline: 8 antennas × 3 services, two well-separated demand profiles.
+func tinySnapshot(t testing.TB) *ModelSnapshot {
+	t.Helper()
+	rows := [][]float64{
+		{100, 5, 5}, {90, 10, 4}, {110, 2, 8}, {95, 7, 3},
+		{5, 100, 5}, {8, 95, 2}, {4, 110, 9}, {6, 90, 7},
+	}
+	traffic, err := mat.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rca.NewOutdoorReference(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	f := forest.Train(rca.RSCA(traffic), labels, 2, forest.Config{Trees: 7, Seed: 3})
+	m := &ModelSnapshot{Ref: ref, Forest: f, K: 2, Services: 3}
+	m.Revision = m.fingerprint()
+	return m
+}
+
+func startServer(t *testing.T, snap *ModelSnapshot, cfg Config) *Server {
+	t.Helper()
+	s, err := New(snap, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func baseURL(s *Server) string { return "http://" + s.Addr().String() }
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func probeStream(t testing.TB, recs []probe.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := probe.NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func ingestRecords(n int) []probe.Record {
+	recs := make([]probe.Record, n)
+	for i := range recs {
+		recs[i] = probe.Record{
+			Hour: uint32(i % 24), AntennaID: uint32(i % 4), Protocol: probe.TCP,
+			ServerPort: 443, ServerName: "netflix.example",
+			DownBytes: 2 << 20, UpBytes: 1 << 18,
+		}
+	}
+	return recs
+}
+
+// --- golden parity with the offline pipeline --------------------------------
+
+var (
+	goldenOnce sync.Once
+	goldenRes  *analysis.Result
+	goldenErr  error
+)
+
+func goldenResult(t *testing.T) *analysis.Result {
+	t.Helper()
+	goldenOnce.Do(func() {
+		ds := synth.Generate(synth.Config{Seed: 11, Scale: 0.05, OutdoorCount: 120})
+		goldenRes, goldenErr = analysis.RunOnDataset(ds, analysis.Config{
+			Seed: 11, Scale: 0.05, ForestTrees: 15,
+		})
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenRes
+}
+
+// TestClassifyMatchesOfflinePredictAll is the golden serving test: the
+// HTTP classify path over the outdoor population must reproduce, byte for
+// byte, the offline Section 5.3 classification (forest.PredictAll over the
+// Eq. 5 features — i.e. Result.OutdoorLabels).
+func TestClassifyMatchesOfflinePredictAll(t *testing.T) {
+	res := goldenResult(t)
+	snap, err := NewModelSnapshot(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, snap, Config{})
+
+	outdoor := res.Dataset.OutdoorTraffic
+	var req ClassifyRequest
+	for i := 0; i < outdoor.Rows(); i++ {
+		req.Antennas = append(req.Antennas, AntennaVector{
+			ID: uint32(i), Traffic: outdoor.Row(i),
+		})
+	}
+	resp, body := postJSON(t, baseURL(s)+"/v1/classify", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: %d %s", resp.StatusCode, body)
+	}
+	var cr ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ModelRevision != snap.Revision {
+		t.Fatalf("model revision %d, want %d", cr.ModelRevision, snap.Revision)
+	}
+	if len(cr.Results) != len(res.OutdoorLabels) {
+		t.Fatalf("%d results for %d outdoor antennas", len(cr.Results), len(res.OutdoorLabels))
+	}
+	for i, v := range cr.Results {
+		if v.Cluster != res.OutdoorLabels[i] {
+			t.Fatalf("antenna %d: served cluster %d, offline PredictAll %d",
+				i, v.Cluster, res.OutdoorLabels[i])
+		}
+	}
+}
+
+// --- ingest + shutdown drain -------------------------------------------------
+
+// TestShutdownDrainsAckedBatches is the zero-acked-record-loss contract:
+// every batch acked with 202 must be present in the aggregate after a
+// graceful Shutdown, even when the queue is still deep at shutdown time.
+func TestShutdownDrainsAckedBatches(t *testing.T) {
+	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 256, IngestWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Slow the drain so Shutdown races real queued work.
+	s.foldDelayNS.Store(int64(2 * time.Millisecond))
+
+	const batches, perBatch = 40, 25
+	stream := probeStream(t, ingestRecords(perBatch))
+	acked := 0
+	for b := 0; b < batches; b++ {
+		resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			acked++
+		case http.StatusTooManyRequests:
+			// Backpressure is allowed; only acked batches must survive.
+		default:
+			t.Fatalf("ingest: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if acked == 0 {
+		t.Fatal("no batch was acked")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got, want := s.Sink().Snapshot().Records, acked*perBatch; got != want {
+		t.Fatalf("aggregate holds %d records after drain, want %d (acked batches × %d)", got, want, perBatch)
+	}
+}
+
+// TestIngestBackpressure fills the bounded queue and expects explicit 429
+// with a Retry-After hint instead of blocking or dropping silently.
+func TestIngestBackpressure(t *testing.T) {
+	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 1, IngestWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	s.foldDelayNS.Store(int64(200 * time.Millisecond))
+
+	stream := probeStream(t, ingestRecords(5))
+	saw429 := false
+	var retryAfter string
+	for i := 0; i < 10 && !saw429; i++ {
+		resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+	if !saw429 {
+		t.Fatal("full queue never answered 429")
+	}
+	if retryAfter == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+}
+
+// TestIngestMalformedStream checks framing errors are isolated: a 400, a
+// malformed counter bump, and nothing folded into the aggregate.
+func TestIngestMalformedStream(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{})
+	resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream",
+		bytes.NewReader([]byte("not a probe stream at all")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: status %d, want 400", resp.StatusCode)
+	}
+	st := s.Stats()
+	if st.IngestMalformed != 1 {
+		t.Fatalf("malformed counter = %d", st.IngestMalformed)
+	}
+	if st.Aggregate.Records != 0 {
+		t.Fatalf("%d records aggregated from a malformed stream", st.Aggregate.Records)
+	}
+}
+
+// --- classify cache, limits, deadline ----------------------------------------
+
+func TestClassifyRevisionCache(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{})
+	vec := AntennaVector{ID: 42, Revision: 7, Traffic: []float64{100, 5, 5}}
+
+	_, body := postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{Antennas: []AntennaVector{vec}})
+	var first ClassifyResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 || first.Results[0].Cached {
+		t.Fatalf("first call should miss: %+v", first)
+	}
+
+	_, body = postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{Antennas: []AntennaVector{vec}})
+	var second ClassifyResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 1 || !second.Results[0].Cached {
+		t.Fatalf("second call should hit the LRU: %+v", second)
+	}
+	if second.Results[0].Cluster != first.Results[0].Cluster {
+		t.Fatal("cached cluster differs from computed cluster")
+	}
+
+	// A bumped revision is a different key: miss again.
+	vec.Revision = 8
+	_, body = postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{Antennas: []AntennaVector{vec}})
+	var third ClassifyResponse
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHits != 0 {
+		t.Fatal("new revision must not hit the old entry")
+	}
+}
+
+func TestClassifyLRUEviction(t *testing.T) {
+	snap := tinySnapshot(t)
+	s, err := New(snap, nil, Config{CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(1); id <= 3; id++ {
+		s.cache.put(cacheKey{id, 1}, int(id))
+	}
+	if s.cache.len() != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", s.cache.len())
+	}
+	if _, ok := s.cache.get(cacheKey{1, 1}); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+func TestClassifyRejectsBadVectors(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{})
+	resp, body := postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{
+		Antennas: []AntennaVector{{ID: 1, Traffic: []float64{1, 2}}}, // wrong length
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-length vector: status %d (%s)", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d", resp.StatusCode)
+	}
+}
+
+func TestClassifyBatchCap(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{MaxClassifyAntennas: 2})
+	var req ClassifyRequest
+	for i := 0; i < 3; i++ {
+		req.Antennas = append(req.Antennas, AntennaVector{ID: uint32(i), Traffic: []float64{1, 2, 3}})
+	}
+	resp, _ := postJSON(t, baseURL(s)+"/v1/classify", req)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestClassifyDeadline(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{RequestTimeout: time.Nanosecond})
+	resp, body := postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{
+		Antennas: []AntennaVector{{ID: 1, Traffic: []float64{1, 2, 3}}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+// --- observability endpoints -------------------------------------------------
+
+func TestStatsHealthzMetricsModel(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{})
+
+	// Generate some traffic first.
+	stream := probeStream(t, ingestRecords(10))
+	resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	postJSON(t, baseURL(s)+"/v1/classify", ClassifyRequest{
+		Antennas: []AntennaVector{{ID: 1, Traffic: []float64{100, 5, 5}}},
+	})
+
+	get := func(path string) (int, string) {
+		r, err := http.Get(baseURL(s) + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	code, body := get("/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestBatches < 1 || st.ClassifyRequests < 1 {
+		t.Fatalf("stats did not count activity: %+v", st)
+	}
+	code, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"icn_serve_ingest_records",
+		"icn_serve_classify_latency_ms_bucket",
+		"icn_serve_classify_latency_ms_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get("/v1/model")
+	if code != 200 || !strings.Contains(body, fmt.Sprintf("%d", s.Snapshot().Revision)) {
+		t.Fatalf("model: %d %s", code, body)
+	}
+}
+
+// TestIngestThenTrafficMatrix closes the loop: ingested sessions appear in
+// the sink's traffic matrix exactly as the TCP collector would aggregate
+// them.
+func TestIngestThenTrafficMatrix(t *testing.T) {
+	s := startServer(t, tinySnapshot(t), Config{})
+	stream := probeStream(t, ingestRecords(24))
+	resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tm := s.Sink().TrafficMatrix(4, 73)
+	var total float64
+	for i := 0; i < tm.Rows(); i++ {
+		for _, v := range tm.Row(i) {
+			total += v
+		}
+	}
+	want := 24 * float64(2<<20+1<<18) / 1e6
+	if diff := total - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("matrix total %.6f MB, want %.6f", total, want)
+	}
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the online serving path.
+#
+# Builds icnserve, writes matched sample request bodies, starts the
+# service at a tiny training scale, then walks the public API the way an
+# operator would: ingest a probe batch, classify outdoor antennas, read
+# /v1/stats and /metrics, and stop the server with SIGTERM, asserting a
+# clean drained exit. Run via `make serve-smoke`.
+set -euo pipefail
+
+ADDR="${ICNSERVE_ADDR:-127.0.0.1:9473}"
+SEED=1
+SCALE=0.05
+TREES=10
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building icnserve"
+go build -o "$tmp/icnserve" ./cmd/icnserve
+
+echo "serve-smoke: writing sample bodies"
+"$tmp/icnserve" -sample "$tmp" -seed "$SEED" -scale "$SCALE" -trees "$TREES"
+
+echo "serve-smoke: starting icnserve on $ADDR"
+"$tmp/icnserve" -addr "$ADDR" -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
+  >"$tmp/server.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 120); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve-smoke: FAIL — server exited before becoming healthy" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+  echo "serve-smoke: FAIL — /healthz never came up" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "serve-smoke: healthy"
+
+status=$(curl -s -o "$tmp/ingest.out" -w '%{http_code}' \
+  -X POST --data-binary "@$tmp/ingest.bin" "http://$ADDR/v1/ingest")
+[[ "$status" == "202" ]] || {
+  echo "serve-smoke: FAIL — ingest answered $status: $(cat "$tmp/ingest.out")" >&2
+  exit 1
+}
+accepted=$(jq -r '.accepted' "$tmp/ingest.out")
+echo "serve-smoke: ingest accepted $accepted records"
+[[ "$accepted" -gt 0 ]]
+
+status=$(curl -s -o "$tmp/classify.out" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/classify.json" "http://$ADDR/v1/classify")
+[[ "$status" == "200" ]] || {
+  echo "serve-smoke: FAIL — classify answered $status: $(cat "$tmp/classify.out")" >&2
+  exit 1
+}
+verdicts=$(jq '.results | length' "$tmp/classify.out")
+echo "serve-smoke: classify returned $verdicts verdicts (revision $(jq '.model_revision' "$tmp/classify.out"))"
+[[ "$verdicts" -gt 0 ]]
+
+# A second identical classify must be served from the LRU (Revision > 0
+# in the sample bodies enables caching).
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary "@$tmp/classify.json" "http://$ADDR/v1/classify" >"$tmp/classify2.out"
+cached=$(jq '.cache_hits' "$tmp/classify2.out")
+[[ "$cached" -eq "$verdicts" ]] || {
+  echo "serve-smoke: FAIL — repeat classify hit cache $cached/$verdicts times" >&2
+  exit 1
+}
+echo "serve-smoke: repeat classify fully cached"
+
+curl -fsS "http://$ADDR/v1/stats" | jq -e '.ingest_records > 0' >/dev/null || {
+  echo "serve-smoke: FAIL — /v1/stats shows no folded ingest records" >&2
+  exit 1
+}
+curl -fsS "http://$ADDR/metrics" >"$tmp/metrics.out"
+grep -q '^icn_serve_ingest_records ' "$tmp/metrics.out" || {
+  echo "serve-smoke: FAIL — /metrics missing icn_serve_ingest_records" >&2
+  exit 1
+}
+grep -q '^icn_serve_classify_latency_ms_bucket' "$tmp/metrics.out" || {
+  echo "serve-smoke: FAIL — /metrics missing classify latency histogram" >&2
+  exit 1
+}
+echo "serve-smoke: stats and metrics look sane"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "serve-smoke: graceful SIGTERM shutdown OK"
+echo "serve-smoke: PASS"
