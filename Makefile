@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race bench artifacts serve-smoke serve-bench
+.PHONY: build lint test race bench artifacts serve-smoke serve-bench chaos-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,21 @@ serve-smoke:
 # Sustained concurrent classify load against an in-process icnserve.
 serve-bench:
 	$(GO) run ./cmd/icnbench -serve -scale 0.1 -trees 25 -servejson BENCH_serve.json
+
+# Seeded fault-injection soak: two identical-seed runs of icnbench -chaos
+# against a live server + collector, asserting acked-batch survival,
+# served/offline label parity across model swaps, graceful degradation,
+# and a reproducible fault-plan digest (see DESIGN.md §10).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
+# Every fuzz target for a short fixed slice each — the CI-sized sweep of
+# the wire-format, CSV, and HTTP-body parsers.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzReaderNeverPanics -fuzztime $(FUZZTIME) ./internal/probe
+	$(GO) test -run '^$$' -fuzz FuzzECGIDecode -fuzztime $(FUZZTIME) ./internal/probe
+	$(GO) test -run '^$$' -fuzz FuzzWriterReaderRoundTrip -fuzztime $(FUZZTIME) ./internal/probe
+	$(GO) test -run '^$$' -fuzz FuzzReadTraffic -fuzztime $(FUZZTIME) ./internal/dataio
+	$(GO) test -run '^$$' -fuzz FuzzIngestBody -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzClassifyBody -fuzztime $(FUZZTIME) ./internal/serve

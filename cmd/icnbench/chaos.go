@@ -1,0 +1,441 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/collect"
+	"repro/internal/fault"
+	"repro/internal/pipe"
+	"repro/internal/probe"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// The chaos soak stands up a live icnserve instance plus a TCP collector,
+// runs N seeded fault schedules against them (injected dial refusals,
+// mid-stream resets, ingest/fold/classify latency, queue pressure, and
+// racing model swaps), and asserts three contracts per schedule:
+//
+//  1. Every 202-acked ingest batch survives a graceful shutdown — the
+//     aggregate holds exactly acked×batch records.
+//  2. Served clusters stay bit-identical to the offline pipeline's
+//     Result.OutdoorLabels for whichever model revision the response
+//     echoes, even while swaps race in-flight requests.
+//  3. The process degrades (429/503, exporter retries) rather than losing
+//     data or deadlocking — every leg and the final drain finish inside a
+//     hard deadline.
+//
+// The fault decision streams are pure functions of the printed seed
+// (fault.Digest over the same rules reproduces them without a server), so
+// a failing schedule is rerun exactly with the reproduce line the driver
+// prints. Which request consumes the n-th decision remains
+// scheduling-dependent; the digest pins the plan, not the interleaving.
+
+// chaosRules is the fixed fault schedule shape shared by every run; only
+// the seed varies between schedules.
+func chaosRules() map[fault.Site]fault.Rule {
+	ms := time.Millisecond
+	return map[fault.Site]fault.Rule{
+		fault.Dial:      {ErrProb: 0.45},
+		fault.ConnWrite: {ErrProb: 0.02, DelayProb: 0.10, Delay: ms},
+		fault.ConnRead:  {DelayProb: 0.10, Delay: ms},
+		fault.Ingest:    {DelayProb: 0.30, Delay: 2 * ms},
+		fault.Fold:      {DelayProb: 0.60, Delay: 2 * ms},
+		fault.Classify:  {DelayProb: 0.25, Delay: ms},
+	}
+}
+
+// scheduleSeed derives the i-th schedule's injector seed from the base
+// seed (splitmix64 finalizer, so adjacent schedules decorrelate).
+func scheduleSeed(base uint64, i int) uint64 {
+	x := base + 0x9E3779B97F4A7C15*uint64(i+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// chaosScheduleRecord is one schedule's outcome in the -chaosjson output.
+type chaosScheduleRecord struct {
+	Seed            string `json:"seed"`
+	Digest          string `json:"digest"`
+	AckedBatches    int    `json:"acked_batches"`
+	RejectedBatches int    `json:"rejected_batches"`
+	FoldedRecords   int    `json:"folded_records"`
+	ClassifyOK      int    `json:"classify_ok"`
+	ClassifyShed    int    `json:"classify_shed"`
+	Swaps           int    `json:"swaps"`
+	ExportBatches   int    `json:"export_batches"`
+	ExportRetries   int    `json:"export_retries"`
+	InjectedErrs    int    `json:"injected_errs"`
+	InjectedDelays  int    `json:"injected_delays"`
+}
+
+// chaosRecord is the -chaosjson schema.
+type chaosRecord struct {
+	Seed       uint64                `json:"seed"`
+	Scale      float64               `json:"scale"`
+	Trees      int                   `json:"trees"`
+	PlanDigest string                `json:"plan_digest"`
+	RevisionA  uint64                `json:"revision_a"`
+	RevisionB  uint64                `json:"revision_b"`
+	Schedules  []chaosScheduleRecord `json:"schedules"`
+}
+
+// runChaos trains two model snapshots (a "retrain" pair over the same
+// synthetic population) and soaks them under schedules seeded fault plans.
+func runChaos(cfg analysis.Config, schedules int, outPath string) error {
+	if schedules <= 0 {
+		schedules = 3
+	}
+	rules := chaosRules()
+	plan := uint64(0xcbf29ce484222325)
+	for i := 0; i < schedules; i++ {
+		d := fault.Digest(scheduleSeed(cfg.Seed, i), rules, 512)
+		plan = (plan ^ d) * 0x100000001b3
+	}
+	fmt.Printf("icnbench: chaos plan digest %#016x (seed=%d schedules=%d)\n", plan, cfg.Seed, schedules)
+
+	fmt.Fprintf(os.Stderr, "icnbench: training snapshot pair (seed=%d scale=%.2f trees=%d/%d)...\n",
+		cfg.Seed, cfg.Scale, cfg.ForestTrees, cfg.ForestTrees+2)
+	synthCfg := synth.Config{Seed: cfg.Seed, Scale: cfg.Scale, OutdoorCount: 120}
+	resA, err := analysis.RunOnDataset(synth.Generate(synthCfg), cfg)
+	if err != nil {
+		return err
+	}
+	cfgB := cfg
+	cfgB.ForestTrees = cfg.ForestTrees + 2
+	resB, err := analysis.RunOnDataset(synth.Generate(synthCfg), cfgB)
+	if err != nil {
+		return err
+	}
+	snapA, err := serve.NewModelSnapshot(resA)
+	if err != nil {
+		return err
+	}
+	snapB, err := serve.NewModelSnapshot(resB)
+	if err != nil {
+		return err
+	}
+	if snapA.Revision == snapB.Revision {
+		return fmt.Errorf("icnbench: chaos needs two distinct model revisions, both fingerprint to %#x", snapA.Revision)
+	}
+	// Offline ground truth per revision: invariant 2 checks every classify
+	// response against the labels of the model revision it echoes.
+	labels := map[uint64][]int{
+		snapA.Revision: resA.OutdoorLabels,
+		snapB.Revision: resB.OutdoorLabels,
+	}
+
+	rec := chaosRecord{
+		Seed: cfg.Seed, Scale: cfg.Scale, Trees: cfg.ForestTrees,
+		PlanDigest: fmt.Sprintf("%#016x", plan),
+		RevisionA:  snapA.Revision, RevisionB: snapB.Revision,
+	}
+	reproduce := fmt.Sprintf("go run ./cmd/icnbench -chaos -seed %d -chaosschedules %d -scale %g -trees %d",
+		cfg.Seed, schedules, cfg.Scale, cfg.ForestTrees)
+	for i := 0; i < schedules; i++ {
+		si := scheduleSeed(cfg.Seed, i)
+		sr, err := runChaosSchedule(si, rules, snapA, snapB, resA, labels)
+		if err != nil {
+			fmt.Printf("icnbench: chaos schedule %d FAILED (seed %#016x): %v\n", i, si, err)
+			fmt.Printf("icnbench: reproduce with: %s\n", reproduce)
+			return fmt.Errorf("icnbench: chaos schedule %d: %w", i, err)
+		}
+		sr.Digest = fmt.Sprintf("%#016x", fault.Digest(si, rules, 512))
+		fmt.Printf("icnbench: chaos schedule %d OK — seed %#016x acked=%d rejected=%d folded=%d classify_ok=%d shed=%d swaps=%d exports=%d retries=%d faults(err=%d delay=%d)\n",
+			i, si, sr.AckedBatches, sr.RejectedBatches, sr.FoldedRecords,
+			sr.ClassifyOK, sr.ClassifyShed, sr.Swaps, sr.ExportBatches, sr.ExportRetries,
+			sr.InjectedErrs, sr.InjectedDelays)
+		rec.Schedules = append(rec.Schedules, sr)
+	}
+	fmt.Printf("icnbench: chaos PASS — %d schedules, all invariants held; reproduce with: %s\n", schedules, reproduce)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "icnbench: wrote chaos record to %s\n", outPath)
+	}
+	return nil
+}
+
+// chaosExportRecords builds one exporter batch tagged with the batch index
+// so partial deliveries from retried attempts stay distinguishable.
+func chaosExportRecords(batch, n int) []probe.Record {
+	recs := make([]probe.Record, n)
+	for i := range recs {
+		recs[i] = probe.Record{
+			Hour: uint32(i % 24), AntennaID: uint32(batch), Protocol: probe.TCP,
+			ServerPort: 443, ServerName: "chaos.example",
+			DownBytes: 1 << 20, UpBytes: 1 << 16,
+		}
+	}
+	return recs
+}
+
+// runChaosSchedule executes one seeded fault schedule and checks the three
+// soak invariants. All legs share one injector, so the schedule exercises
+// cross-seam interleavings while each seam's decision stream stays a pure
+// function of the seed.
+func runChaosSchedule(seed uint64, rules map[fault.Site]fault.Rule,
+	snapA, snapB *serve.ModelSnapshot, res *analysis.Result, labels map[uint64][]int,
+) (chaosScheduleRecord, error) {
+	var out chaosScheduleRecord
+	out.Seed = fmt.Sprintf("%#016x", seed)
+	// Invariant 3's outer bound: nothing below may hang past this.
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	inj := fault.New(seed, rules)
+	srv, err := serve.New(snapA, nil, serve.Config{QueueDepth: 16, IngestWorkers: 2, Faults: inj})
+	if err != nil {
+		return out, err
+	}
+	if err := srv.Start(); err != nil {
+		return out, err
+	}
+	url := "http://" + srv.Addr().String()
+
+	col, err := collect.Listen("127.0.0.1:0")
+	if err != nil {
+		_ = srv.Shutdown(ctx)
+		return out, err
+	}
+	colCtx, colCancel := context.WithCancel(ctx)
+	defer colCancel()
+	var colTasks pipe.Tasks
+	defer colTasks.Wait()
+	colTasks.Go(func() { _ = col.Serve(colCtx) })
+
+	const (
+		ingestBatches, ingestPerBatch = 40, 25
+		classifyClients, classifyReqs = 3, 12
+		classifyBatch                 = 32
+		swapCount                     = 8
+		exportBatches, exportPerBatch = 10, 30
+		exportAttempts                = 12
+	)
+	var ingestStream bytes.Buffer
+	pw := probe.NewWriter(&ingestStream)
+	for _, r := range chaosExportRecords(0, ingestPerBatch) {
+		if err := pw.Write(r); err != nil {
+			return out, err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return out, err
+	}
+
+	outdoor := res.Dataset.OutdoorTraffic
+	nVec := classifyBatch
+	if nVec > outdoor.Rows() {
+		nVec = outdoor.Rows()
+	}
+	var classifyBody []byte
+	{
+		var req serve.ClassifyRequest
+		for i := 0; i < nVec; i++ {
+			req.Antennas = append(req.Antennas, serve.AntennaVector{
+				ID: uint32(i), Traffic: outdoor.Row(i),
+			})
+		}
+		classifyBody, err = json.Marshal(req)
+		if err != nil {
+			return out, err
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		legErrs []error
+		legs    pipe.Tasks
+	)
+	fail := func(err error) {
+		mu.Lock()
+		legErrs = append(legErrs, err)
+		mu.Unlock()
+	}
+
+	// Leg 1: ingest pressure. 202s are a durability promise; 429/503 is
+	// sanctioned degradation under the injected fold delays.
+	acked := 0
+	legs.Go(func() {
+		client := &http.Client{Timeout: 30 * time.Second}
+		for b := 0; b < ingestBatches; b++ {
+			resp, err := client.Post(url+"/v1/ingest", "application/octet-stream", bytes.NewReader(ingestStream.Bytes()))
+			if err != nil {
+				fail(fmt.Errorf("ingest leg: %w", err))
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				acked++
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				out.RejectedBatches++
+			default:
+				fail(fmt.Errorf("ingest leg: unexpected status %d", resp.StatusCode))
+				return
+			}
+		}
+	})
+
+	// Leg 2: classify parity under racing swaps (invariant 2). Every 200
+	// must match the offline labels of the revision the response echoes.
+	classifyOK := make([]int, classifyClients)
+	classifyShed := make([]int, classifyClients)
+	for c := 0; c < classifyClients; c++ {
+		c := c
+		legs.Go(func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			for r := 0; r < classifyReqs; r++ {
+				resp, err := client.Post(url+"/v1/classify", "application/json", bytes.NewReader(classifyBody))
+				if err != nil {
+					fail(fmt.Errorf("classify leg %d: %w", c, err))
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					classifyShed[c]++
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("classify leg %d: status %d: %s", c, resp.StatusCode, body))
+					return
+				}
+				var cr serve.ClassifyResponse
+				if err := json.Unmarshal(body, &cr); err != nil {
+					fail(fmt.Errorf("classify leg %d: %w", c, err))
+					return
+				}
+				want, ok := labels[cr.ModelRevision]
+				if !ok {
+					fail(fmt.Errorf("classify leg %d: response echoes unknown model revision %d", c, cr.ModelRevision))
+					return
+				}
+				for i, v := range cr.Results {
+					if v.Cluster != want[i] {
+						fail(fmt.Errorf("classify leg %d: antenna %d served cluster %d under revision %d, offline labels say %d",
+							c, v.ID, v.Cluster, cr.ModelRevision, want[i]))
+						return
+					}
+				}
+				classifyOK[c]++
+			}
+		})
+	}
+
+	// Leg 3: model swaps racing the classify load; each swap purges the
+	// verdict LRU (the PR's stale-cache fix).
+	legs.Go(func() {
+		for sw := 0; sw < swapCount; sw++ {
+			next := snapB
+			if sw%2 == 1 {
+				next = snapA
+			}
+			if err := srv.SwapSnapshot(next); err != nil {
+				fail(fmt.Errorf("swap leg: %w", err))
+				return
+			}
+			out.Swaps++
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+
+	// Leg 4: exporter durability through the faulted dialer. Dial refusals
+	// back off and retry inside Export; a mid-stream reset fails the whole
+	// attempt and the batch is re-sent — at-least-once, never lost.
+	exportRetries := 0
+	legs.Go(func() {
+		for b := 0; b < exportBatches; b++ {
+			recs := chaosExportRecords(b, exportPerBatch)
+			delivered := false
+			for attempt := 0; attempt < exportAttempts; attempt++ {
+				err := collect.Export(ctx, col.Addr().String(), recs,
+					collect.WithDialRetry(6, time.Millisecond),
+					collect.WithRetrySeed(seed+uint64(b)),
+					collect.WithDialContext(inj.Dialer(nil)))
+				if err == nil {
+					delivered = true
+					break
+				}
+				exportRetries++
+				if ctx.Err() != nil {
+					fail(fmt.Errorf("export leg: %w", ctx.Err()))
+					return
+				}
+			}
+			if !delivered {
+				fail(fmt.Errorf("export leg: batch %d lost after %d attempts", b, exportAttempts))
+				return
+			}
+			out.ExportBatches++
+		}
+	})
+
+	legs.Wait()
+	for c := range classifyOK {
+		out.ClassifyOK += classifyOK[c]
+		out.ClassifyShed += classifyShed[c]
+	}
+	out.AckedBatches = acked
+	out.ExportRetries = exportRetries
+
+	// Fault counters must be visible on /metrics while the server is live.
+	if resp, err := http.Get(url + "/metrics"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "icn_fault_serve_fold_delays") {
+			fail(fmt.Errorf("metrics: no icn_fault_serve_fold_delays counter exported"))
+		}
+	} else {
+		fail(fmt.Errorf("metrics: %w", err))
+	}
+
+	// Invariant 3: the drain itself is bounded.
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer sdCancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		fail(fmt.Errorf("shutdown under fault (possible deadlock): %w", err))
+	}
+	colCancel()
+	colTasks.Wait()
+
+	// Invariant 1: exactly the acked ingest records, no more, no fewer.
+	out.FoldedRecords = srv.Sink().Snapshot().Records
+	if want := acked * ingestPerBatch; out.FoldedRecords != want {
+		fail(fmt.Errorf("acked-batch loss: aggregate holds %d records, want %d (%d acked × %d)",
+			out.FoldedRecords, want, acked, ingestPerBatch))
+	}
+	// Exporter at-least-once: every delivered batch is fully present.
+	if got, want := col.Sink().Snapshot().Records, out.ExportBatches*exportPerBatch; got < want {
+		fail(fmt.Errorf("export loss: collector holds %d records, want >= %d", got, want))
+	}
+	for _, c := range inj.Stats() {
+		out.InjectedErrs += int(c.Errs)
+		out.InjectedDelays += int(c.Delays)
+	}
+	if len(legErrs) > 0 {
+		return out, legErrs[0]
+	}
+	return out, nil
+}

@@ -51,6 +51,9 @@ func main() {
 	serveReqs := flag.Int("servereqs", 50, "requests per client (with -serve)")
 	serveBatch := flag.Int("servebatch", 64, "antennas per classify request (with -serve)")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "serving benchmark output path (with -serve)")
+	chaos := flag.Bool("chaos", false, "run the seeded fault-injection soak against a live server instead of regenerating artifacts")
+	chaosSchedules := flag.Int("chaosschedules", 3, "number of seeded fault schedules (with -chaos)")
+	chaosJSON := flag.String("chaosjson", "", "chaos soak record output path (with -chaos, optional)")
 	flag.Parse()
 
 	cfg := analysis.Config{
@@ -58,6 +61,13 @@ func main() {
 		Scale:       *scale,
 		K:           *k,
 		ForestTrees: *trees,
+	}
+	if *chaos {
+		if err := runChaos(cfg, *chaosSchedules, *chaosJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *serveBench {
 		if err := runServeBench(cfg, *serveClients, *serveReqs, *serveBatch, *serveJSON); err != nil {

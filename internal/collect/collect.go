@@ -189,6 +189,7 @@ type exportConfig struct {
 	base     time.Duration
 	maxDelay time.Duration
 	seed     uint64
+	dial     func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 // ExportOption customizes Export.
@@ -216,14 +217,53 @@ func WithRetrySeed(seed uint64) ExportOption {
 	return func(c *exportConfig) { c.seed = seed }
 }
 
+// WithDialContext replaces the exporter's dialer. This is the seam the
+// fault-injection harness (internal/fault) wraps to exercise refused
+// dials, mid-stream resets, and slow reads; proxies and test transports
+// fit the same slot.
+func WithDialContext(dial func(ctx context.Context, addr string) (net.Conn, error)) ExportOption {
+	return func(c *exportConfig) {
+		if dial != nil {
+			c.dial = dial
+		}
+	}
+}
+
+// backoffDelay computes the un-jittered delay before retry number attempt:
+// base·2^attempt capped at maxDelay. The doubling stops at the cap instead
+// of shifting by the raw attempt count, so a large retry budget cannot
+// overflow time.Duration into a negative (i.e. zero-length) sleep.
+func backoffDelay(base, maxDelay time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if maxDelay <= 0 {
+		maxDelay = 8 * base
+	}
+	delay := base
+	for i := 0; i < attempt && delay < maxDelay; i++ {
+		delay <<= 1
+	}
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	return delay
+}
+
 // dialRetry dials addr, retrying per cfg with jittered exponential backoff.
 // Backoff sleeps honor context cancellation.
 func dialRetry(ctx context.Context, addr string, cfg exportConfig) (net.Conn, error) {
-	var d net.Dialer
+	dial := cfg.dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
 	jitter := rng.New(cfg.seed)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		conn, err := dial(ctx, addr)
 		if err == nil {
 			return conn, nil
 		}
@@ -231,10 +271,7 @@ func dialRetry(ctx context.Context, addr string, cfg exportConfig) (net.Conn, er
 		if attempt >= cfg.attempts || ctx.Err() != nil {
 			break
 		}
-		delay := cfg.base << uint(attempt)
-		if cfg.maxDelay > 0 && delay > cfg.maxDelay {
-			delay = cfg.maxDelay
-		}
+		delay := backoffDelay(cfg.base, cfg.maxDelay, attempt)
 		// Up to 50% jitter, drawn from a deterministic per-exporter stream.
 		delay += time.Duration(jitter.Float64() * 0.5 * float64(delay))
 		timer := time.NewTimer(delay)

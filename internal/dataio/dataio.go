@@ -57,48 +57,57 @@ func WriteTraffic(w io.Writer, t *TrafficTable) error {
 	return bw.Flush()
 }
 
+// maxRecordBytes bounds one CSV record. The previous line-based reader
+// silently capped rows at bufio.Scanner's 1 MB buffer and surfaced the
+// opaque bufio.ErrTooLong; the record reader raises the ceiling and names
+// the failing row instead. A var so tests can exercise the limit without
+// materializing 64 MiB rows.
+var maxRecordBytes = 1 << 26
+
 // ReadTraffic parses a traffic CSV: a header beginning with an id column
 // followed by one service column per feature, then one row per antenna.
 // Traffic must be non-negative; at least two antennas and one service are
-// required.
+// required. Cells follow RFC 4180: double-quoted cells may contain commas,
+// escaped quotes, and newlines — everything WriteTraffic emits reads back.
 func ReadTraffic(r io.Reader) (*TrafficTable, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
+	cr := newCSVReader(r)
+	header, err := cr.readRecord()
+	if err == io.EOF {
 		return nil, fmt.Errorf("dataio: empty traffic CSV")
 	}
-	header := SplitCSV(sc.Text())
+	if err != nil {
+		return nil, err
+	}
 	if len(header) < 2 {
 		return nil, fmt.Errorf("dataio: header needs an id column and at least one service")
 	}
 	t := &TrafficTable{Services: header[1:]}
 	var rows [][]float64
-	line := 1
-	for sc.Scan() {
-		line++
-		fields := SplitCSV(sc.Text())
+	for {
+		fields, err := cr.readRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := cr.record
 		if len(fields) != len(header) {
-			return nil, fmt.Errorf("dataio: line %d has %d fields, want %d", line, len(fields), len(header))
+			return nil, fmt.Errorf("dataio: row %d has %d fields, want %d", row, len(fields), len(header))
 		}
 		t.AntennaIDs = append(t.AntennaIDs, fields[0])
-		row := make([]float64, len(fields)-1)
+		vals := make([]float64, len(fields)-1)
 		for j, cell := range fields[1:] {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataio: line %d column %d: bad value %q", line, j+2, cell)
+				return nil, fmt.Errorf("dataio: row %d column %d: bad value %q", row, j+2, cell)
 			}
 			if v < 0 {
-				return nil, fmt.Errorf("dataio: line %d column %d: negative traffic %v", line, j+2, v)
+				return nil, fmt.Errorf("dataio: row %d column %d: negative traffic %v", row, j+2, v)
 			}
-			row[j] = v
+			vals[j] = v
 		}
-		rows = append(rows, row)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		rows = append(rows, vals)
 	}
 	if len(rows) < 2 {
 		return nil, fmt.Errorf("dataio: need at least two antennas, got %d", len(rows))
@@ -109,6 +118,85 @@ func ReadTraffic(r io.Reader) (*TrafficTable, error) {
 	}
 	t.Traffic = traffic
 	return t, nil
+}
+
+// csvReader reads RFC-4180 records — the symmetric counterpart of
+// quoteCSV, including quoted cells spanning lines. Records end at a
+// newline (LF or CRLF) outside quotes or at EOF.
+type csvReader struct {
+	br     *bufio.Reader
+	record int // 1-based index of the record last returned
+}
+
+func newCSVReader(r io.Reader) *csvReader {
+	return &csvReader{br: bufio.NewReader(r)}
+}
+
+// readRecord returns the next record's cells. io.EOF signals a clean end
+// of input with no pending record.
+func (c *csvReader) readRecord() ([]string, error) {
+	var (
+		fields   []string
+		cell     strings.Builder
+		inQuotes bool
+		started  bool
+		size     int
+	)
+	c.record++
+	for {
+		b, err := c.br.ReadByte()
+		if err == io.EOF {
+			if inQuotes {
+				return nil, fmt.Errorf("dataio: row %d: unterminated quoted cell at EOF", c.record)
+			}
+			if !started {
+				c.record--
+				return nil, io.EOF
+			}
+			fields = append(fields, cell.String())
+			return fields, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataio: row %d: %w", c.record, err)
+		}
+		started = true
+		size++
+		if size > maxRecordBytes {
+			return nil, fmt.Errorf("dataio: row %d: row too long (exceeds %d bytes)", c.record, maxRecordBytes)
+		}
+		switch {
+		case b == '"':
+			if inQuotes {
+				// Peek for an escaped quote.
+				if next, err := c.br.ReadByte(); err == nil {
+					if next == '"' {
+						cell.WriteByte('"')
+						continue
+					}
+					_ = c.br.UnreadByte()
+				}
+			}
+			inQuotes = !inQuotes
+		case b == ',' && !inQuotes:
+			fields = append(fields, cell.String())
+			cell.Reset()
+		case b == '\r' && !inQuotes:
+			// CRLF ends the record; a lone CR is cell content.
+			if next, err := c.br.ReadByte(); err == nil {
+				if next == '\n' {
+					fields = append(fields, cell.String())
+					return fields, nil
+				}
+				_ = c.br.UnreadByte()
+			}
+			cell.WriteByte(b)
+		case b == '\n' && !inQuotes:
+			fields = append(fields, cell.String())
+			return fields, nil
+		default:
+			cell.WriteByte(b)
+		}
+	}
 }
 
 // SplitCSV splits one CSV line honoring RFC-4180 double-quoted cells.

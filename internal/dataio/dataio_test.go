@@ -47,6 +47,91 @@ func TestTrafficRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTrafficRoundTripQuotedNewlines is the writer/reader symmetry
+// regression: quoteCSV legally emits quoted cells containing newlines,
+// which the old line-based reader could never re-parse. Names with
+// embedded LF, CRLF, commas, and quotes must now survive the round trip.
+func TestTrafficRoundTripQuotedNewlines(t *testing.T) {
+	table := &TrafficTable{
+		AntennaIDs: []string{"site\nA", "plain"},
+		Services:   []string{"Video\nStreaming", `Music, "HiFi"`, "cr\r\nlf"},
+		Traffic: mat.MustFromRows([][]float64{
+			{1, 2, 3},
+			{4, 5, 6},
+		}),
+	}
+	var buf bytes.Buffer
+	if err := WriteTraffic(&buf, table); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraffic(&buf)
+	if err != nil {
+		t.Fatalf("re-parse of writer output: %v", err)
+	}
+	if got.AntennaIDs[0] != "site\nA" {
+		t.Fatalf("antenna id with newline lost: %q", got.AntennaIDs[0])
+	}
+	for j, want := range table.Services {
+		if got.Services[j] != want {
+			t.Fatalf("service %d: %q, want %q", j, got.Services[j], want)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.Traffic.At(i, j) != table.Traffic.At(i, j) {
+				t.Fatalf("cell (%d,%d) lost in round trip", i, j)
+			}
+		}
+	}
+}
+
+// TestReadTrafficLongRow is the scanner-buffer regression: rows over the
+// old 1 MB bufio.Scanner cap failed with the opaque bufio.ErrTooLong. A
+// ~2 MB row must parse now.
+func TestReadTrafficLongRow(t *testing.T) {
+	long := strings.Repeat("x", 2<<20)
+	input := "antenna_id,\"" + long + "\"\n0,1\n1,2\n"
+	got, err := ReadTraffic(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("2 MB row failed: %v", err)
+	}
+	if got.Services[0] != long {
+		t.Fatalf("long service name truncated to %d bytes", len(got.Services[0]))
+	}
+}
+
+// TestReadTrafficRowTooLong pins the clear error for rows beyond the
+// record ceiling (exercised with a lowered limit).
+func TestReadTrafficRowTooLong(t *testing.T) {
+	old := maxRecordBytes
+	maxRecordBytes = 64
+	t.Cleanup(func() { maxRecordBytes = old })
+	input := "antenna_id,a\n0," + strings.Repeat("1", 200) + "\n1,2\n"
+	_, err := ReadTraffic(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("oversized row should fail")
+	}
+	if !strings.Contains(err.Error(), "row too long") || !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("opaque oversized-row error: %v", err)
+	}
+}
+
+// TestReadTrafficCRLFAndUnterminated covers CRLF record endings and the
+// unterminated-quote diagnostic.
+func TestReadTrafficCRLFAndUnterminated(t *testing.T) {
+	got, err := ReadTraffic(strings.NewReader("antenna_id,a\r\n0,1\r\n1,2\r\n"))
+	if err != nil {
+		t.Fatalf("CRLF input: %v", err)
+	}
+	if got.Traffic.At(1, 0) != 2 {
+		t.Fatalf("CRLF rows misparsed: %+v", got.Traffic.Row(1))
+	}
+	if _, err := ReadTraffic(strings.NewReader("antenna_id,\"oops\n0,1\n")); err == nil ||
+		!strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("unterminated quote: %v", err)
+	}
+}
+
 func TestReadTrafficErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":          "",

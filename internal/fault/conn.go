@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// DialFunc dials one address. It matches the seam collect.WithDialContext
+// exposes on the exporter, so an Injector slots in without the collect
+// package importing fault.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// NetDial is the default un-faulted dialer (a plain net.Dialer).
+func NetDial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Dialer wraps next with the Dial site: a dial attempt can be refused
+// outright (one Dial decision per attempt), and connections that do come
+// up carry ConnRead/ConnWrite faults.
+func (in *Injector) Dialer(next DialFunc) DialFunc {
+	if next == nil {
+		next = NetDial
+	}
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		if err := in.Err(Dial); err != nil {
+			return nil, err
+		}
+		c, err := next(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+// Conn wraps an established connection with the ConnRead/ConnWrite sites:
+// slow reads and writes (delay decisions) and mid-stream resets (error
+// decisions, which also close the underlying connection so the peer
+// observes the reset rather than a silent stall).
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, in: in}
+}
+
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.apply(ConnRead); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.apply(ConnWrite); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// apply consumes one decision at site: errors reset the connection, delays
+// stall the caller for the configured duration.
+func (c *faultConn) apply(site Site) error {
+	d := c.in.next(site)
+	if d.err {
+		_ = c.Conn.Close()
+		return &net.OpError{Op: "fault", Net: "tcp", Err: ErrInjected}
+	}
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	return nil
+}

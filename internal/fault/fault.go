@@ -1,0 +1,275 @@
+// Package fault is the deterministic fault-injection layer of the
+// measurement and serving stack. It exists so the regimes a production
+// deployment actually lives in — refused dials during collector restarts,
+// mid-stream connection resets, slow consumers, ingest-queue pressure,
+// latency spikes inside handlers, failing pipeline stages — can be
+// exercised in tests and chaos soaks, reproducibly, from a single printed
+// seed.
+//
+// The package is zero-dependency in the module sense (only internal/rng
+// for the seeded generator and internal/obs for counters) and injects
+// nothing by itself: callers wire an Injector into the seams the system
+// already exposes — collect.WithDialContext on the exporter dial path,
+// serve.Config.Faults on the ingest/classify/fold path, and
+// pipe.WithStageHook on stage execution.
+//
+// # Determinism contract
+//
+// Every injection site draws its decisions from a private rng stream
+// derived from (seed, site name). The n-th decision at a given site is
+// therefore a pure function of the seed: it does not depend on wall-clock
+// time, goroutine scheduling, or how often other sites were consulted.
+// What concurrency does decide is *which* request consumes the n-th
+// decision — the schedule of faults is reproducible, the assignment of
+// faults to racing requests is not (and cannot be, short of serializing
+// the system under test). Digest exposes the decision stream directly so
+// harnesses can assert run-to-run reproducibility of a seed without
+// standing up any server.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Site names one injection point. Sites are independent: each draws from
+// its own seeded stream and is configured by its own Rule.
+type Site string
+
+// The injection sites wired through the stack.
+const (
+	// Dial covers exporter dial attempts (collect.Export).
+	Dial Site = "dial"
+	// ConnRead covers reads on an established connection: slow reads and
+	// mid-stream resets.
+	ConnRead Site = "conn.read"
+	// ConnWrite covers writes on an established connection: slow writes
+	// and mid-stream resets.
+	ConnWrite Site = "conn.write"
+	// Ingest covers the serve ingest handler before a batch is acked.
+	Ingest Site = "serve.ingest"
+	// Fold covers the serve drain workers folding queued batches (slow
+	// consumers → queue pressure → 429s).
+	Fold Site = "serve.fold"
+	// Classify covers the serve classify handler (latency spikes racing
+	// the request deadline).
+	Classify Site = "serve.classify"
+	// Stage covers pipeline stage execution (pipe.WithStageHook).
+	Stage Site = "pipe.stage"
+)
+
+// ErrInjected is the sentinel every injected error wraps; use errors.Is to
+// tell injected faults from organic ones in assertions.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule configures one site. The zero Rule injects nothing.
+type Rule struct {
+	// ErrProb is the probability of injecting an error on one decision.
+	ErrProb float64
+	// DelayProb is the probability of injecting a delay on one decision.
+	DelayProb float64
+	// Delay is the injected delay duration (fixed, so a seeded schedule
+	// keeps the same shape run-to-run; vary it across schedules, not
+	// within one).
+	Delay time.Duration
+}
+
+// siteState is one site's rule, private decision stream, and counters.
+type siteState struct {
+	rule   Rule
+	src    *rng.Source
+	calls  int64
+	errs   int64
+	delays int64
+}
+
+// Injector draws deterministic fault decisions for named sites. It is safe
+// for concurrent use; decisions at distinct sites never contend.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[Site]*siteState
+}
+
+// New builds an injector for the given per-site rules. Sites without a
+// rule never inject. The same (seed, rules) always yields the same
+// per-site decision streams.
+func New(seed uint64, rules map[Site]Rule) *Injector {
+	in := &Injector{seed: seed, sites: make(map[Site]*siteState, len(rules))}
+	for site, rule := range rules {
+		in.sites[site] = &siteState{rule: rule, src: rng.New(seed ^ siteHash(site))}
+	}
+	return in
+}
+
+// Seed returns the schedule seed, for printing in reproduce instructions.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// siteHash mixes the site name into a per-site seed offset (FNV-1a).
+func siteHash(site Site) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// decision is one draw at a site: at most one of err/delay fires per
+// decision, err taking precedence.
+type decision struct {
+	err   bool
+	delay time.Duration
+}
+
+// next draws the site's next decision. Each call consumes exactly two
+// uniform variates so the stream position is a pure function of the call
+// count regardless of the rule's probabilities.
+func (in *Injector) next(site Site) decision {
+	in.mu.Lock()
+	st, ok := in.sites[site]
+	if !ok {
+		in.mu.Unlock()
+		return decision{}
+	}
+	st.calls++
+	u1, u2 := st.src.Float64(), st.src.Float64()
+	var d decision
+	switch {
+	case st.rule.ErrProb > 0 && u1 < st.rule.ErrProb:
+		d.err = true
+		st.errs++
+	case st.rule.DelayProb > 0 && u2 < st.rule.DelayProb:
+		d.delay = st.rule.Delay
+		st.delays++
+	}
+	in.mu.Unlock()
+	if d.err {
+		obs.Add("fault."+string(site)+".errs", 1)
+	}
+	if d.delay > 0 {
+		obs.Add("fault."+string(site)+".delays", 1)
+	}
+	return d
+}
+
+// Err draws the site's next decision and returns an injected error (or
+// nil). Delay-only decisions are dropped; use Wait on sites that inject
+// latency.
+func (in *Injector) Err(site Site) error {
+	if in == nil {
+		return nil
+	}
+	if d := in.next(site); d.err {
+		return fmt.Errorf("fault: injected %s error: %w", site, ErrInjected)
+	}
+	return nil
+}
+
+// Wait draws the site's next decision and sleeps through an injected
+// delay, honoring ctx. It returns ctx.Err() when the context expires
+// mid-delay and nil otherwise. Error decisions are ignored here — sites
+// that inject errors go through Err.
+func (in *Injector) Wait(ctx context.Context, site Site) error {
+	if in == nil {
+		return nil
+	}
+	d := in.next(site)
+	if d.delay <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d.delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Counts is one site's injection tally.
+type Counts struct {
+	Calls  int64
+	Errs   int64
+	Delays int64
+}
+
+// Stats snapshots every configured site's tally, keyed by site.
+func (in *Injector) Stats() map[Site]Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Site]Counts, len(in.sites))
+	for site, st := range in.sites {
+		out[site] = Counts{Calls: st.calls, Errs: st.errs, Delays: st.delays}
+	}
+	return out
+}
+
+// StatsString renders the tally one "site calls errs delays" per line,
+// sorted by site, for chaos-run reports.
+func (in *Injector) StatsString() string {
+	snap := in.Stats()
+	sites := make([]string, 0, len(snap))
+	for s := range snap {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b []byte
+	for _, s := range sites {
+		c := snap[Site(s)]
+		b = append(b, fmt.Sprintf("fault %-14s calls=%-6d errs=%-5d delays=%d\n", s, c.Calls, c.Errs, c.Delays)...)
+	}
+	return string(b)
+}
+
+// StageHook adapts the injector to pipe.WithStageHook: each stage start
+// consumes one Stage decision and an injected error fails the stage.
+func (in *Injector) StageHook() func(stage string) error {
+	return func(stage string) error {
+		if err := in.Err(Stage); err != nil {
+			return fmt.Errorf("stage %s: %w", stage, err)
+		}
+		return nil
+	}
+}
+
+// Digest folds the first n decisions of every ruled site into one 64-bit
+// FNV-1a value — a pure function of (seed, rules, n). Two runs agreeing on
+// the digest will inject the same fault schedule; chaos harnesses print it
+// so seed reproducibility is checkable without a live server.
+func Digest(seed uint64, rules map[Site]Rule, n int) uint64 {
+	sites := make([]string, 0, len(rules))
+	for s := range rules {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	in := New(seed, rules)
+	var h uint64 = 0xcbf29ce484222325
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	for _, s := range sites {
+		mix(siteHash(Site(s)))
+		for i := 0; i < n; i++ {
+			d := in.next(Site(s))
+			var v uint64
+			if d.err {
+				v = 1
+			}
+			mix(v | uint64(d.delay)<<1)
+		}
+	}
+	return h
+}

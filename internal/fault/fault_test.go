@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func testRules() map[Site]Rule {
+	return map[Site]Rule{
+		Dial:     {ErrProb: 0.5},
+		ConnRead: {ErrProb: 0.2, DelayProb: 0.3, Delay: time.Millisecond},
+		Fold:     {DelayProb: 1, Delay: time.Millisecond},
+	}
+}
+
+// TestDecisionStreamIsSeedDeterministic is the reproducibility contract:
+// the n-th decision at a site is a pure function of (seed, site), however
+// the sites are interleaved.
+func TestDecisionStreamIsSeedDeterministic(t *testing.T) {
+	a := New(42, testRules())
+	b := New(42, testRules())
+
+	// Interleave site draws differently between the two injectors; the
+	// per-site sequences must still agree.
+	var seqA, seqB []decision
+	for i := 0; i < 64; i++ {
+		seqA = append(seqA, a.next(Dial))
+		a.next(Fold) // extra draws at other sites must not shift Dial's stream
+	}
+	for i := 0; i < 64; i++ {
+		b.next(ConnRead)
+		seqB = append(seqB, b.next(Dial))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d differs across interleavings: %+v vs %+v", i, seqA[i], seqB[i])
+		}
+	}
+
+	if New(42, testRules()).next(Dial) == New(43, testRules()).next(Dial) {
+		// Not impossible, but with ErrProb 0.5 a matching first decision on
+		// different seeds is fine; check the digest instead for full streams.
+		t.Log("first decisions collided; digest check below is authoritative")
+	}
+	if Digest(42, testRules(), 256) != Digest(42, testRules(), 256) {
+		t.Fatal("same seed produced different digests")
+	}
+	if Digest(42, testRules(), 256) == Digest(43, testRules(), 256) {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+// TestErrRatesAndCounters checks rules actually fire at roughly their
+// configured rates and the tallies add up.
+func TestErrRatesAndCounters(t *testing.T) {
+	in := New(7, map[Site]Rule{Dial: {ErrProb: 0.5}})
+	errs := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := in.Err(Dial); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			errs++
+		}
+	}
+	if errs < n/3 || errs > 2*n/3 {
+		t.Fatalf("ErrProb 0.5 fired %d/%d times", errs, n)
+	}
+	st := in.Stats()[Dial]
+	if st.Calls != n || st.Errs != int64(errs) {
+		t.Fatalf("stats %+v, want calls=%d errs=%d", st, n, errs)
+	}
+	// Unruled sites never inject and never count.
+	if err := in.Err(Classify); err != nil {
+		t.Fatalf("unruled site injected: %v", err)
+	}
+	if _, ok := in.Stats()[Classify]; ok {
+		t.Fatal("unruled site appeared in stats")
+	}
+	// A nil injector is inert, so call sites need no nil checks.
+	var nilIn *Injector
+	if err := nilIn.Err(Dial); err != nil {
+		t.Fatal("nil injector injected an error")
+	}
+	if err := nilIn.Wait(context.Background(), Fold); err != nil {
+		t.Fatal("nil injector injected a delay error")
+	}
+}
+
+// TestWaitHonorsContext checks an injected delay is cut short by context
+// cancellation and reports ctx.Err().
+func TestWaitHonorsContext(t *testing.T) {
+	in := New(1, map[Site]Rule{Fold: {DelayProb: 1, Delay: 10 * time.Second}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Wait(ctx, Fold)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait slept through the cancelled context")
+	}
+}
+
+// TestConnResetAndDial exercises the conn wrapper end to end over a real
+// loopback pair: with ErrProb 1 on writes, the first write must fail with
+// an injected reset and the underlying conn must be closed.
+func TestConnResetAndDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	in := New(3, map[Site]Rule{ConnWrite: {ErrProb: 1}})
+	dial := in.Dialer(nil)
+	conn, err := dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write returned %v, want injected reset", err)
+	}
+	// The underlying connection was closed, so the peer sees EOF/reset.
+	peer := <-accepted
+	defer peer.Close()
+	peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := peer.Read(buf); err == nil {
+		t.Fatal("peer read succeeded after injected reset")
+	}
+
+	// A dial-refusing injector fails before any connection is made.
+	refuse := New(5, map[Site]Rule{Dial: {ErrProb: 1}})
+	if _, err := refuse.Dialer(nil)(context.Background(), ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("refused dial returned %v", err)
+	}
+
+	// StageHook surfaces the stage name and the sentinel.
+	sh := New(9, map[Site]Rule{Stage: {ErrProb: 1}}).StageHook()
+	if err := sh("distances"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("stage hook returned %v", err)
+	}
+}

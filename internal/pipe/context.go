@@ -24,3 +24,31 @@ func FromContext(ctx context.Context) *Pool {
 	}
 	return shared
 }
+
+// stageHookKey carries a caller-selected stage hook through a context.
+type stageHookKey struct{}
+
+// StageHook is consulted by Graph.Run immediately before each stage body
+// runs. A non-nil return aborts that stage with the returned error (wrapped
+// in a StageError), exactly as if the stage itself had failed. Hooks let
+// harnesses inject faults or delays at stage boundaries without pipe
+// depending on them; pipe stays generic and the hook package stays out of
+// the dependency graph.
+type StageHook func(stage string) error
+
+// WithStageHook returns a context carrying hook. Passing a nil hook returns
+// ctx unchanged.
+func WithStageHook(ctx context.Context, hook StageHook) context.Context {
+	if hook == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageHookKey{}, hook)
+}
+
+// stageHookFrom returns the hook carried by ctx, or nil.
+func stageHookFrom(ctx context.Context) StageHook {
+	if h, ok := ctx.Value(stageHookKey{}).(StageHook); ok {
+		return h
+	}
+	return nil
+}

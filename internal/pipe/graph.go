@@ -116,13 +116,16 @@ func (e *StageError) Unwrap() error { return e.Err }
 // stages from starting, cancels the context passed to running stages, and
 // is returned after every in-flight stage has exited, so Run never leaks
 // goroutines. Per-stage wall time, queueing delay, allocation delta and
-// goroutine counts are recorded into tr when it is non-nil.
+// goroutine counts are recorded into tr when it is non-nil. A StageHook
+// carried by ctx (see WithStageHook) is consulted before each stage body;
+// a hook error fails the stage without running it.
 func (g *Graph) Run(ctx context.Context, tr *obs.Trace) error {
 	if err := g.validate(); err != nil {
 		return err
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	hook := stageHookFrom(ctx)
 
 	n := len(g.stages)
 	indegree := make([]int, n)
@@ -178,9 +181,14 @@ func (g *Graph) Run(ctx context.Context, tr *obs.Trace) error {
 			allocBefore := obs.MemAllocated()
 			stageStart := time.Now()
 			var err error
-			if runCtx.Err() != nil {
+			switch {
+			case runCtx.Err() != nil:
 				err = runCtx.Err()
-			} else {
+			case hook != nil:
+				if err = hook(s.name); err == nil {
+					err = s.fn(runCtx)
+				}
+			default:
 				err = s.fn(runCtx)
 			}
 			if tr != nil {

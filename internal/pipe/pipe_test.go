@@ -180,6 +180,102 @@ func TestGraphCancellation(t *testing.T) {
 	}
 }
 
+// TestGraphStageHookInjectsFailure pins the fault seam: a hook carried by
+// the context runs before each stage body; its error fails the stage (as a
+// StageError) without the body ever starting, and dependents are skipped.
+func TestGraphStageHookInjectsFailure(t *testing.T) {
+	g := NewGraph()
+	var midRan, tailRan atomic.Bool
+	g.Add("head", nil, func(ctx context.Context) error { return nil })
+	g.Add("mid", []string{"head"}, func(ctx context.Context) error {
+		midRan.Store(true)
+		return nil
+	})
+	g.Add("tail", []string{"mid"}, func(ctx context.Context) error {
+		tailRan.Store(true)
+		return nil
+	})
+	boom := errors.New("injected")
+	ctx := WithStageHook(context.Background(), func(stage string) error {
+		if stage == "mid" {
+			return boom
+		}
+		return nil
+	})
+	err := g.Run(ctx, nil)
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "mid" || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want StageError{mid, injected}", err)
+	}
+	if midRan.Load() {
+		t.Fatal("hook error must pre-empt the stage body")
+	}
+	if tailRan.Load() {
+		t.Fatal("dependent ran after injected stage failure")
+	}
+	// A nil hook is a no-op passthrough.
+	if WithStageHook(context.Background(), nil) != context.Background() {
+		t.Fatal("nil hook should return ctx unchanged")
+	}
+}
+
+// TestGraphCancellationStorm hammers Run with racing cancellations and
+// hook-injected failures: every run must return (no deadlock), never leak
+// goroutines, and always surface either the caller's cancellation or a
+// StageError — never a silent nil alongside skipped stages.
+func TestGraphCancellationStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 50; round++ {
+		g := NewGraph()
+		var ran atomic.Int32
+		g.Add("a", nil, func(ctx context.Context) error { ran.Add(1); return nil })
+		g.Add("b", nil, func(ctx context.Context) error { ran.Add(1); return nil })
+		g.Add("c", []string{"a", "b"}, func(ctx context.Context) error { ran.Add(1); return nil })
+		g.Add("d", []string{"c"}, func(ctx context.Context) error { ran.Add(1); return nil })
+		ctx, cancel := context.WithCancel(context.Background())
+		hctx := WithStageHook(ctx, func(stage string) error {
+			if round%3 == 0 && stage == "c" {
+				return errors.New("storm fault")
+			}
+			return nil
+		})
+		if round%2 == 0 {
+			cancel() // cancel before Run even starts
+		} else {
+			defer cancel()
+		}
+		err := g.Run(hctx, nil)
+		switch {
+		case round%2 == 0:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("round %d: err = %v, want context.Canceled", round, err)
+			}
+		case round%3 == 0:
+			var se *StageError
+			if !errors.As(err, &se) || se.Stage != "c" {
+				t.Fatalf("round %d: err = %v, want StageError{c}", round, err)
+			}
+			if ran.Load() != 2 {
+				t.Fatalf("round %d: %d stages ran, want 2 (a, b)", round, ran.Load())
+			}
+		default:
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if ran.Load() != 4 {
+				t.Fatalf("round %d: %d stages ran, want 4", round, ran.Load())
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after storm", before, n)
+	}
+}
+
 func TestGraphRecordsTrace(t *testing.T) {
 	g := NewGraph()
 	g.Add("a", nil, func(ctx context.Context) error {

@@ -6,11 +6,15 @@ import (
 )
 
 // cacheKey identifies one classified antenna state: callers bump the
-// revision whenever the antenna's traffic vector changes, so a stale entry
-// is simply never asked for again and ages out of the LRU.
+// revision whenever the antenna's traffic vector changes, and the key also
+// pins the model revision the verdict was computed under, so a verdict
+// from a superseded snapshot can never be served after a swap — even if a
+// racing handler inserts it after the swap's purge.
 type cacheKey struct {
 	antenna  uint32
 	revision uint64
+	// model is the ModelSnapshot.Revision the verdict was computed with.
+	model uint64
 }
 
 // lruCache is a fixed-capacity LRU of classify verdicts, safe for
@@ -76,4 +80,13 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// purge drops every entry — called on model-snapshot swap so verdicts from
+// the previous model free their capacity immediately instead of aging out.
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.byKey)
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/probe"
@@ -70,6 +71,11 @@ type Config struct {
 	// Pool overrides the worker pool classify batches fan out on
 	// (default: the process-shared pool).
 	Pool *pipe.Pool
+	// Faults optionally wires the deterministic fault-injection layer
+	// (internal/fault) into the serving seams: ingest latency before the
+	// ack, slow drain folds, and classify latency spikes. nil injects
+	// nothing; production configs leave it nil.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -127,7 +133,7 @@ type Stats struct {
 // Server is the online classification service.
 type Server struct {
 	cfg   Config
-	snap  *ModelSnapshot
+	snap  atomic.Pointer[ModelSnapshot]
 	sink  *collect.Sink
 	pool  *pipe.Pool
 	cache *lruCache
@@ -142,10 +148,6 @@ type Server struct {
 	startOnce sync.Once
 	stopOnce  sync.Once
 	draining  atomic.Bool
-
-	// foldDelayNS throttles the drain workers (test hook for exercising
-	// queue backpressure deterministically; zero in production).
-	foldDelayNS atomic.Int64
 
 	ingestBatches   atomic.Int64
 	ingestRecords   atomic.Int64
@@ -173,12 +175,12 @@ func New(snap *ModelSnapshot, sink *collect.Sink, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:   cfg,
-		snap:  snap,
 		sink:  sink,
 		pool:  pool,
 		cache: newLRUCache(cfg.CacheSize),
 		queue: make(chan []probe.Record, cfg.QueueDepth),
 	}
+	s.snap.Store(snap)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/ingest", s.withDeadline(s.handleIngest))
 	s.mux.HandleFunc("/v1/classify", s.withDeadline(s.handleClassify))
@@ -203,8 +205,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Sink returns the aggregate records are folded into.
 func (s *Server) Sink() *collect.Sink { return s.sink }
 
-// Snapshot returns the served model snapshot.
-func (s *Server) Snapshot() *ModelSnapshot { return s.snap }
+// Snapshot returns the currently served model snapshot.
+func (s *Server) Snapshot() *ModelSnapshot { return s.snap.Load() }
+
+// SwapSnapshot atomically replaces the served model — the online half of a
+// retrain — and purges the verdict LRU so no verdict computed by the
+// previous snapshot lingers until it ages out. In-flight requests finish
+// against whichever snapshot they loaded at entry; because cache keys also
+// carry the model revision, a racing handler that inserts a verdict after
+// the purge still cannot have it served under the new model.
+func (s *Server) SwapSnapshot(next *ModelSnapshot) error {
+	if next == nil {
+		return errors.New("serve: nil model snapshot")
+	}
+	s.snap.Store(next)
+	s.cache.purge()
+	obs.Add("serve.model.swaps", 1)
+	return nil
+}
 
 // Start binds the listen address and begins serving on a tracked
 // goroutine. It returns once the listener is bound; use Addr for the bound
@@ -252,12 +270,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// drainQueue folds queued ingest batches until the queue closes.
+// drainQueue folds queued ingest batches until the queue closes. Injected
+// fold delays (the fault layer's slow-consumer regime) throttle the drain,
+// building real queue pressure upstream; acked batches are still always
+// folded before the worker exits.
 func (s *Server) drainQueue() {
 	for batch := range s.queue {
-		if d := s.foldDelayNS.Load(); d > 0 {
-			time.Sleep(time.Duration(d))
-		}
+		_ = s.cfg.Faults.Wait(context.Background(), fault.Fold)
 		s.sink.AddBatch(batch)
 		obs.Add("serve.ingest.folded", int64(len(batch)))
 	}
@@ -329,6 +348,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(batch) == 0 {
 		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Injected ingest latency lands before the ack: a spike can time the
+	// request out (503) but can never lose an acked batch.
+	if err := s.cfg.Faults.Wait(r.Context(), fault.Ingest); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "deadline exceeded: %v", err)
 		return
 	}
 	if s.draining.Load() {
@@ -410,8 +435,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.classifyReqs.Add(1)
 	obs.Add("serve.classify.requests", 1)
 
+	// Load the snapshot once: every read below (revision echo, cache keys,
+	// classification) must see the same model even if a swap lands
+	// mid-request.
+	snap := s.snap.Load()
+	if err := s.cfg.Faults.Wait(r.Context(), fault.Classify); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "deadline exceeded: %v", err)
+		return
+	}
+
 	resp := ClassifyResponse{
-		ModelRevision: s.snap.Revision,
+		ModelRevision: snap.Revision,
 		Results:       make([]AntennaVerdict, len(req.Antennas)),
 	}
 	var missIdx []int
@@ -419,7 +453,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	for i, a := range req.Antennas {
 		resp.Results[i].ID = a.ID
 		if a.Revision > 0 {
-			if cluster, ok := s.cache.get(cacheKey{a.ID, a.Revision}); ok {
+			if cluster, ok := s.cache.get(cacheKey{a.ID, a.Revision, snap.Revision}); ok {
 				resp.Results[i].Cluster = cluster
 				resp.Results[i].Cached = true
 				resp.CacheHits++
@@ -435,7 +469,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	obs.Add("serve.classify.cache.misses", int64(len(missIdx)))
 
 	if len(missIdx) > 0 {
-		clusters, err := s.snap.Classify(r.Context(), missRows)
+		clusters, err := snap.Classify(r.Context(), missRows)
 		if err != nil {
 			if r.Context().Err() != nil {
 				writeError(w, http.StatusServiceUnavailable, "deadline exceeded: %v", r.Context().Err())
@@ -448,7 +482,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			a := req.Antennas[i]
 			resp.Results[i].Cluster = clusters[mi]
 			if a.Revision > 0 {
-				s.cache.put(cacheKey{a.ID, a.Revision}, clusters[mi])
+				s.cache.put(cacheKey{a.ID, a.Revision, snap.Revision}, clusters[mi])
 			}
 		}
 	}
@@ -466,7 +500,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats snapshots the serving statistics backing /v1/stats.
 func (s *Server) Stats() Stats {
 	return Stats{
-		ModelRevision:     s.snap.Revision,
+		ModelRevision:     s.snap.Load().Revision,
 		IngestBatches:     s.ingestBatches.Load(),
 		IngestRecords:     s.ingestRecords.Load(),
 		IngestRejected:    s.ingestRejected.Load(),
@@ -484,11 +518,12 @@ func (s *Server) Stats() Stats {
 
 // handleModel reports snapshot metadata so clients can size vectors.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"services": s.snap.Services,
-		"k":        s.snap.K,
-		"trees":    len(s.snap.Forest.Trees),
-		"revision": s.snap.Revision,
+		"services": snap.Services,
+		"k":        snap.K,
+		"trees":    len(snap.Forest.Trees),
+		"revision": snap.Revision,
 	})
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/fault"
 	"repro/internal/forest"
 	"repro/internal/mat"
 	"repro/internal/probe"
@@ -178,15 +179,17 @@ func TestClassifyMatchesOfflinePredictAll(t *testing.T) {
 // every batch acked with 202 must be present in the aggregate after a
 // graceful Shutdown, even when the queue is still deep at shutdown time.
 func TestShutdownDrainsAckedBatches(t *testing.T) {
-	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 256, IngestWorkers: 1})
+	// Slow the drain (via the fault layer) so Shutdown races real queued work.
+	slowFolds := fault.New(1, map[fault.Site]fault.Rule{
+		fault.Fold: {DelayProb: 1, Delay: 2 * time.Millisecond},
+	})
+	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 256, IngestWorkers: 1, Faults: slowFolds})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Start(); err != nil {
 		t.Fatal(err)
 	}
-	// Slow the drain so Shutdown races real queued work.
-	s.foldDelayNS.Store(int64(2 * time.Millisecond))
 
 	const batches, perBatch = 40, 25
 	stream := probeStream(t, ingestRecords(perBatch))
@@ -223,7 +226,10 @@ func TestShutdownDrainsAckedBatches(t *testing.T) {
 // TestIngestBackpressure fills the bounded queue and expects explicit 429
 // with a Retry-After hint instead of blocking or dropping silently.
 func TestIngestBackpressure(t *testing.T) {
-	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 1, IngestWorkers: 1})
+	slowFolds := fault.New(1, map[fault.Site]fault.Rule{
+		fault.Fold: {DelayProb: 1, Delay: 200 * time.Millisecond},
+	})
+	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 1, IngestWorkers: 1, Faults: slowFolds})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +241,6 @@ func TestIngestBackpressure(t *testing.T) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	})
-	s.foldDelayNS.Store(int64(200 * time.Millisecond))
 
 	stream := probeStream(t, ingestRecords(5))
 	saw429 := false
@@ -329,17 +334,141 @@ func TestClassifyLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for id := uint32(1); id <= 3; id++ {
-		s.cache.put(cacheKey{id, 1}, int(id))
+		s.cache.put(cacheKey{id, 1, snap.Revision}, int(id))
 	}
 	if s.cache.len() != 2 {
 		t.Fatalf("cache holds %d entries, want capacity 2", s.cache.len())
 	}
-	if _, ok := s.cache.get(cacheKey{1, 1}); ok {
+	if _, ok := s.cache.get(cacheKey{1, 1, snap.Revision}); ok {
 		t.Fatal("oldest entry should have been evicted")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = s.Shutdown(ctx)
+}
+
+// retrainedSnapshot is tinySnapshot after a "retrain": same shape, a
+// different forest, and therefore a different revision.
+func retrainedSnapshot(t testing.TB) *ModelSnapshot {
+	t.Helper()
+	rows := [][]float64{
+		{100, 5, 5}, {90, 10, 4}, {110, 2, 8}, {95, 7, 3},
+		{5, 100, 5}, {8, 95, 2}, {4, 110, 9}, {6, 90, 7},
+	}
+	traffic, err := mat.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rca.NewOutdoorReference(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	f := forest.Train(rca.RSCA(traffic), labels, 2, forest.Config{Trees: 9, Seed: 5})
+	m := &ModelSnapshot{Ref: ref, Forest: f, K: 2, Services: 3}
+	m.Revision = m.fingerprint()
+	return m
+}
+
+// TestSwapSnapshotPurgesVerdictLRU pins the swap contract: after
+// SwapSnapshot, a previously cached (antenna, revision) verdict must not
+// be served — the LRU is purged, the re-classify runs under the new model,
+// and the response echoes the new revision.
+func TestSwapSnapshotPurgesVerdictLRU(t *testing.T) {
+	snapA, snapB := tinySnapshot(t), retrainedSnapshot(t)
+	if snapA.Revision == snapB.Revision {
+		t.Fatal("fixture snapshots share a revision; the swap test needs distinct models")
+	}
+	s := startServer(t, snapA, Config{})
+	vec := AntennaVector{ID: 42, Revision: 7, Traffic: []float64{100, 5, 5}}
+	req := ClassifyRequest{Antennas: []AntennaVector{vec}}
+
+	postJSON(t, baseURL(s)+"/v1/classify", req) // warm the LRU
+	_, body := postJSON(t, baseURL(s)+"/v1/classify", req)
+	var warm ClassifyResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 1 {
+		t.Fatalf("warm-up did not cache: %+v", warm)
+	}
+
+	if err := s.SwapSnapshot(snapB); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("LRU holds %d entries after swap, want 0", n)
+	}
+	_, body = postJSON(t, baseURL(s)+"/v1/classify", req)
+	var after ClassifyResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHits != 0 || after.Results[0].Cached {
+		t.Fatalf("swap served a stale verdict from the previous snapshot: %+v", after)
+	}
+	if after.ModelRevision != snapB.Revision {
+		t.Fatalf("post-swap revision %d, want %d", after.ModelRevision, snapB.Revision)
+	}
+	if s.Snapshot().Revision != snapB.Revision {
+		t.Fatal("Snapshot() still returns the old model")
+	}
+	if err := s.SwapSnapshot(nil); err == nil {
+		t.Fatal("nil swap must be rejected")
+	}
+}
+
+// TestShutdownDrainsUnderFault is the drain-under-fault contract: with the
+// fault layer injecting slow folds, ingest latency, and real queue
+// pressure (small queue), a graceful shutdown must still fold every
+// acked batch — zero acked-record loss, bounded wall-clock.
+func TestShutdownDrainsUnderFault(t *testing.T) {
+	inj := fault.New(1234, map[fault.Site]fault.Rule{
+		fault.Fold:   {DelayProb: 0.8, Delay: 3 * time.Millisecond},
+		fault.Ingest: {DelayProb: 0.3, Delay: time.Millisecond},
+	})
+	s, err := New(tinySnapshot(t), nil, Config{QueueDepth: 4, IngestWorkers: 1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const batches, perBatch = 60, 20
+	stream := probeStream(t, ingestRecords(perBatch))
+	acked, rejected := 0, 0
+	for b := 0; b < batches; b++ {
+		resp, err := http.Post(baseURL(s)+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			acked++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rejected++ // degradation is allowed; loss is not
+		default:
+			t.Fatalf("ingest: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if acked == 0 {
+		t.Fatal("no batch was acked under fault load")
+	}
+	if rejected == 0 {
+		t.Log("fault schedule produced no backpressure this run (still asserting zero loss)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown under fault: %v", err)
+	}
+	if got, want := s.Sink().Snapshot().Records, acked*perBatch; got != want {
+		t.Fatalf("aggregate holds %d records after faulted drain, want %d (%d acked batches × %d)",
+			got, want, acked, perBatch)
+	}
 }
 
 func TestClassifyRejectsBadVectors(t *testing.T) {

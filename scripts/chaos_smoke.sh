@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — seeded fault-injection soak of the full online stack.
+#
+# Builds icnbench and runs the -chaos soak twice with the same seed: each
+# run stands up a live server plus a TCP collector and drives N seeded
+# fault schedules (dial refusals, mid-stream resets, ingest/fold/classify
+# latency, queue pressure, racing model swaps) while asserting the three
+# soak invariants — acked-batch survival through shutdown, served-cluster
+# parity with the offline labels of the echoed model revision, and
+# degradation (429/503/retries) instead of loss or deadlock. The two runs
+# must agree on the printed fault-plan digest: the decision streams are a
+# pure function of the seed. Run via `make chaos-smoke`.
+set -euo pipefail
+
+SEED="${CHAOS_SEED:-7}"
+SCHEDULES="${CHAOS_SCHEDULES:-2}"
+SCALE=0.05
+TREES=15
+
+tmp="$(mktemp -d)"
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT
+
+echo "chaos-smoke: building icnbench"
+go build -o "$tmp/icnbench" ./cmd/icnbench
+
+run() {
+  "$tmp/icnbench" -chaos -seed "$SEED" -chaosschedules "$SCHEDULES" \
+    -scale "$SCALE" -trees "$TREES" -chaosjson "$tmp/chaos_$1.json" \
+    | tee "$tmp/run_$1.txt"
+}
+
+echo "chaos-smoke: soak run 1 (seed=$SEED schedules=$SCHEDULES)"
+run 1
+echo "chaos-smoke: soak run 2 (same seed — plan must reproduce)"
+run 2
+
+grep -q 'chaos PASS' "$tmp/run_1.txt" && grep -q 'chaos PASS' "$tmp/run_2.txt" || {
+  echo "chaos-smoke: FAIL — a soak run did not pass its invariants" >&2
+  exit 1
+}
+
+digest1=$(sed -n 's/.*chaos plan digest \(0x[0-9a-f]*\).*/\1/p' "$tmp/run_1.txt")
+digest2=$(sed -n 's/.*chaos plan digest \(0x[0-9a-f]*\).*/\1/p' "$tmp/run_2.txt")
+[[ -n "$digest1" && "$digest1" == "$digest2" ]] || {
+  echo "chaos-smoke: FAIL — plan digest not reproducible ($digest1 vs $digest2)" >&2
+  exit 1
+}
+echo "chaos-smoke: plan digest $digest1 reproduced across runs"
+
+# Per-schedule digests in the JSON records must agree as well.
+for f in 1 2; do
+  [[ -s "$tmp/chaos_$f.json" ]] || { echo "chaos-smoke: FAIL — missing chaos record $f" >&2; exit 1; }
+done
+if command -v jq >/dev/null 2>&1; then
+  d1=$(jq -r '[.schedules[].digest] | join(",")' "$tmp/chaos_1.json")
+  d2=$(jq -r '[.schedules[].digest] | join(",")' "$tmp/chaos_2.json")
+  [[ "$d1" == "$d2" ]] || {
+    echo "chaos-smoke: FAIL — schedule digests diverged ($d1 vs $d2)" >&2
+    exit 1
+  }
+  echo "chaos-smoke: $SCHEDULES schedule digests reproduced"
+fi
+echo "chaos-smoke: PASS"
