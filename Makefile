@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race bench artifacts serve-smoke serve-bench chaos-smoke fuzz-short
+.PHONY: build lint test race bench bench-gate bench-baseline artifacts serve-smoke serve-bench chaos-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Benchmark-regression gate: rerun the pipeline at the committed baseline's
+# shape and fail when any stage (or the total) slows beyond the tolerance.
+# Env knobs (BENCH_GATE_TOLERANCE, BENCH_GATE_RUNS, ...) are documented in
+# scripts/bench_gate.sh.
+bench-gate:
+	./scripts/bench_gate.sh
+
+# Refresh the committed gate baseline from a best-of-3 measurement on this
+# machine (the printed verdict against the old baseline is informational —
+# a refresh after an intentional slowdown is allowed to "fail" the gate).
+# Run after intentional performance changes, commit the result.
+bench-baseline:
+	-$(GO) run ./cmd/icnbench -quiet -gateruns 3 -gate BENCH_baseline.json -benchjson BENCH_baseline.json
 
 # Regenerate every table/figure and the machine-readable stage timings.
 artifacts:

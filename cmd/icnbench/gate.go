@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+)
+
+// The benchmark-regression gate (-gate) reruns the pipeline at the
+// baseline's shape and fails when any stage — or the total — slows down
+// beyond a tolerance. Two levers keep it honest on noisy shared runners:
+// the candidate takes the per-stage best over -gateruns reruns (scheduler
+// preemption inflates single samples), and stages whose baseline wall is
+// under -gatefloor milliseconds are held to the floor's limit instead of
+// their own — short stages overlapping a long stage's tail on a loaded
+// (or single-core) runner see contention-dominated walls, so a 0.2 ms
+// stage doubling is noise, not regression.
+
+// gateStatus classifies one table row of the gate report.
+type gateStatus string
+
+const (
+	gateOK      gateStatus = "ok"
+	gateRegress gateStatus = "REGRESSION"
+	gateMissing gateStatus = "MISSING"
+	gateNew     gateStatus = "new"
+)
+
+// gateRow is one line of the per-stage comparison table.
+type gateRow struct {
+	Name    string
+	BaseMS  float64
+	CandMS  float64
+	LimitMS float64
+	Status  gateStatus
+}
+
+// runGate loads the baseline record, measures (or loads, with comparePath)
+// a candidate record, prints the per-stage table and returns an error when
+// any baseline stage regressed beyond the tolerance or disappeared.
+func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, tolerance, floorMS float64, runs int) error {
+	base, err := readBenchRecord(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench gate: baseline: %w", err)
+	}
+	var cand benchRecord
+	if comparePath != "" {
+		if cand, err = readBenchRecord(comparePath); err != nil {
+			return fmt.Errorf("bench gate: candidate: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "icnbench: gating %s against %s\n", comparePath, baselinePath)
+	} else {
+		if cand, err = measureBest(cfg, runs, benchPath); err != nil {
+			return err
+		}
+	}
+
+	rows, regressed := compareBench(base, cand, tolerance, floorMS)
+	fmt.Printf("bench gate: tolerance +%.0f%%, floor %.0fms (limit = max(baseline, floor) × %.2f)\n",
+		tolerance*100, floorMS, 1+tolerance)
+	fmt.Printf("%-14s %12s %12s %12s   %s\n", "stage", "baseline", "current", "limit", "status")
+	for _, r := range rows {
+		cur := fmt.Sprintf("%.1fms", r.CandMS)
+		if r.Status == gateMissing {
+			cur = "-"
+		}
+		fmt.Printf("%-14s %11.1fms %12s %11.1fms   %s\n", r.Name, r.BaseMS, cur, r.LimitMS, r.Status)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("bench gate: %d stage(s) regressed beyond the +%.0f%% tolerance", regressed, tolerance*100)
+	}
+	fmt.Println("bench gate: ok")
+	return nil
+}
+
+// measureBest runs the pipeline `runs` times and keeps the per-stage (and
+// total) minimum wall time — single runs on a loaded machine overstate
+// stage walls, and a genuine regression slows every rerun. When benchPath
+// is set, the combined record is also written there.
+func measureBest(cfg analysis.Config, runs int, benchPath string) (benchRecord, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var best benchRecord
+	for n := 0; n < runs; n++ {
+		fmt.Fprintf(os.Stderr, "icnbench: gate run %d/%d (seed=%d scale=%.2f trees=%d)...\n",
+			n+1, runs, cfg.Seed, cfg.Scale, cfg.ForestTrees)
+		suite, err := experiments.NewSuite(cfg)
+		if err != nil {
+			return benchRecord{}, fmt.Errorf("bench gate: pipeline: %w", err)
+		}
+		rec := buildBenchRecord(cfg, suite)
+		if n == 0 {
+			best = rec
+			continue
+		}
+		if rec.TotalMS < best.TotalMS {
+			best.TotalMS = rec.TotalMS
+		}
+		for i := range best.Stages {
+			for _, st := range rec.Stages {
+				if st.Name == best.Stages[i].Name && st.WallMS < best.Stages[i].WallMS {
+					best.Stages[i].WallMS = st.WallMS
+					best.Stages[i].WaitedMS = st.WaitedMS
+				}
+			}
+		}
+	}
+	if benchPath != "" {
+		data, err := json.MarshalIndent(best, "", "  ")
+		if err != nil {
+			return benchRecord{}, err
+		}
+		if err := os.WriteFile(benchPath, append(data, '\n'), 0o644); err != nil {
+			return benchRecord{}, err
+		}
+		fmt.Fprintf(os.Stderr, "icnbench: wrote gated stage timings to %s\n", benchPath)
+	}
+	return best, nil
+}
+
+// compareBench builds the per-stage gate table: every baseline stage in
+// baseline order, a TOTAL row, then candidate-only stages (informational).
+// A stage regresses when its candidate wall exceeds
+// max(baseline, floor) × (1 + tolerance); a baseline stage missing from
+// the candidate also counts as a regression (a silently dropped stage must
+// not pass the gate).
+func compareBench(base, cand benchRecord, tolerance, floorMS float64) (rows []gateRow, regressed int) {
+	candWall := make(map[string]float64, len(cand.Stages))
+	for _, st := range cand.Stages {
+		candWall[st.Name] = st.WallMS
+	}
+	limit := func(baseMS float64) float64 {
+		b := baseMS
+		if b < floorMS {
+			b = floorMS
+		}
+		return b * (1 + tolerance)
+	}
+	seen := make(map[string]bool, len(base.Stages))
+	for _, st := range base.Stages {
+		seen[st.Name] = true
+		row := gateRow{Name: st.Name, BaseMS: st.WallMS, LimitMS: limit(st.WallMS)}
+		if w, ok := candWall[st.Name]; !ok {
+			row.Status = gateMissing
+			regressed++
+		} else {
+			row.CandMS = w
+			if w > row.LimitMS {
+				row.Status = gateRegress
+				regressed++
+			} else {
+				row.Status = gateOK
+			}
+		}
+		rows = append(rows, row)
+	}
+	total := gateRow{Name: "TOTAL", BaseMS: base.TotalMS, CandMS: cand.TotalMS, LimitMS: limit(base.TotalMS)}
+	if total.CandMS > total.LimitMS {
+		total.Status = gateRegress
+		regressed++
+	} else {
+		total.Status = gateOK
+	}
+	rows = append(rows, total)
+	for _, st := range cand.Stages {
+		if !seen[st.Name] {
+			rows = append(rows, gateRow{Name: st.Name, CandMS: st.WallMS, LimitMS: limit(0), Status: gateNew})
+		}
+	}
+	return rows, regressed
+}
+
+func readBenchRecord(path string) (benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return benchRecord{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

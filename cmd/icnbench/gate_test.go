@@ -1,0 +1,121 @@
+package main
+
+import "testing"
+
+func gateFixture() (benchRecord, benchRecord) {
+	base := benchRecord{
+		TotalMS: 700,
+		Stages: []stageJSON{
+			{Name: "rsca", WallMS: 1.4},
+			{Name: "forest", WallMS: 500},
+			{Name: "outdoor", WallMS: 60},
+		},
+	}
+	cand := benchRecord{
+		TotalMS: 690,
+		Stages: []stageJSON{
+			{Name: "rsca", WallMS: 2.1},
+			{Name: "forest", WallMS: 480},
+			{Name: "outdoor", WallMS: 58},
+		},
+	}
+	return base, cand
+}
+
+func findRow(t *testing.T, rows []gateRow, name string) gateRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no gate row %q", name)
+	return gateRow{}
+}
+
+func TestCompareBenchAllWithinTolerance(t *testing.T) {
+	base, cand := gateFixture()
+	rows, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 0 {
+		t.Fatalf("regressed = %d, want 0: %+v", regressed, rows)
+	}
+	// 4 rows: three stages + TOTAL.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if r := findRow(t, rows, "TOTAL"); r.Status != gateOK {
+		t.Fatalf("TOTAL status %s", r.Status)
+	}
+}
+
+func TestCompareBenchDetectsInflatedStage(t *testing.T) {
+	base, cand := gateFixture()
+	// Inflate one stage beyond max(base, floor)*(1+tol) = 500*1.25 = 625.
+	for i := range cand.Stages {
+		if cand.Stages[i].Name == "forest" {
+			cand.Stages[i].WallMS = 700
+		}
+	}
+	rows, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1", regressed)
+	}
+	r := findRow(t, rows, "forest")
+	if r.Status != gateRegress {
+		t.Fatalf("forest status %s, want %s", r.Status, gateRegress)
+	}
+	if r.LimitMS != 625 {
+		t.Fatalf("forest limit %.1f, want 625", r.LimitMS)
+	}
+}
+
+func TestCompareBenchFloorAbsorbsTinyStageNoise(t *testing.T) {
+	base, cand := gateFixture()
+	// rsca triples from 1.4ms to 4.2ms — far beyond +25% but far below the
+	// 25ms floor's limit of 31.25ms, so the gate must not fire.
+	for i := range cand.Stages {
+		if cand.Stages[i].Name == "rsca" {
+			cand.Stages[i].WallMS = 4.2
+		}
+	}
+	_, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 0 {
+		t.Fatalf("regressed = %d, want 0 (floor must absorb sub-floor noise)", regressed)
+	}
+}
+
+func TestCompareBenchMissingStageFails(t *testing.T) {
+	base, cand := gateFixture()
+	cand.Stages = cand.Stages[:2] // drop outdoor
+	rows, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1", regressed)
+	}
+	if r := findRow(t, rows, "outdoor"); r.Status != gateMissing {
+		t.Fatalf("outdoor status %s, want %s", r.Status, gateMissing)
+	}
+}
+
+func TestCompareBenchNewStageInformational(t *testing.T) {
+	base, cand := gateFixture()
+	cand.Stages = append(cand.Stages, stageJSON{Name: "embedding", WallMS: 90})
+	rows, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 0 {
+		t.Fatalf("regressed = %d, want 0 (new stages are informational)", regressed)
+	}
+	if r := findRow(t, rows, "embedding"); r.Status != gateNew {
+		t.Fatalf("embedding status %s, want %s", r.Status, gateNew)
+	}
+}
+
+func TestCompareBenchTotalRegression(t *testing.T) {
+	base, cand := gateFixture()
+	cand.TotalMS = 1000 // beyond 700*1.25 = 875
+	rows, regressed := compareBench(base, cand, 0.25, 25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1", regressed)
+	}
+	if r := findRow(t, rows, "TOTAL"); r.Status != gateRegress {
+		t.Fatalf("TOTAL status %s, want %s", r.Status, gateRegress)
+	}
+}

@@ -54,6 +54,11 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection soak against a live server instead of regenerating artifacts")
 	chaosSchedules := flag.Int("chaosschedules", 3, "number of seeded fault schedules (with -chaos)")
 	chaosJSON := flag.String("chaosjson", "", "chaos soak record output path (with -chaos, optional)")
+	gatePath := flag.String("gate", "", "baseline stage-timing JSON: rerun the pipeline and fail on per-stage wall-time regressions")
+	gateCompare := flag.String("gatecompare", "", "candidate stage-timing JSON to compare instead of rerunning (with -gate)")
+	gateTolerance := flag.Float64("gatetolerance", 0.25, "fractional slowdown allowed per stage before the gate fails (with -gate)")
+	gateFloor := flag.Float64("gatefloor", 120, "baseline milliseconds floor — stages faster than this are held to the floor's limit, absorbing scheduler noise (with -gate)")
+	gateRuns := flag.Int("gateruns", 2, "pipeline reruns; the per-stage best wall time is gated (with -gate)")
 	flag.Parse()
 
 	cfg := analysis.Config{
@@ -64,6 +69,13 @@ func main() {
 	}
 	if *chaos {
 		if err := runChaos(cfg, *chaosSchedules, *chaosJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gatePath != "" {
+		if err := runGate(cfg, *gatePath, *gateCompare, *benchPath, *gateTolerance, *gateFloor, *gateRuns); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -164,7 +176,7 @@ type stageJSON struct {
 	Goroutines int      `json:"goroutines"`
 }
 
-func writeBenchJSON(path string, cfg analysis.Config, suite *experiments.Suite) error {
+func buildBenchRecord(cfg analysis.Config, suite *experiments.Suite) benchRecord {
 	tr := suite.Res.Trace()
 	rec := benchRecord{
 		Seed:     cfg.Seed,
@@ -186,7 +198,11 @@ func writeBenchJSON(path string, cfg analysis.Config, suite *experiments.Suite) 
 			Goroutines: st.Goroutines,
 		})
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	return rec
+}
+
+func writeBenchJSON(path string, cfg analysis.Config, suite *experiments.Suite) error {
+	data, err := json.MarshalIndent(buildBenchRecord(cfg, suite), "", "  ")
 	if err != nil {
 		return err
 	}

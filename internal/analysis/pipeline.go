@@ -280,7 +280,7 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 
 	// Section 5.3: outdoor antennas against the indoor reference.
 	g.Add("outdoor", []string{"forest"}, func(ctx context.Context) error {
-		return res.classifyOutdoor()
+		return res.classifyOutdoor(ctx)
 	})
 
 	// Section 6: warm the per-cluster temporal profile cache at the
@@ -379,8 +379,8 @@ func EnvContingency(labels []int, ds *synth.Dataset, k int) *stats.Contingency {
 }
 
 // classifyOutdoor computes Eq. 5 RSCA for the outdoor population and runs
-// it through the surrogate forest.
-func (r *Result) classifyOutdoor() error {
+// it through the surrogate forest as one pooled batch prediction.
+func (r *Result) classifyOutdoor(ctx context.Context) error {
 	if len(r.Dataset.Outdoor) == 0 {
 		r.OutdoorShare = make([]float64, r.K)
 		return nil
@@ -393,7 +393,10 @@ func (r *Result) classifyOutdoor() error {
 	if err != nil {
 		return fmt.Errorf("outdoor RSCA: %w", err)
 	}
-	r.OutdoorLabels = r.Surrogate.PredictAll(outRSCA)
+	r.OutdoorLabels, err = r.Surrogate.PredictAllContext(ctx, outRSCA)
+	if err != nil {
+		return err
+	}
 	r.OutdoorShare = make([]float64, r.K)
 	for _, l := range r.OutdoorLabels {
 		r.OutdoorShare[l]++

@@ -1,0 +1,149 @@
+package forest
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/pipe"
+)
+
+// MaxBins is the histogram resolution of the binned split search: each
+// feature column is discretized into at most 256 bins so a bin code fits
+// one byte. Columns with at most MaxBins distinct values keep every value
+// in its own bin, which makes the histogram search exact (see FeatureBins).
+const MaxBins = 256
+
+// FeatureBins describes the discretization of one feature column.
+type FeatureBins struct {
+	// Lo and Hi hold the smallest and largest raw value mapped into each
+	// bin; bins are ordered, every bin contains at least one training
+	// value, and Hi[b] < Lo[b+1]. Split thresholds between bins a < b are
+	// the midpoint (Hi[a]+Lo[b])/2.
+	Lo, Hi []float64
+	// Exact marks a column with at most MaxBins distinct values. There
+	// every distinct value owns a bin with Lo == Hi, so candidate split
+	// thresholds are exactly the adjacent-value midpoints the sort-based
+	// search proposes and the grown tree is bit-identical to it.
+	Exact bool
+}
+
+// Binning is the per-forest histogram discretization of a feature matrix:
+// uint8 bin codes stored column-major (one contiguous slice per feature)
+// plus the per-feature bin metadata needed to turn a bin boundary back
+// into a raw-value threshold. It is computed once per forest and shared
+// read-only by every tree.
+type Binning struct {
+	codes *mat.BinMatrix
+	feats []FeatureBins
+}
+
+// BinFeatures discretizes every column of x. Equal inputs produce equal
+// binnings; no randomness is involved.
+func BinFeatures(x *mat.Dense) *Binning {
+	b, _ := BinFeaturesContext(context.Background(), x)
+	return b
+}
+
+// BinFeaturesContext is BinFeatures with cooperative cancellation: columns
+// are binned in parallel on the pool carried by ctx, each column writing a
+// disjoint slice of the column-major code matrix.
+func BinFeaturesContext(ctx context.Context, x *mat.Dense) (*Binning, error) {
+	b := &Binning{
+		codes: mat.NewBinMatrix(x.Rows(), x.Cols()),
+		feats: make([]FeatureBins, x.Cols()),
+	}
+	err := pipe.FromContext(ctx).ForEach(ctx, x.Cols(), func(j int) {
+		b.feats[j] = binColumn(x, j, b.codes.Col(j))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Codes returns the column-major bin-code matrix.
+func (b *Binning) Codes() *mat.BinMatrix { return b.codes }
+
+// Feature returns the bin metadata of column j.
+func (b *Binning) Feature(j int) FeatureBins { return b.feats[j] }
+
+// NumBins returns the bin count of column j.
+func (b *Binning) NumBins(j int) int { return len(b.feats[j].Lo) }
+
+// splitThreshold returns the raw-value threshold that routes bins ≤ a left
+// and bins ≥ b right. For exact columns this is the same adjacent-value
+// midpoint the sort-based search computes, bit for bit.
+func (b *Binning) splitThreshold(f, a, bb int) float64 {
+	fb := &b.feats[f]
+	return (fb.Hi[a] + fb.Lo[bb]) / 2
+}
+
+// binColumn discretizes column j of x, writing one code per row into
+// codes. Bins are delimited by "cut" values — the smallest raw value of
+// each bin after the first. With ≤ MaxBins distinct values every distinct
+// value becomes a cut (exact mode); above that, cuts are drawn at equal-
+// frequency quantiles of the sorted column, never splitting a run of
+// equal values across bins.
+func binColumn(x *mat.Dense, j int, codes []uint8) FeatureBins {
+	n := x.Rows()
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = x.At(i, j)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if sorted[i] > sorted[i-1] {
+			distinct++
+		}
+	}
+	var cuts []float64
+	if distinct <= MaxBins {
+		cuts = make([]float64, 0, distinct-1)
+		for i := 1; i < n; i++ {
+			if sorted[i] > sorted[i-1] {
+				cuts = append(cuts, sorted[i])
+			}
+		}
+	} else {
+		cuts = make([]float64, 0, MaxBins-1)
+		prev := sorted[0]
+		for k := 1; k < MaxBins; k++ {
+			v := sorted[k*n/MaxBins]
+			if v > prev {
+				cuts = append(cuts, v)
+				prev = v
+			}
+		}
+	}
+
+	nb := len(cuts) + 1
+	fb := FeatureBins{
+		Lo:    make([]float64, nb),
+		Hi:    make([]float64, nb),
+		Exact: distinct <= MaxBins,
+	}
+	// Per-bin raw-value ranges from one pass over the sorted column. Every
+	// cut value is present in the data, so bins advance one at a time and
+	// each bin sees at least one value.
+	b := 0
+	fb.Lo[0] = sorted[0]
+	for i := 0; i < n; i++ {
+		for b < len(cuts) && sorted[i] >= cuts[b] {
+			b++
+			fb.Lo[b] = sorted[i]
+		}
+		fb.Hi[b] = sorted[i]
+	}
+
+	// Code every row: the bin of v is the number of cuts ≤ v.
+	for i := 0; i < n; i++ {
+		v := vals[i]
+		codes[i] = uint8(sort.Search(len(cuts), func(k int) bool { return cuts[k] > v }))
+	}
+	return fb
+}

@@ -22,6 +22,10 @@ type Config struct {
 	Features int
 	// Seed drives bootstrap sampling and feature subsampling.
 	Seed uint64
+	// ExactSort trains with the legacy sort-based split search instead of
+	// histogram binning — the reference implementation parity tests
+	// compare against (see TreeConfig.ExactSort).
+	ExactSort bool
 }
 
 func (c Config) withDefaults(nFeatures int) Config {
@@ -78,10 +82,22 @@ func TrainContext(ctx context.Context, x *mat.Dense, y []int, classes int, cfg C
 	oobVotes := mat.NewDense(n, classes)
 	oobSeen := make([]bool, n)
 
+	// Features are binned once per forest — the histogram split search of
+	// every tree shares the read-only codes. Binning consumes no
+	// randomness, so the exact-sort reference path stays seed-compatible.
+	var binned *Binning
+	if !cfg.ExactSort {
+		var err error
+		binned, err = BinFeaturesContext(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Trees are independent given their seed, so they train in parallel on
 	// the shared worker pool; seeds are pre-split sequentially so results
 	// are identical to the serial order regardless of scheduling.
-	treeCfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Features: cfg.Features}
+	treeCfg := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, Features: cfg.Features, ExactSort: cfg.ExactSort}
 	seeds := make([]*rng.Source, cfg.Trees)
 	for t := range seeds {
 		seeds[t] = root.Split()
@@ -98,7 +114,11 @@ func TrainContext(ctx context.Context, x *mat.Dense, y []int, classes int, cfg C
 			idx[i] = s
 			inBag[s] = true
 		}
-		f.Trees[t] = BuildTree(x, y, idx, classes, treeCfg, r)
+		if cfg.ExactSort {
+			f.Trees[t] = BuildTree(x, y, idx, classes, treeCfg, r)
+		} else {
+			f.Trees[t] = buildTreeBinned(x, binned, y, idx, classes, treeCfg, r)
+		}
 		inBags[t] = inBag
 	})
 	if err != nil {
@@ -176,11 +196,23 @@ func (f *Forest) Predict(x []float64) int {
 
 // PredictAll classifies every row of x.
 func (f *Forest) PredictAll(x *mat.Dense) []int {
-	out := make([]int, x.Rows())
-	for i := range out {
-		out[i] = f.Predict(x.Row(i))
-	}
+	out, _ := f.PredictAllContext(context.Background(), x)
 	return out
+}
+
+// PredictAllContext classifies every row of x, fanning rows out over the
+// worker pool carried by ctx (pipe.FromContext) — the batch path the
+// outdoor-comparison stage and the online classify handler share. Each
+// row writes its own output slot, so the result is deterministic. A
+// cancelled ctx stops the scan and returns ctx.Err().
+func (f *Forest) PredictAllContext(ctx context.Context, x *mat.Dense) ([]int, error) {
+	out := make([]int, x.Rows())
+	if err := pipe.FromContext(ctx).ForEach(ctx, x.Rows(), func(i int) {
+		out[i] = f.Predict(x.Row(i))
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Accuracy returns the fraction of rows of x whose prediction matches y.

@@ -45,9 +45,16 @@ type TreeConfig struct {
 	// Features is the number of features examined per split
 	// (0 = all features; forests pass ~sqrt(M)).
 	Features int
+	// ExactSort selects the legacy sort-based exact split search instead
+	// of the histogram-binned one. The two grow bit-identical trees
+	// whenever every feature column has at most MaxBins distinct values;
+	// the flag exists as the reference implementation for parity tests,
+	// not as a production mode.
+	ExactSort bool
 }
 
-// growContext carries shared state during recursive tree construction.
+// growContext carries shared state during recursive tree construction on
+// the legacy exact-sort path (TreeConfig.ExactSort).
 type growContext struct {
 	x       *mat.Dense
 	y       []int
@@ -58,7 +65,9 @@ type growContext struct {
 }
 
 // BuildTree grows a CART tree on the rows of x indexed by idx, with class
-// labels y in [0, classes). A nil idx uses every row.
+// labels y in [0, classes). A nil idx uses every row. The default split
+// search is histogram-binned (see Binning); TreeConfig.ExactSort selects
+// the sort-based reference search instead.
 func BuildTree(x *mat.Dense, y []int, idx []int, classes int, cfg TreeConfig, r *rng.Source) *Tree {
 	if len(y) != x.Rows() {
 		//lint:allow nopanic paired features and labels derive from one training set
@@ -66,6 +75,9 @@ func BuildTree(x *mat.Dense, y []int, idx []int, classes int, cfg TreeConfig, r 
 	}
 	if cfg.MinLeaf < 1 {
 		cfg.MinLeaf = 1
+	}
+	if !cfg.ExactSort {
+		return buildTreeBinned(x, BinFeatures(x), y, idx, classes, cfg, r)
 	}
 	if idx == nil {
 		idx = make([]int, x.Rows())
@@ -76,6 +88,236 @@ func BuildTree(x *mat.Dense, y []int, idx []int, classes int, cfg TreeConfig, r 
 	g := &growContext{x: x, y: y, classes: classes, cfg: cfg, r: r}
 	g.grow(idx, 0)
 	return &Tree{Nodes: g.nodes, Classes: classes}
+}
+
+// buildTreeBinned grows a CART tree with histogram-binned split finding.
+// The binning is typically shared across a whole forest; idx may be nil
+// (every row) and is copied into a scratch arena, never mutated.
+func buildTreeBinned(x *mat.Dense, bins *Binning, y []int, idx []int, classes int, cfg TreeConfig, r *rng.Source) *Tree {
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	n := x.Rows()
+	if idx != nil {
+		n = len(idx)
+	}
+	s := getScratch(x.Cols(), classes, n)
+	defer putScratch(s)
+	root := s.idx[:n]
+	if idx == nil {
+		for i := range root {
+			root[i] = i
+		}
+	} else {
+		copy(root, idx)
+	}
+	g := &binGrow{x: x, bins: bins, y: y, classes: classes, cfg: cfg, r: r, s: s}
+	g.grow(root, 0)
+	return &Tree{Nodes: g.nodes, Classes: classes}
+}
+
+// binGrow carries shared state during histogram-binned tree construction.
+type binGrow struct {
+	x       *mat.Dense
+	bins    *Binning
+	y       []int
+	classes int
+	cfg     TreeConfig
+	r       *rng.Source
+	nodes   []Node
+	s       *growScratch
+}
+
+// grow builds the subtree over idx — a slice of the scratch index arena
+// that sibling nodes partition in place — and returns its arena index.
+// The scratch counts buffer is done being read before either child
+// recurses, so one buffer serves every depth.
+func (g *binGrow) grow(idx []int, depth int) int {
+	counts := g.s.counts[:g.classes]
+	for c := range counts {
+		counts[c] = 0
+	}
+	for _, i := range idx {
+		counts[g.y[i]]++
+	}
+	nodeIdx := len(g.nodes)
+	g.nodes = append(g.nodes, Node{Feature: -1, Samples: len(idx)})
+
+	stop := pure(counts) ||
+		len(idx) < 2*g.cfg.MinLeaf ||
+		(g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth)
+	if !stop {
+		feature, threshold, ok := g.bestSplit(idx, counts)
+		if ok {
+			// Stable in-place partition: left-bound samples compact to the
+			// front of idx, right-bound samples spill to the aux arena and
+			// copy back behind them. Order matches the append-based
+			// partition of the exact path, so recursion order — and with
+			// it RNG consumption — is identical.
+			aux := g.s.aux
+			nl, na := 0, 0
+			for _, i := range idx {
+				if g.x.At(i, feature) <= threshold {
+					idx[nl] = i
+					nl++
+				} else {
+					aux[na] = i
+					na++
+				}
+			}
+			copy(idx[nl:], aux[:na])
+			if nl >= g.cfg.MinLeaf && na >= g.cfg.MinLeaf {
+				l := g.grow(idx[:nl], depth+1)
+				r := g.grow(idx[nl:], depth+1)
+				g.nodes[nodeIdx].Feature = feature
+				g.nodes[nodeIdx].Threshold = threshold
+				g.nodes[nodeIdx].Left = l
+				g.nodes[nodeIdx].Right = r
+				return nodeIdx
+			}
+		}
+	}
+	// Leaf.
+	probs := make([]float64, g.classes)
+	for c, n := range counts {
+		probs[c] = float64(n) / float64(len(idx))
+	}
+	g.nodes[nodeIdx].Probs = probs
+	return nodeIdx
+}
+
+// bestSplit finds the Gini-optimal split over a random feature subset by
+// accumulating a per-bin class-count histogram (one O(n) pass per feature
+// instead of an O(n log n) sort) and scanning bin boundaries cumulatively.
+// Candidate boundaries sit between consecutive bins that are non-empty at
+// this node — exactly the adjacent-distinct-value positions the exact
+// search visits — scanned in the same ascending order with the same
+// strict-improvement rule, so exact-mode columns reproduce its choices
+// bit for bit.
+func (g *binGrow) bestSplit(idx []int, parentCounts []int) (feature int, threshold float64, ok bool) {
+	nFeatures := g.x.Cols()
+	candidates := nFeatures
+	if g.cfg.Features > 0 && g.cfg.Features < nFeatures {
+		candidates = g.cfg.Features
+	}
+	perm := g.s.perm[:nFeatures]
+	g.r.PermInto(perm)
+	perm = perm[:candidates]
+
+	total := len(idx)
+	parentGini := gini(parentCounts, total)
+	bestGain := 1e-12
+	ok = false
+
+	// Parent sum of squared class counts, shared by every quantile-mode
+	// feature scan of this node.
+	parentSq := 0
+	for _, c := range parentCounts {
+		parentSq += c * c
+	}
+
+	leftCounts := g.s.left[:g.classes]
+	rightCounts := g.s.right[:g.classes]
+
+	// hist and binCount are all-zero on entry (the scratch invariant);
+	// each feature's fill is undone bin by bin as the boundary scan
+	// consumes it, so per-node cost tracks the bins actually touched
+	// instead of the full MaxBins × classes arena.
+	hist := g.s.hist
+	binCount := g.s.binCount
+	classes := g.classes
+	y := g.y
+
+	for _, f := range perm {
+		col := g.bins.codes.Col(f)
+		minBin, maxBin := MaxBins, -1
+		for _, i := range idx {
+			b := int(col[i])
+			binCount[b]++
+			hist[b*classes+y[i]]++
+			if b < minBin {
+				minBin = b
+			}
+			if b > maxBin {
+				maxBin = b
+			}
+		}
+
+		copy(rightCounts, parentCounts)
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		nLeft := 0
+		prev := -1
+		if g.bins.feats[f].Exact {
+			// Exact-mode scan: evaluate each boundary with the same gini()
+			// float sequence as the sort-based search — this is the path the
+			// bit-identical parity contract covers.
+			for b := minBin; b <= maxBin; b++ {
+				if binCount[b] == 0 {
+					continue
+				}
+				if prev >= 0 {
+					gl := gini(leftCounts, nLeft)
+					gr := gini(rightCounts, total-nLeft)
+					weighted := (float64(nLeft)*gl + float64(total-nLeft)*gr) / float64(total)
+					if gain := parentGini - weighted; gain > bestGain {
+						bestGain = gain
+						feature = f
+						threshold = g.bins.splitThreshold(f, prev, b)
+						ok = true
+					}
+				}
+				row := hist[b*classes : b*classes+classes]
+				for c, h := range row {
+					leftCounts[c] += h
+					rightCounts[c] -= h
+					row[c] = 0
+				}
+				nLeft += binCount[b]
+				binCount[b] = 0
+				prev = b
+			}
+			continue
+		}
+		// Quantile-mode scan: same boundaries, same ascending order and
+		// strict-improvement rule, but each side's Gini comes from integer
+		// sums of squared class counts maintained incrementally as bins
+		// cross the boundary — three divisions per boundary instead of one
+		// per class per side. Quantile bins are new in the histogram path,
+		// so no bit-level contract binds the arithmetic; the score is
+		// algebraically the same weighted Gini.
+		ssL, ssR := 0, parentSq
+		for b := minBin; b <= maxBin; b++ {
+			if binCount[b] == 0 {
+				continue
+			}
+			if prev >= 0 {
+				nRight := total - nLeft
+				weighted := 1 - (float64(ssL)/float64(nLeft)+float64(ssR)/float64(nRight))/float64(total)
+				if gain := parentGini - weighted; gain > bestGain {
+					bestGain = gain
+					feature = f
+					threshold = g.bins.splitThreshold(f, prev, b)
+					ok = true
+				}
+			}
+			row := hist[b*classes : b*classes+classes]
+			for c, h := range row {
+				if h != 0 {
+					ssL += h * (h + 2*leftCounts[c])
+					ssR += h * (h - 2*rightCounts[c])
+					leftCounts[c] += h
+					rightCounts[c] -= h
+					row[c] = 0
+				}
+			}
+			nLeft += binCount[b]
+			binCount[b] = 0
+			prev = b
+		}
+	}
+	return feature, threshold, ok
 }
 
 func classCounts(y []int, idx []int, classes int) []int {
@@ -91,8 +333,14 @@ func gini(counts []int, total int) float64 {
 		return 0
 	}
 	g := 1.0
+	ft := float64(total)
 	for _, c := range counts {
-		p := float64(c) / float64(total)
+		// Skipping zero counts is bit-identical (g - 0.0 == g exactly)
+		// and saves the division on the mostly-pure deep nodes.
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / ft
 		g -= p * p
 	}
 	return g

@@ -1,0 +1,37 @@
+package mat
+
+import "testing"
+
+func TestBinMatrixColumnMajorLayout(t *testing.T) {
+	m := NewBinMatrix(3, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 2)
+	m.Set(2, 0, 3)
+	m.Set(0, 1, 4)
+	m.Set(2, 1, 6)
+	for i := 0; i < 3; i++ {
+		if got := m.Col(0)[i]; got != uint8(i+1) {
+			t.Fatalf("Col(0)[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+	if m.At(0, 1) != 4 || m.At(1, 1) != 0 || m.At(2, 1) != 6 {
+		t.Fatalf("column 1 = %v", m.Col(1))
+	}
+	// Col must be a view, not a copy.
+	m.Col(1)[1] = 5
+	if m.At(1, 1) != 5 {
+		t.Fatal("Col(1) is not a view into the matrix")
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestBinMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBinMatrix(0, 4)
+}

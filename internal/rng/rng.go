@@ -94,11 +94,19 @@ func mul64(a, b uint64) (hi, lo uint64) {
 // Perm returns a random permutation of [0, n).
 func (r *Source) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), drawing from
+// the source exactly as Perm does: callers that switch between the two (to
+// reuse a scratch buffer on a hot path) consume identical generator state
+// and therefore stay bit-compatible with Perm-based code.
+func (r *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
 }
 
 // Shuffle randomizes the order of n elements using the provided swap

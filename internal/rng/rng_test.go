@@ -362,3 +362,22 @@ func BenchmarkDirichlet73(b *testing.B) {
 		r.Dirichlet(alpha, out)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		a := New(42)
+		b := New(42)
+		want := a.Perm(n)
+		got := make([]int, n)
+		b.PermInto(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d: PermInto diverges from Perm at %d: %v vs %v", n, i, got, want)
+			}
+		}
+		// Both sources must land in the same state.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: PermInto consumed different generator state than Perm", n)
+		}
+	}
+}

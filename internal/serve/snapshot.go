@@ -8,7 +8,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/forest"
 	"repro/internal/mat"
-	"repro/internal/pipe"
 	"repro/internal/rca"
 )
 
@@ -90,11 +89,7 @@ func (m *ModelSnapshot) Classify(ctx context.Context, rows [][]float64) ([]int, 
 	if err != nil {
 		return nil, fmt.Errorf("serve: Eq. 5 transform: %w", err)
 	}
-	out := make([]int, len(rows))
-	if err := pipe.FromContext(ctx).ForEach(ctx, len(rows), func(i int) {
-		out[i] = m.Forest.Predict(features.Row(i))
-	}); err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Batch prediction over the pool carried by ctx — the same
+	// forest.PredictAllContext path the offline outdoor stage uses.
+	return m.Forest.PredictAllContext(ctx, features)
 }

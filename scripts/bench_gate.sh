@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_gate.sh — benchmark-regression gate.
+#
+# Reruns the pipeline at the committed baseline's shape and fails (exit 1,
+# with a per-stage table) when any stage — or the total — slows beyond the
+# tolerance. The candidate takes the per-stage best over BENCH_GATE_RUNS
+# reruns, and stages under the floor are held to the floor's limit, so
+# scheduler noise on shared runners doesn't trip the gate.
+#
+# Knobs (environment):
+#   BENCH_GATE_SEED       generator seed              (default 1)
+#   BENCH_GATE_SCALE      antenna-population scale    (default 0.25)
+#   BENCH_GATE_TREES      surrogate forest size       (default 100)
+#   BENCH_GATE_TOLERANCE  allowed fractional slowdown (default 0.25 = +25%)
+#   BENCH_GATE_FLOOR_MS   per-stage noise floor in ms (default 120)
+#   BENCH_GATE_RUNS       reruns, best wall gated     (default 2)
+#   BENCH_GATE_BASELINE   baseline JSON               (default BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${BENCH_GATE_SEED:-1}"
+SCALE="${BENCH_GATE_SCALE:-0.25}"
+TREES="${BENCH_GATE_TREES:-100}"
+TOLERANCE="${BENCH_GATE_TOLERANCE:-0.25}"
+FLOOR_MS="${BENCH_GATE_FLOOR_MS:-120}"
+RUNS="${BENCH_GATE_RUNS:-2}"
+BASELINE="${BENCH_GATE_BASELINE:-BENCH_baseline.json}"
+
+exec go run ./cmd/icnbench \
+  -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
+  -gate "$BASELINE" \
+  -gatetolerance "$TOLERANCE" \
+  -gatefloor "$FLOOR_MS" \
+  -gateruns "$RUNS"

@@ -10,6 +10,10 @@
 # degradation (429/503/retries) instead of loss or deadlock. The two runs
 # must agree on the printed fault-plan digest: the decision streams are a
 # pure function of the seed. Run via `make chaos-smoke`.
+#
+# Set SMOKE_LOG_DIR to keep the soak transcripts and JSON records after
+# the run (CI uploads them as artifacts on failure); by default everything
+# lives and dies in a temp dir.
 set -euo pipefail
 
 SEED="${CHAOS_SEED:-7}"
@@ -18,7 +22,13 @@ SCALE=0.05
 TREES=15
 
 tmp="$(mktemp -d)"
-cleanup() { rm -rf "$tmp"; }
+cleanup() {
+  if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp -f "$tmp"/run_*.txt "$tmp"/chaos_*.json "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
 trap cleanup EXIT
 
 echo "chaos-smoke: building icnbench"

@@ -6,6 +6,10 @@
 # operator would: ingest a probe batch, classify outdoor antennas, read
 # /v1/stats and /metrics, and stop the server with SIGTERM, asserting a
 # clean drained exit. Run via `make serve-smoke`.
+#
+# Set SMOKE_LOG_DIR to keep the server log and response bodies after the
+# run (CI uploads them as artifacts on failure); by default everything
+# lives and dies in a temp dir.
 set -euo pipefail
 
 ADDR="${ICNSERVE_ADDR:-127.0.0.1:9473}"
@@ -18,6 +22,10 @@ server_pid=""
 cleanup() {
   if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
     kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp -f "$tmp"/*.log "$tmp"/*.out "$SMOKE_LOG_DIR"/ 2>/dev/null || true
   fi
   rm -rf "$tmp"
 }
