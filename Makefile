@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint test race bench bench-gate bench-baseline artifacts serve-smoke serve-bench chaos-smoke fuzz-short
+.PHONY: build lint test race bench bench-gate bench-baseline artifacts serve-smoke refresh-smoke serve-bench chaos-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ artifacts:
 # ingest a probe batch, classify, scrape /metrics, stop it gracefully.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the continuous-refresh loop: ingest → background
+# warm retrain → revision swap, observed and audited from the client side
+# (see DESIGN.md §12).
+refresh-smoke:
+	./scripts/refresh_smoke.sh
 
 # Sustained concurrent classify load against an in-process icnserve.
 serve-bench:

@@ -18,6 +18,7 @@ import (
 	"repro/internal/pipe"
 	"repro/internal/probe"
 	"repro/internal/serve"
+	"repro/internal/services"
 	"repro/internal/synth"
 )
 
@@ -83,6 +84,20 @@ type chaosScheduleRecord struct {
 	InjectedDelays  int    `json:"injected_delays"`
 }
 
+// swapStormRecord is the refresh swap-storm leg's outcome in the
+// -chaosjson output.
+type swapStormRecord struct {
+	Seed           string `json:"seed"`
+	Swaps          int    `json:"swaps"`
+	Refreshes      int    `json:"refreshes"`
+	Escalations    int    `json:"escalations"`
+	ClassifyOK     int    `json:"classify_ok"`
+	ClassifyShed   int    `json:"classify_shed"`
+	RevisionsSeen  int    `json:"revisions_seen"`
+	InjectedErrs   int    `json:"injected_errs"`
+	InjectedDelays int    `json:"injected_delays"`
+}
+
 // chaosRecord is the -chaosjson schema.
 type chaosRecord struct {
 	Seed       uint64                `json:"seed"`
@@ -92,11 +107,16 @@ type chaosRecord struct {
 	RevisionA  uint64                `json:"revision_a"`
 	RevisionB  uint64                `json:"revision_b"`
 	Schedules  []chaosScheduleRecord `json:"schedules"`
+	SwapStorm  *swapStormRecord      `json:"swap_storm,omitempty"`
 }
 
 // runChaos trains two model snapshots (a "retrain" pair over the same
-// synthetic population) and soaks them under schedules seeded fault plans.
-func runChaos(cfg analysis.Config, schedules int, outPath string) error {
+// synthetic population) and soaks them under schedules seeded fault plans,
+// then runs the refresher swap storm: swaps consecutive refresh-driven
+// snapshot publishes raced against classify load under the same fault
+// rules, each response audited against the offline result of whichever
+// revision it echoes.
+func runChaos(cfg analysis.Config, schedules, swaps int, outPath string) error {
 	if schedules <= 0 {
 		schedules = 3
 	}
@@ -144,8 +164,8 @@ func runChaos(cfg analysis.Config, schedules int, outPath string) error {
 		PlanDigest: fmt.Sprintf("%#016x", plan),
 		RevisionA:  snapA.Revision, RevisionB: snapB.Revision,
 	}
-	reproduce := fmt.Sprintf("go run ./cmd/icnbench -chaos -seed %d -chaosschedules %d -scale %g -trees %d",
-		cfg.Seed, schedules, cfg.Scale, cfg.ForestTrees)
+	reproduce := fmt.Sprintf("go run ./cmd/icnbench -chaos -seed %d -chaosschedules %d -chaosswaps %d -scale %g -trees %d",
+		cfg.Seed, schedules, swaps, cfg.Scale, cfg.ForestTrees)
 	for i := 0; i < schedules; i++ {
 		si := scheduleSeed(cfg.Seed, i)
 		sr, err := runChaosSchedule(si, rules, snapA, snapB, resA, labels)
@@ -160,6 +180,20 @@ func runChaos(cfg analysis.Config, schedules int, outPath string) error {
 			sr.ClassifyOK, sr.ClassifyShed, sr.Swaps, sr.ExportBatches, sr.ExportRetries,
 			sr.InjectedErrs, sr.InjectedDelays)
 		rec.Schedules = append(rec.Schedules, sr)
+	}
+
+	if swaps > 0 {
+		stormSeed := scheduleSeed(cfg.Seed, schedules)
+		ss, err := runSwapStorm(stormSeed, rules, resA, swaps)
+		if err != nil {
+			fmt.Printf("icnbench: chaos swap storm FAILED (seed %#016x): %v\n", stormSeed, err)
+			fmt.Printf("icnbench: reproduce with: %s\n", reproduce)
+			return fmt.Errorf("icnbench: chaos swap storm: %w", err)
+		}
+		fmt.Printf("icnbench: chaos swap storm OK — seed %#016x swaps=%d refreshes=%d escalations=%d classify_ok=%d shed=%d revisions_seen=%d faults(err=%d delay=%d)\n",
+			stormSeed, ss.Swaps, ss.Refreshes, ss.Escalations, ss.ClassifyOK, ss.ClassifyShed,
+			ss.RevisionsSeen, ss.InjectedErrs, ss.InjectedDelays)
+		rec.SwapStorm = &ss
 	}
 	fmt.Printf("icnbench: chaos PASS — %d schedules, all invariants held; reproduce with: %s\n", schedules, reproduce)
 
@@ -433,6 +467,270 @@ func runChaosSchedule(seed uint64, rules map[fault.Site]fault.Rule,
 	for _, c := range inj.Stats() {
 		out.InjectedErrs += int(c.Errs)
 		out.InjectedDelays += int(c.Delays)
+	}
+	if len(legErrs) > 0 {
+		return out, legErrs[0]
+	}
+	return out, nil
+}
+
+// runSwapStorm closes the ingest → refresh → swap loop under fire: a
+// Refresher drives at least `swaps` consecutive snapshot publishes — each
+// seeded by fresh aggregates landing through the faulted fold path — while
+// classify clients hammer the server throughout. Every 200 must match the
+// offline OutdoorLabels of the exact revision the response echoes
+// (resolved through the refresher's revision registry), so the
+// served↔offline consistency invariant is audited across the entire swap
+// history, not just a retrain pair.
+func runSwapStorm(seed uint64, rules map[fault.Site]fault.Rule, base *analysis.Result, swaps int) (swapStormRecord, error) {
+	var out swapStormRecord
+	out.Seed = fmt.Sprintf("%#016x", seed)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	inj := fault.New(seed, rules)
+	snap, err := serve.NewModelSnapshot(base)
+	if err != nil {
+		return out, err
+	}
+	srv, err := serve.New(snap, nil, serve.Config{QueueDepth: 64, IngestWorkers: 2, Faults: inj})
+	if err != nil {
+		return out, err
+	}
+	if err := srv.Start(); err != nil {
+		return out, err
+	}
+	url := "http://" + srv.Addr().String()
+
+	// Interval: time.Hour — the storm paces refreshes by swap count, not
+	// wall time, so RefreshOnce is driven manually. History must outlast
+	// the storm: a response may echo any revision ever published.
+	ref, err := serve.NewRefresher(srv, base, serve.RefreshConfig{
+		Interval: time.Hour,
+		History:  swaps + 16,
+	})
+	if err != nil {
+		sdCtx, sdCancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer sdCancel()
+		_ = srv.Shutdown(sdCtx)
+		return out, err
+	}
+
+	outdoor := base.Dataset.OutdoorTraffic
+	nVec := 32
+	if nVec > outdoor.Rows() {
+		nVec = outdoor.Rows()
+	}
+	var creq serve.ClassifyRequest
+	for i := 0; i < nVec; i++ {
+		creq.Antennas = append(creq.Antennas, serve.AntennaVector{
+			ID: uint32(i), Traffic: outdoor.Row(i),
+		})
+	}
+	classifyBody, err := json.Marshal(creq)
+	if err != nil {
+		return out, err
+	}
+
+	var (
+		mu           sync.Mutex
+		legErrs      []error
+		revSeen      = map[uint64]bool{}
+		classifyOK   int
+		classifyShed int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		legErrs = append(legErrs, err)
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(legErrs) > 0
+	}
+
+	// Classify clients run for the storm's whole lifetime so every swap
+	// races in-flight requests.
+	stopClients := make(chan struct{})
+	var clients pipe.Tasks
+	const classifyClients = 3
+	for c := 0; c < classifyClients; c++ {
+		c := c
+		clients.Go(func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			for {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				resp, err := client.Post(url+"/v1/classify", "application/json", bytes.NewReader(classifyBody))
+				if err != nil {
+					fail(fmt.Errorf("swap-storm classify %d: %w", c, err))
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					mu.Lock()
+					classifyShed++
+					mu.Unlock()
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("swap-storm classify %d: status %d: %s", c, resp.StatusCode, body))
+					return
+				}
+				var cr serve.ClassifyResponse
+				if err := json.Unmarshal(body, &cr); err != nil {
+					fail(fmt.Errorf("swap-storm classify %d: %w", c, err))
+					return
+				}
+				offline, ok := ref.ResultFor(cr.ModelRevision)
+				if !ok {
+					fail(fmt.Errorf("swap-storm classify %d: response echoes revision %d with no registered offline result", c, cr.ModelRevision))
+					return
+				}
+				for _, v := range cr.Results {
+					if v.Cluster != offline.OutdoorLabels[v.ID] {
+						fail(fmt.Errorf("swap-storm classify %d: antenna %d served cluster %d under revision %d, offline labels say %d",
+							c, v.ID, v.Cluster, cr.ModelRevision, offline.OutdoorLabels[v.ID]))
+						return
+					}
+				}
+				mu.Lock()
+				classifyOK++
+				revSeen[cr.ModelRevision] = true
+				mu.Unlock()
+			}
+		})
+	}
+
+	// Storm loop: ingest a fresh batch over HTTP (through the faulted fold
+	// path), wait for it to clear the queue, refresh, count the swap.
+	// Rotating antennas and growing volumes keep every fold perturbing the
+	// Eq. 5 shares, so each refresh mints a fresh fingerprint; periodic
+	// wide bursts push reassignment toward the escalation path.
+	nIndoor := base.Dataset.Traffic.Rows()
+	ingestClient := &http.Client{Timeout: 30 * time.Second}
+	const perBatch = 25
+	ackedRecords := 0
+	maxIters := 3*swaps + 10
+	for iter := 0; out.Swaps < swaps && !failed(); iter++ {
+		if iter >= maxIters {
+			fail(fmt.Errorf("swap-storm: only %d/%d swaps after %d refresh attempts", out.Swaps, swaps, iter))
+			break
+		}
+		if ctx.Err() != nil {
+			fail(fmt.Errorf("swap-storm: %w", ctx.Err()))
+			break
+		}
+		var stream bytes.Buffer
+		pw := probe.NewWriter(&stream)
+		spread := 1
+		if iter%7 == 6 {
+			spread = 17 // burst across distant antennas
+		}
+		writeErr := error(nil)
+		for j := 0; j < perBatch; j++ {
+			// Real catalog domains: the storm needs the fold to land in the
+			// classified traffic matrix, or the refresh has nothing to do.
+			rec := probe.Record{
+				Hour: uint32(j % 24), AntennaID: uint32((iter*13 + j*spread) % nIndoor),
+				Protocol: probe.TCP, ServerPort: 443,
+				ServerName: probe.DomainOf((iter + j) % services.M),
+				DownBytes:  (1 + uint64(iter%5)) << 20, UpBytes: 1 << 16,
+			}
+			if err := pw.Write(rec); err != nil {
+				writeErr = err
+				break
+			}
+		}
+		if writeErr == nil {
+			writeErr = pw.Flush()
+		}
+		if writeErr != nil {
+			fail(fmt.Errorf("swap-storm ingest %d: %w", iter, writeErr))
+			break
+		}
+
+		// 429/503 under queue pressure is sanctioned degradation: back off
+		// and re-send until the batch is acked.
+		landed := false
+		for attempt := 0; attempt < 100 && ctx.Err() == nil; attempt++ {
+			resp, err := ingestClient.Post(url+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream.Bytes()))
+			if err != nil {
+				fail(fmt.Errorf("swap-storm ingest %d: %w", iter, err))
+				break
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				landed = true
+				ackedRecords += perBatch
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			fail(fmt.Errorf("swap-storm ingest %d: unexpected status %d", iter, resp.StatusCode))
+			break
+		}
+		if !landed {
+			if !failed() {
+				fail(fmt.Errorf("swap-storm ingest %d: batch never acked", iter))
+			}
+			break
+		}
+		// The ack is a durability promise, not a visibility one: wait for
+		// the batch to clear the faulted fold path so the refresh sees it.
+		for srv.Sink().Snapshot().Records < ackedRecords && ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+
+		rctx, rcancel := context.WithTimeout(ctx, 2*time.Minute)
+		ro, err := ref.RefreshOnce(rctx)
+		rcancel()
+		if err != nil {
+			fail(fmt.Errorf("swap-storm refresh %d: %w", iter, err))
+			break
+		}
+		out.Refreshes++
+		if ro.Stats.Escalated {
+			out.Escalations++
+		}
+		if ro.Swapped {
+			out.Swaps++
+		}
+	}
+
+	close(stopClients)
+	clients.Wait()
+
+	// The drain itself stays bounded even with the storm's history behind
+	// it.
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer sdCancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		fail(fmt.Errorf("swap-storm shutdown (possible deadlock): %w", err))
+	}
+
+	mu.Lock()
+	out.ClassifyOK = classifyOK
+	out.ClassifyShed = classifyShed
+	out.RevisionsSeen = len(revSeen)
+	mu.Unlock()
+	for _, c := range inj.Stats() {
+		out.InjectedErrs += int(c.Errs)
+		out.InjectedDelays += int(c.Delays)
+	}
+	if out.Swaps < swaps {
+		if len(legErrs) > 0 {
+			return out, legErrs[0]
+		}
+		return out, fmt.Errorf("swap-storm: %d swaps, want >= %d", out.Swaps, swaps)
 	}
 	if len(legErrs) > 0 {
 		return out, legErrs[0]

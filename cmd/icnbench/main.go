@@ -53,6 +53,7 @@ func main() {
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "serving benchmark output path (with -serve)")
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection soak against a live server instead of regenerating artifacts")
 	chaosSchedules := flag.Int("chaosschedules", 3, "number of seeded fault schedules (with -chaos)")
+	chaosSwaps := flag.Int("chaosswaps", 50, "refresh-driven snapshot swaps the swap-storm leg must complete with parity held (with -chaos; 0 disables the leg)")
 	chaosJSON := flag.String("chaosjson", "", "chaos soak record output path (with -chaos, optional)")
 	gatePath := flag.String("gate", "", "baseline stage-timing JSON: rerun the pipeline and fail on per-stage wall-time regressions")
 	gateCompare := flag.String("gatecompare", "", "candidate stage-timing JSON to compare instead of rerunning (with -gate)")
@@ -68,7 +69,7 @@ func main() {
 		ForestTrees: *trees,
 	}
 	if *chaos {
-		if err := runChaos(cfg, *chaosSchedules, *chaosJSON); err != nil {
+		if err := runChaos(cfg, *chaosSchedules, *chaosSwaps, *chaosJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}

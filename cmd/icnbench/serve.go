@@ -13,11 +13,16 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/pipe"
+	"repro/internal/probe"
 	"repro/internal/serve"
+	"repro/internal/services"
 )
 
 // serveBenchRecord is the BENCH_serve.json schema: one snapshot of the
-// serving path's sustained throughput and latency under concurrent load.
+// serving path's sustained throughput and latency under concurrent load,
+// plus one warm refresh cycle. TotalMS and Stages mirror the benchRecord
+// shape so `icnbench -gate BENCH_serve.json -gatecompare <fresh>` ratchets
+// the serving latencies exactly like the pipeline stages.
 type serveBenchRecord struct {
 	Seed          uint64  `json:"seed"`
 	Scale         float64 `json:"scale"`
@@ -38,6 +43,10 @@ type serveBenchRecord struct {
 
 	IngestRecords int64 `json:"ingest_records"`
 	CacheHits     int64 `json:"cache_hits"`
+
+	// Gate-comparable rows: classify_p50, classify_p99, refresh_warm.
+	TotalMS float64     `json:"total_ms"`
+	Stages  []stageJSON `json:"stages"`
 }
 
 // runServeBench stands up an in-process icnserve instance around a freshly
@@ -132,6 +141,37 @@ func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath st
 		return all[i]
 	}
 
+	// Refresh leg: fold a deterministic ingest batch over the training
+	// campaign and time one warm refresh cycle — the latency an operator
+	// pays per background model update.
+	ref, err := serve.NewRefresher(srv, res, serve.RefreshConfig{Interval: time.Hour})
+	if err != nil {
+		return err
+	}
+	nIndoor := res.Dataset.Traffic.Rows()
+	recs := make([]probe.Record, 0, 500)
+	for i := 0; i < 500; i++ {
+		recs = append(recs, probe.Record{
+			Hour: uint32(i % 24), AntennaID: uint32(i % nIndoor),
+			Protocol: probe.TCP, ServerPort: 443,
+			ServerName: probe.DomainOf(i % services.M),
+			DownBytes:  2 << 20, UpBytes: 1 << 18,
+		})
+	}
+	srv.Sink().AddBatch(recs)
+	rctx, rcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	rout, err := ref.RefreshOnce(rctx)
+	rcancel()
+	if err != nil {
+		return fmt.Errorf("icnbench: serve refresh leg: %w", err)
+	}
+	if !rout.Swapped {
+		return fmt.Errorf("icnbench: serve refresh leg published no new revision (drift %.4f)", rout.Stats.Drift)
+	}
+	refreshMS := float64(rout.Duration.Microseconds()) / 1000
+	fmt.Fprintf(os.Stderr, "icnbench: warm refresh published revision %016x in %.1fms (reassigned %d, escalated %v)\n",
+		rout.Revision, refreshMS, rout.Stats.Reassigned, rout.Stats.Escalated)
+
 	st := srv.Stats()
 	rec := serveBenchRecord{
 		Seed: cfg.Seed, Scale: cfg.Scale, Trees: cfg.ForestTrees,
@@ -147,6 +187,12 @@ func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath st
 		MaxMS:         all[len(all)-1],
 		IngestRecords: st.IngestRecords,
 		CacheHits:     st.CacheHits,
+	}
+	rec.TotalMS = rec.WallMS + refreshMS
+	rec.Stages = []stageJSON{
+		{Name: "classify_p50", WallMS: rec.P50MS},
+		{Name: "classify_p99", WallMS: rec.P99MS},
+		{Name: "refresh_warm", WallMS: refreshMS},
 	}
 
 	shutdownStart := time.Now()

@@ -8,7 +8,15 @@
 //
 //	icnserve -addr 127.0.0.1:9470 [-seed N] [-scale F] [-trees N]
 //	         [-queue N] [-workers N] [-timeout D] [-cache N]
+//	         [-refresh-interval D] [-drift-threshold F]
 //	icnserve -sample DIR [-seed N] [-scale F]   # write curl-able bodies, exit
+//
+// With -refresh-interval > 0 the service closes the ingest → retrain → swap
+// loop: a background controller periodically folds the ingested aggregates
+// over the training campaign, re-runs the warm pipeline on the antennas
+// that changed (escalating to a full re-clustering past -drift-threshold),
+// and atomically swaps in the retrained snapshot. /v1/model reports the
+// refresh telemetry.
 //
 // With -sample the command does not serve: it writes DIR/ingest.bin (a
 // probe wire-format batch) and DIR/classify.json (a classify request for
@@ -43,6 +51,9 @@ func main() {
 	workers := flag.Int("workers", 2, "ingest drain workers")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	cacheSize := flag.Int("cache", 4096, "classify LRU capacity (entries)")
+	refreshEvery := flag.Duration("refresh-interval", 0, "continuous model refresh period (0 disables the refresh loop)")
+	driftThreshold := flag.Float64("drift-threshold", analysis.DefaultDriftThreshold,
+		"reassigned-antenna fraction past which a refresh re-runs the full clustering")
 	sample := flag.String("sample", "", "write sample ingest/classify request bodies to this directory and exit")
 	flag.Parse()
 
@@ -79,6 +90,22 @@ func main() {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
+	var refresher *serve.Refresher
+	if *refreshEvery > 0 {
+		refresher, err = serve.NewRefresher(srv, res, serve.RefreshConfig{
+			Interval:       *refreshEvery,
+			DriftThreshold: *driftThreshold,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "icnserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		refresher.Start()
+		fmt.Fprintf(os.Stderr, "icnserve: refresh loop every %s (drift threshold %.3f)\n",
+			*refreshEvery, *driftThreshold)
+	}
 	fmt.Printf("icnserve: serving on http://%s (SIGINT to stop)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,6 +114,9 @@ func main() {
 	stop()
 
 	fmt.Fprintln(os.Stderr, "icnserve: shutting down, draining ingest queue...")
+	if refresher != nil {
+		refresher.Stop()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -23,10 +23,13 @@
 //     attach with WithPool).
 //   - Serving: NewModelSnapshot, ModelSnapshot, NewServer, Server,
 //     ServeConfig, ServeStats, ClassifyRequest, AntennaVector,
-//     ClassifyResponse, AntennaVerdict.
+//     ClassifyResponse, AntennaVerdict, and the continuous-refresh
+//     controller NewRefresher, Refresher, RefreshConfig, RefreshInfo.
 //
-// The pre-context entrypoints (RunContext, RunOnDataset,
-// RunOnDatasetContext) remain as thin deprecated wrappers over Run.
+// Run is the only pipeline entrypoint: context-first, with functional
+// options. The pre-option wrappers (RunContext, RunOnDataset,
+// RunOnDatasetContext) have been removed; spell them as Run(ctx, cfg),
+// Run(ctx, cfg, WithDataset(ds)) respectively.
 //
 // # Quick start
 //
@@ -157,30 +160,6 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (*Result, error) {
 	return analysis.RunContext(ctx, cfg)
 }
 
-// RunContext executes the full pipeline with caller-controlled
-// cancellation.
-//
-// Deprecated: RunContext is the pre-option spelling of Run; call Run
-// directly.
-func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	return Run(ctx, cfg)
-}
-
-// RunOnDataset executes the pipeline on an existing dataset.
-//
-// Deprecated: use Run with WithDataset.
-func RunOnDataset(ds *Dataset, cfg Config) (*Result, error) {
-	return Run(context.Background(), cfg, WithDataset(ds))
-}
-
-// RunOnDatasetContext executes the pipeline on an existing dataset with
-// caller-controlled cancellation.
-//
-// Deprecated: use Run with WithDataset.
-func RunOnDatasetContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
-	return Run(ctx, cfg, WithDataset(ds))
-}
-
 // NewSuite runs the pipeline and wraps it in the experiment suite.
 func NewSuite(cfg Config) (*Suite, error) { return experiments.NewSuite(cfg) }
 
@@ -246,3 +225,22 @@ type ClassifyResponse = serve.ClassifyResponse
 
 // AntennaVerdict is one antenna's inferred demand cluster.
 type AntennaVerdict = serve.AntennaVerdict
+
+// Refresher closes the ingest → retrain → swap loop on a Server: it folds
+// live aggregates over the training campaign, re-runs the warm pipeline on
+// the antennas that changed (escalating to a full re-clustering past the
+// drift threshold), and atomically publishes the retrained snapshot.
+type Refresher = serve.Refresher
+
+// RefreshConfig parameterizes a Refresher.
+type RefreshConfig = serve.RefreshConfig
+
+// RefreshInfo is the refresh telemetry served under /v1/model.
+type RefreshInfo = serve.RefreshInfo
+
+// NewRefresher wires a continuous-refresh controller to a server and the
+// offline result its current snapshot was trained from. Call Start to run
+// the tick loop and Stop for a drained halt.
+func NewRefresher(srv *Server, base *Result, cfg RefreshConfig) (*Refresher, error) {
+	return serve.NewRefresher(srv, base, cfg)
+}

@@ -34,9 +34,8 @@ func TestRunOnSharedDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated wrapper must stay behaviourally identical to the
-	// option form.
-	b, err := RunOnDataset(ds, Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	// Re-running on the same shared dataset must be deterministic.
+	b, err := Run(context.Background(), Config{Seed: 5, Scale: 0.05, ForestTrees: 15}, WithDataset(ds))
 	if err != nil {
 		t.Fatal(err)
 	}

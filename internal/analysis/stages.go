@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/forest"
+	"repro/internal/mat"
+	"repro/internal/pipe"
+	"repro/internal/rca"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// This file defines the pipeline's composable sub-graphs. Each Add*Stages
+// builder registers a few named stages on a pipe.Graph and communicates
+// through small typed artifact structs instead of closure-captured Result
+// fields, so callers can compose exactly the sub-graphs they need: the cold
+// pipeline (RunOnDatasetContext) wires features → clustering → model, while
+// the warm refresh path (WarmRefreshContext) reuses the feature and model
+// sub-graphs around a centroid-assignment stage of its own.
+
+// FeatureArtifacts carries the Section 4.1 feature-stage outputs.
+type FeatureArtifacts struct {
+	// RSCA is the N × M clustering feature matrix (Eq. 2).
+	RSCA *mat.Dense
+	// SqDists holds the condensed squared pairwise distances. The linkage
+	// stage consumes (mutates) it and nils the field.
+	SqDists *mat.Condensed
+	// Dists is the Euclidean variant shared read-only with the selection
+	// sweep and any post-run consumer (cophenetic fidelity, ablations).
+	Dists *mat.Condensed
+}
+
+// ClusterArtifacts carries the Section 4.2 clustering outputs — either from
+// the cold linkage/cut stages or from the warm centroid-assignment stage.
+type ClusterArtifacts struct {
+	// Linkage is the Ward dendrogram (nil on a non-escalated warm pass).
+	Linkage *cluster.Linkage
+	// Selection and Knees are the Fig. 2 model-selection sweep (cold only).
+	Selection []cluster.SelectionPoint
+	Knees     []int
+	// K is the flat cluster count used downstream.
+	K int
+	// Alignment maps raw cut labels to aligned paper ids (cold only).
+	Alignment []int
+	// Labels holds one aligned cluster id per indoor antenna.
+	Labels []int
+}
+
+// ModelArtifacts carries the Section 5 model outputs.
+type ModelArtifacts struct {
+	// Surrogate is the random forest of Section 5.1.2 and
+	// SurrogateAccuracy its training accuracy on the cluster labels.
+	Surrogate         *forest.Forest
+	SurrogateAccuracy float64
+	// Contingency is the cluster × environment table behind Figs. 6-8.
+	Contingency *stats.Contingency
+	// OutdoorLabels and OutdoorShare are the Section 5.3 outputs.
+	OutdoorLabels []int
+	OutdoorShare  []float64
+}
+
+// AddRSCAStage registers the "rsca" stage: the Eq. 1/2 feature transform
+// over the traffic matrix, with structural validation. k is checked against
+// the population so downstream cuts cannot be asked for more clusters than
+// antennas. Invalid features surface as a stage error instead of a panic.
+func AddRSCAStage(g *pipe.Graph, traffic *mat.Dense, k int, out *FeatureArtifacts) {
+	g.Add("rsca", nil, func(ctx context.Context) error {
+		if traffic == nil || traffic.Rows() < 2 {
+			return fmt.Errorf("analysis: need at least 2 antennas to cluster")
+		}
+		out.RSCA = rca.RSCA(traffic)
+		if err := rca.Validate(out.RSCA); err != nil {
+			return fmt.Errorf("invalid RSCA: %w", err)
+		}
+		if k < 1 || k > out.RSCA.Rows() {
+			return fmt.Errorf("analysis: K=%d outside [1,%d]", k, out.RSCA.Rows())
+		}
+		return nil
+	})
+}
+
+// AddFeatureStages registers the feature sub-graph: "rsca" followed by
+// "distances", which computes the condensed squared pairwise distances once
+// and derives the Euclidean copy shared with every downstream consumer.
+func AddFeatureStages(g *pipe.Graph, traffic *mat.Dense, k int, out *FeatureArtifacts) {
+	AddRSCAStage(g, traffic, k, out)
+	g.Add("distances", []string{"rsca"}, func(ctx context.Context) error {
+		var err error
+		out.SqDists, err = mat.PairwiseSqDistContext(ctx, out.RSCA)
+		if err != nil {
+			return err
+		}
+		out.Dists = cluster.PairwiseDistancesFromSq(out.SqDists)
+		return nil
+	})
+}
+
+// AddClusterStages registers the cold clustering sub-graph on top of the
+// feature stages: "linkage" (Ward from the shared squared distances),
+// "selection" (the Fig. 2 Silhouette/Dunn sweep, concurrent with everything
+// downstream of the flat cut) and "labels" (flat cut plus alignment to the
+// paper's cluster numbering through the ground-truth archetypes —
+// validation/reporting only).
+func AddClusterStages(g *pipe.Graph, ds *synth.Dataset, cfg Config, feats *FeatureArtifacts, out *ClusterArtifacts) {
+	g.Add("linkage", []string{"distances"}, func(ctx context.Context) error {
+		out.Linkage = cluster.WardFromSqDistances(feats.SqDists)
+		feats.SqDists = nil // consumed
+		return nil
+	})
+
+	g.Add("selection", []string{"linkage"}, func(ctx context.Context) error {
+		out.Selection = cluster.SweepK(out.Linkage, feats.Dists, 2, cfg.SweepKMax)
+		out.Knees = cluster.Knees(out.Selection, 3)
+		return nil
+	})
+
+	g.Add("labels", []string{"linkage"}, func(ctx context.Context) error {
+		out.K = cfg.K
+		rawLabels, err := out.Linkage.Cut(out.K)
+		if err != nil {
+			return fmt.Errorf("flat cut: %w", err)
+		}
+		out.Alignment = alignLabels(rawLabels, ds, out.K)
+		out.Labels = make([]int, len(rawLabels))
+		for i, l := range rawLabels {
+			out.Labels[i] = out.Alignment[l]
+		}
+		return nil
+	})
+}
+
+// AddModelStages registers the model sub-graph: "forest" (the Section 5.1.2
+// surrogate on the cluster labels), "contingency" (Section 5.2 environment
+// association) and "outdoor" (Section 5.3 classification of the outdoor
+// population against the indoor reference). labelsDep names the stage that
+// fills clus ("labels" on the cold path, "assign" on the warm path).
+func AddModelStages(g *pipe.Graph, ds *synth.Dataset, cfg Config, feats *FeatureArtifacts, clus *ClusterArtifacts, out *ModelArtifacts, labelsDep string) {
+	g.Add("forest", []string{labelsDep}, func(ctx context.Context) error {
+		f, err := forest.TrainContext(ctx, feats.RSCA, clus.Labels, clus.K, forest.Config{
+			Trees:    cfg.ForestTrees,
+			MaxDepth: cfg.ForestDepth,
+			Seed:     cfg.Seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		out.Surrogate = f
+		out.SurrogateAccuracy = f.Accuracy(feats.RSCA, clus.Labels)
+		return nil
+	})
+
+	g.Add("contingency", []string{labelsDep}, func(ctx context.Context) error {
+		out.Contingency = EnvContingency(clus.Labels, ds, clus.K)
+		return nil
+	})
+
+	g.Add("outdoor", []string{"forest"}, func(ctx context.Context) error {
+		labels, share, err := classifyOutdoor(ctx, ds, out.Surrogate, clus.K)
+		if err != nil {
+			return err
+		}
+		out.OutdoorLabels, out.OutdoorShare = labels, share
+		return nil
+	})
+}
+
+// classifyOutdoor computes Eq. 5 RSCA for the outdoor population and runs
+// it through the surrogate forest as one pooled batch prediction.
+func classifyOutdoor(ctx context.Context, ds *synth.Dataset, f *forest.Forest, k int) (labels []int, share []float64, err error) {
+	if len(ds.Outdoor) == 0 {
+		return nil, make([]float64, k), nil
+	}
+	ref, err := rca.NewOutdoorReference(ds.Traffic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("outdoor reference: %w", err)
+	}
+	outRSCA, err := ref.RSCAOutdoor(ds.OutdoorTraffic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("outdoor RSCA: %w", err)
+	}
+	labels, err = f.PredictAllContext(ctx, outRSCA)
+	if err != nil {
+		return nil, nil, err
+	}
+	share = make([]float64, k)
+	for _, l := range labels {
+		share[l]++
+	}
+	for i := range share {
+		share[i] /= float64(len(labels))
+	}
+	return labels, share, nil
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// warmBase runs the cold pipeline once at a reduced scale; the warm tests
+// share it (the pipeline is deterministic and the result is read-only).
+var warmBaseCache *Result
+
+func warmBase(t *testing.T) *Result {
+	t.Helper()
+	if warmBaseCache == nil {
+		res, err := Run(Config{
+			Seed:         7,
+			Scale:        0.05,
+			OutdoorCount: 150,
+			ForestTrees:  15,
+			SweepKMax:    10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmBaseCache = res
+	}
+	return warmBaseCache
+}
+
+func sameDense(t *testing.T, name string, a, b interface {
+	Rows() int
+	Cols() int
+	Row(int) []float64
+}) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Float64bits(ra[j]) != math.Float64bits(rb[j]) {
+				t.Fatalf("%s: bit mismatch at (%d,%d): %v vs %v", name, i, j, ra[j], rb[j])
+			}
+		}
+	}
+}
+
+// TestWarmRefreshDriftZeroParity is the warm/cold parity fixture of the
+// determinism contract: a warm refresh over bit-identical traffic with no
+// dirty rows must reproduce the cold pipeline bit-for-bit — features,
+// labels, surrogate forest and outdoor verdicts (the serve-side revision
+// fingerprint is covered by serve's parity fixture).
+func TestWarmRefreshDriftZeroParity(t *testing.T) {
+	cold := warmBase(t)
+	warm, st, err := WarmRefresh(cold, cold.Dataset.Traffic.Clone(), nil, WarmConfig{DriftThreshold: DefaultDriftThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drift != 0 || st.Reassigned != 0 || st.Added != 0 || st.Escalated {
+		t.Fatalf("drift-0 refresh reported movement: %+v", st)
+	}
+	sameDense(t, "RSCA", warm.RSCA, cold.RSCA)
+	if !reflect.DeepEqual(warm.Labels, cold.Labels) {
+		t.Fatal("labels diverged on identical data")
+	}
+	if !reflect.DeepEqual(warm.Surrogate, cold.Surrogate) {
+		t.Fatal("surrogate forest diverged on identical data")
+	}
+	if warm.SurrogateAccuracy != cold.SurrogateAccuracy {
+		t.Fatalf("surrogate accuracy %v vs %v", warm.SurrogateAccuracy, cold.SurrogateAccuracy)
+	}
+	if !reflect.DeepEqual(warm.OutdoorLabels, cold.OutdoorLabels) {
+		t.Fatal("outdoor verdicts diverged on identical data")
+	}
+	if !reflect.DeepEqual(warm.OutdoorShare, cold.OutdoorShare) {
+		t.Fatal("outdoor shares diverged on identical data")
+	}
+	if !reflect.DeepEqual(warm.Contingency, cold.Contingency) {
+		t.Fatal("contingency diverged on identical data")
+	}
+	if warm.K != cold.K {
+		t.Fatalf("K %d vs %d", warm.K, cold.K)
+	}
+}
+
+// TestWarmRefreshMovesOnlyDirtyRows checks the warm path's locality: clean
+// antennas keep their previous cluster even when other rows change.
+func TestWarmRefreshMovesOnlyDirtyRows(t *testing.T) {
+	cold := warmBase(t)
+	traffic := cold.Dataset.Traffic.Clone()
+	// Make one antenna's demand mix identical to antenna 0's, which sits
+	// in a different cluster — its nearest centroid should move with it.
+	a := -1
+	for i, l := range cold.Labels {
+		if l != cold.Labels[0] {
+			a = i
+			break
+		}
+	}
+	if a < 0 {
+		t.Fatal("could not find antennas in two clusters")
+	}
+	copy(traffic.Row(a), traffic.Row(0))
+
+	warm, st, err := WarmRefresh(cold, traffic, []int{a}, WarmConfig{DriftThreshold: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Escalated {
+		t.Fatal("threshold 1.1 must never escalate")
+	}
+	if st.Reassigned != 1 || warm.Labels[a] == cold.Labels[a] {
+		t.Fatalf("expected exactly antenna %d to move (got %+v, label %d -> %d)",
+			a, st, cold.Labels[a], warm.Labels[a])
+	}
+	for i := range warm.Labels {
+		if i != a && warm.Labels[i] != cold.Labels[i] {
+			t.Fatalf("clean antenna %d moved %d -> %d", i, cold.Labels[i], warm.Labels[i])
+		}
+	}
+	if want := 1.0 / float64(len(cold.Labels)); st.Drift != want {
+		t.Fatalf("drift %v, want %v", st.Drift, want)
+	}
+}
+
+// TestWarmRefreshEscalatesPastThreshold checks the drift-escalation rule:
+// past the threshold the warm pass re-runs the full Ward linkage.
+func TestWarmRefreshEscalatesPastThreshold(t *testing.T) {
+	cold := warmBase(t)
+	traffic := cold.Dataset.Traffic.Clone()
+	// Rewrite a third of the population with rows from other clusters so
+	// plenty of antennas genuinely move.
+	n := traffic.Rows()
+	var dirty []int
+	for i := 0; i < n/3; i++ {
+		src := (i + n/2) % n
+		if cold.Labels[src] == cold.Labels[i] {
+			continue
+		}
+		copy(traffic.Row(i), traffic.Row(src))
+		dirty = append(dirty, i)
+	}
+	warm, st, err := WarmRefresh(cold, traffic, dirty, WarmConfig{DriftThreshold: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Escalated {
+		t.Fatalf("expected escalation, got %+v", st)
+	}
+	if warm.Linkage == nil {
+		t.Fatal("escalated refresh must carry a fresh linkage")
+	}
+	if len(warm.Labels) != n {
+		t.Fatalf("labels length %d, want %d", len(warm.Labels), n)
+	}
+	for i, l := range warm.Labels {
+		if l < 0 || l >= warm.K {
+			t.Fatalf("label %d out of range at %d", l, i)
+		}
+	}
+	if warm.Surrogate == nil || warm.OutdoorLabels == nil {
+		t.Fatal("escalated refresh must still retrain the model stages")
+	}
+}
+
+// TestWarmRefreshRejectsBadInput covers the guard rails.
+func TestWarmRefreshRejectsBadInput(t *testing.T) {
+	cold := warmBase(t)
+	if _, _, err := WarmRefresh(nil, cold.Dataset.Traffic, nil, WarmConfig{}); err == nil {
+		t.Fatal("nil previous result must error")
+	}
+	if _, _, err := WarmRefresh(cold, nil, nil, WarmConfig{}); err == nil {
+		t.Fatal("nil traffic must error")
+	}
+}

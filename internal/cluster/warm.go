@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"repro/internal/mat"
+)
+
+// Warm-start clustering: instead of re-running the O(N²) Ward linkage on
+// every model refresh, new or changed antennas are assigned to the nearest
+// centroid of the existing partition, and a drift statistic measures how
+// far the warm assignment diverged from the previous labels. Callers
+// escalate to a full re-linkage only when drift exceeds a threshold (see
+// analysis.WarmRefreshContext).
+
+// Centroids returns the k × M matrix of per-cluster mean feature vectors
+// for the labeled rows of x (rows beyond len(labels) are ignored). Member
+// rows accumulate in index order, so the result is deterministic. Empty
+// clusters yield a zero centroid.
+func Centroids(x *mat.Dense, labels []int, k int) *mat.Dense {
+	cents := mat.NewDense(k, x.Cols())
+	counts := make([]int, k)
+	for i, l := range labels {
+		dst := cents.Row(l)
+		for j, v := range x.Row(i) {
+			dst[j] += v
+		}
+		counts[l]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		row := cents.Row(c)
+		inv := 1 / float64(counts[c])
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return cents
+}
+
+// WarmAssignment is the outcome of one warm labeling pass.
+type WarmAssignment struct {
+	// Labels holds one cluster id per row of x: previous labels for clean
+	// rows, nearest-centroid assignments for dirty or new rows.
+	Labels []int
+	// Reassigned counts dirty rows whose nearest centroid differs from
+	// their previous cluster; Added counts rows with no previous label.
+	Reassigned int
+	Added      int
+	// Drift is (Reassigned + Added) / rows — the fraction of the
+	// population whose membership the warm pass changed.
+	Drift float64
+}
+
+// WarmAssign labels the rows of x against an existing partition: rows
+// listed in dirty (and any rows beyond len(prev), which have no previous
+// label) are assigned to the nearest centroid by squared Euclidean
+// distance (lowest cluster id wins ties); all other rows keep their
+// previous label. Out-of-range or duplicate dirty indices are ignored.
+// With no dirty rows and no new rows the labels are a bit-exact copy of
+// prev — the drift-0 identity the warm/cold parity contract relies on.
+func WarmAssign(x *mat.Dense, centroids *mat.Dense, prev []int, dirty []int) WarmAssignment {
+	n := x.Rows()
+	wa := WarmAssignment{Labels: make([]int, n)}
+	copy(wa.Labels, prev)
+
+	seen := make(map[int]bool, len(dirty))
+	assign := func(i int) {
+		c := nearestRow(centroids, x.Row(i))
+		if i >= len(prev) {
+			wa.Added++
+		} else if c != prev[i] {
+			wa.Reassigned++
+		}
+		wa.Labels[i] = c
+	}
+	for _, i := range dirty {
+		if i < 0 || i >= n || seen[i] {
+			continue
+		}
+		seen[i] = true
+		assign(i)
+	}
+	for i := len(prev); i < n; i++ {
+		if !seen[i] {
+			assign(i)
+		}
+	}
+	if n > 0 {
+		wa.Drift = float64(wa.Reassigned+wa.Added) / float64(n)
+	}
+	return wa
+}
+
+// nearestRow returns the index of the centroid row closest to v by squared
+// Euclidean distance; the lowest index wins ties.
+func nearestRow(centroids *mat.Dense, v []float64) int {
+	best, bestD := 0, -1.0
+	for c := 0; c < centroids.Rows(); c++ {
+		var d float64
+		for j, cv := range centroids.Row(c) {
+			diff := v[j] - cv
+			d += diff * diff
+		}
+		if bestD < 0 || d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best
+}

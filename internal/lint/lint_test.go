@@ -93,7 +93,7 @@ func matchWants(t *testing.T, mod *Module, pkg *Package, findings []Finding) {
 // path-sensitive rules treat it as library code; the markers pin both the
 // positive cases and (by absence) the negative ones.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"poolgo", "rngdet", "nopanic", "errwrap", "floateq"} {
+	for _, name := range []string{"poolgo", "refreshgo", "rngdet", "nopanic", "errwrap", "floateq"} {
 		t.Run(name, func(t *testing.T) {
 			mod := loadTestModule(t)
 			findings, pkg := checkFixture(t, name, mod.Path+"/internal/"+name+"fixture")

@@ -1,0 +1,64 @@
+// Package refreshgo is a lint fixture shaped like the serve refresh
+// controller: a background tick loop spawned with a raw go statement must
+// be flagged by poolgo, while the compliant spelling — the same loop
+// launched through pipe.Tasks, as internal/serve.Refresher does — must
+// come back clean.
+package refreshgo
+
+import (
+	"time"
+
+	"repro/internal/pipe"
+)
+
+type badRefresher struct {
+	stop chan struct{}
+}
+
+// Start spawns the tick loop with a raw go statement: library code must
+// not own goroutine lifecycles outside pipe.
+func (r *badRefresher) Start() {
+	go r.loop() // want poolgo
+}
+
+func (r *badRefresher) loop() {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+type goodRefresher struct {
+	tasks pipe.Tasks
+	stop  chan struct{}
+}
+
+// Start launches the tick loop through pipe.Tasks — the tracked spawn
+// path the poolgo contract sanctions.
+func (r *goodRefresher) Start() {
+	r.tasks.Go(r.loop)
+}
+
+// Stop halts the loop and waits for it, proving the tracked handle is
+// also the join point.
+func (r *goodRefresher) Stop() {
+	close(r.stop)
+	r.tasks.Wait()
+}
+
+func (r *goodRefresher) loop() {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package rca
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Accumulator maintains an antennas × services traffic matrix as the sum of
+// a frozen base campaign and a live overlay of folded hourly aggregates,
+// tracking which antenna rows changed between materializations. It is the
+// RSCA fold-in substrate of the warm refresh path: the serve-side refresh
+// controller folds collector totals into the overlay and hands the
+// materialized matrix (plus the dirty-row set) to the warm pipeline.
+//
+// Determinism: Materialize is a pure function of (base, overlay) — rows
+// with an all-zero overlay are copied bit-for-bit from the base, never run
+// through a float addition, so a refresh with no new aggregates reproduces
+// the base matrix exactly and the warm pipeline stays bit-identical to the
+// cold run that produced it. The Accumulator is not safe for concurrent
+// use; callers serialize access (the refresh controller runs one fold →
+// materialize → retrain cycle at a time).
+type Accumulator struct {
+	base    *mat.Dense
+	overlay *mat.Dense
+	// applied snapshots the overlay at the last Materialize, so dirty-row
+	// detection spans exactly the aggregates folded since then.
+	applied *mat.Dense
+}
+
+// NewAccumulator wraps a base traffic matrix. The base is referenced, not
+// copied — it must not be mutated while the accumulator is live.
+func NewAccumulator(base *mat.Dense) (*Accumulator, error) {
+	if base == nil || base.Rows() == 0 || base.Cols() == 0 {
+		return nil, fmt.Errorf("rca: accumulator needs a non-empty base matrix")
+	}
+	return &Accumulator{
+		base:    base,
+		overlay: mat.NewDense(base.Rows(), base.Cols()),
+		applied: mat.NewDense(base.Rows(), base.Cols()),
+	}, nil
+}
+
+// Rows and Cols report the accumulator's fixed shape.
+func (a *Accumulator) Rows() int { return a.base.Rows() }
+func (a *Accumulator) Cols() int { return a.base.Cols() }
+
+// Fold adds one hourly aggregate (mb of traffic for one antenna × service
+// cell) into the live overlay. Aggregates for the same cell accumulate;
+// callers needing bit-reproducible overlays must fold in a deterministic
+// order.
+func (a *Accumulator) Fold(antenna, service int, mb float64) error {
+	if antenna < 0 || antenna >= a.base.Rows() || service < 0 || service >= a.base.Cols() {
+		return fmt.Errorf("rca: fold (%d,%d) outside %dx%d accumulator",
+			antenna, service, a.base.Rows(), a.base.Cols())
+	}
+	a.overlay.Row(antenna)[service] += mb
+	return nil
+}
+
+// SetTotals replaces the overlay with absolute per-cell totals (e.g. a
+// collector sink's materialized traffic matrix, which already sums every
+// aggregate seen since startup). The matrix is copied.
+func (a *Accumulator) SetTotals(t *mat.Dense) error {
+	if t.Rows() != a.base.Rows() || t.Cols() != a.base.Cols() {
+		return fmt.Errorf("rca: totals are %dx%d, accumulator is %dx%d",
+			t.Rows(), t.Cols(), a.base.Rows(), a.base.Cols())
+	}
+	for i := 0; i < t.Rows(); i++ {
+		copy(a.overlay.Row(i), t.Row(i))
+	}
+	return nil
+}
+
+// Materialize returns the current base+overlay traffic matrix and the
+// sorted indices of rows whose overlay changed since the previous
+// Materialize (all-new rows on the first call with a non-zero overlay).
+// The returned matrix is freshly allocated and owned by the caller.
+func (a *Accumulator) Materialize() (*mat.Dense, []int) {
+	out := mat.NewDense(a.base.Rows(), a.base.Cols())
+	var dirty []int
+	for i := 0; i < a.base.Rows(); i++ {
+		baseRow, overRow, appliedRow := a.base.Row(i), a.overlay.Row(i), a.applied.Row(i)
+		dst := out.Row(i)
+		copy(dst, baseRow)
+		zero := true
+		changed := false
+		for j, v := range overRow {
+			if v != 0 {
+				zero = false
+			}
+			// Dirty tracking is bit-exact by design: a row is dirty iff its
+			// overlay changed since the last Materialize, and warm-refresh
+			// parity (drift 0 ≡ cold) depends on no-op folds staying clean.
+			//lint:allow floateq bit-exact overlay change detection
+			if v != appliedRow[j] {
+				changed = true
+			}
+		}
+		if !zero {
+			for j, v := range overRow {
+				dst[j] = baseRow[j] + v
+			}
+		}
+		if changed {
+			dirty = append(dirty, i)
+		}
+		copy(appliedRow, overRow)
+	}
+	return out, dirty
+}

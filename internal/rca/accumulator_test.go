@@ -1,0 +1,144 @@
+package rca
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func accBase(t *testing.T) *mat.Dense {
+	t.Helper()
+	m, err := mat.FromRows([][]float64{
+		{1, 2, 3},
+		{4, 0, 6},
+		{0.5, 0.25, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAccumulatorRejectsBadInput(t *testing.T) {
+	if _, err := NewAccumulator(nil); err == nil {
+		t.Fatal("nil base must error")
+	}
+	a, err := NewAccumulator(accBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fold(3, 0, 1); err == nil {
+		t.Fatal("out-of-range antenna must error")
+	}
+	if err := a.Fold(0, -1, 1); err == nil {
+		t.Fatal("out-of-range service must error")
+	}
+	if err := a.SetTotals(mat.NewDense(2, 3)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+// TestAccumulatorCleanMaterializeIsBitExact is the fold-in side of the
+// warm/cold parity contract: with no folded aggregates the materialized
+// matrix reproduces the base bit-for-bit and reports no dirty rows.
+func TestAccumulatorCleanMaterializeIsBitExact(t *testing.T) {
+	base := accBase(t)
+	a, err := NewAccumulator(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, dirty := a.Materialize()
+		if len(dirty) != 0 {
+			t.Fatalf("round %d: clean accumulator reported dirty rows %v", round, dirty)
+		}
+		for i := 0; i < base.Rows(); i++ {
+			for j, v := range base.Row(i) {
+				if math.Float64bits(got.Row(i)[j]) != math.Float64bits(v) {
+					t.Fatalf("round %d: bit mismatch at (%d,%d)", round, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAccumulatorFoldTracksDirtyRows(t *testing.T) {
+	a, err := NewAccumulator(accBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fold(1, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fold(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, dirty := a.Materialize()
+	if !reflect.DeepEqual(dirty, []int{1}) {
+		t.Fatalf("dirty = %v, want [1]", dirty)
+	}
+	if got.Row(1)[2] != 21 { // base 6 + 10 + 5
+		t.Fatalf("folded cell = %v, want 21", got.Row(1)[2])
+	}
+	if got.Row(0)[0] != 1 {
+		t.Fatalf("untouched cell changed: %v", got.Row(0)[0])
+	}
+
+	// A second materialize with nothing new folded sees no dirt but keeps
+	// the overlay applied.
+	again, dirty := a.Materialize()
+	if len(dirty) != 0 {
+		t.Fatalf("second materialize dirty = %v", dirty)
+	}
+	if again.Row(1)[2] != 21 {
+		t.Fatalf("overlay lost: %v", again.Row(1)[2])
+	}
+
+	// New dirt on a different row only flags that row.
+	if err := a.Fold(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, dirty = a.Materialize()
+	if !reflect.DeepEqual(dirty, []int{2}) {
+		t.Fatalf("dirty = %v, want [2]", dirty)
+	}
+}
+
+func TestAccumulatorSetTotalsReplacesOverlay(t *testing.T) {
+	a, err := NewAccumulator(accBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := mat.NewDense(3, 3)
+	totals.Row(0)[1] = 7
+	if err := a.SetTotals(totals); err != nil {
+		t.Fatal(err)
+	}
+	got, dirty := a.Materialize()
+	if !reflect.DeepEqual(dirty, []int{0}) {
+		t.Fatalf("dirty = %v, want [0]", dirty)
+	}
+	if got.Row(0)[1] != 9 { // base 2 + 7
+		t.Fatalf("cell = %v, want 9", got.Row(0)[1])
+	}
+	// Re-applying the same totals is clean; zeroing them dirties the row
+	// back toward the base.
+	if err := a.SetTotals(totals); err != nil {
+		t.Fatal(err)
+	}
+	if _, dirty := a.Materialize(); len(dirty) != 0 {
+		t.Fatalf("identical totals reported dirty rows %v", dirty)
+	}
+	if err := a.SetTotals(mat.NewDense(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, dirty = a.Materialize()
+	if !reflect.DeepEqual(dirty, []int{0}) {
+		t.Fatalf("dirty = %v, want [0]", dirty)
+	}
+	if got.Row(0)[1] != 2 {
+		t.Fatalf("cell = %v, want base 2", got.Row(0)[1])
+	}
+}

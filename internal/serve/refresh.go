@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/pipe"
+	"repro/internal/rca"
+)
+
+// RefreshConfig parameterizes the continuous-refresh controller.
+type RefreshConfig struct {
+	// Interval is the tick period between refresh attempts (default 30s).
+	Interval time.Duration
+	// DriftThreshold is the reassigned-antenna fraction past which a warm
+	// refresh escalates to a full re-linkage (default
+	// analysis.DefaultDriftThreshold).
+	DriftThreshold float64
+	// History bounds the revision → offline-result registry consulted by
+	// parity checks and post-swap audits (default 64 revisions).
+	History int
+	// Timeout bounds one refresh run (default 2m).
+	Timeout time.Duration
+	// Logf, when set, receives one line per completed refresh attempt.
+	Logf func(format string, args ...any)
+}
+
+func (c RefreshConfig) withDefaults() RefreshConfig {
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = analysis.DefaultDriftThreshold
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// RefreshInfo is the point-in-time refresh telemetry served under
+// /v1/model.
+type RefreshInfo struct {
+	Runs           int64   `json:"runs"`
+	Swaps          int64   `json:"swaps"`
+	Skipped        int64   `json:"skipped"`
+	Escalations    int64   `json:"escalations"`
+	Errors         int64   `json:"errors"`
+	LastDrift      float64 `json:"last_drift"`
+	LastReassigned int     `json:"last_reassigned"`
+	LastDurationMS float64 `json:"last_duration_ms"`
+	LastRevision   uint64  `json:"last_revision"`
+}
+
+// RefreshOutcome reports one RefreshOnce call.
+type RefreshOutcome struct {
+	// Revision is the snapshot revision current after the call.
+	Revision uint64
+	// Swapped is true when a new snapshot was published; Skipped is true
+	// when no aggregates landed since the last refresh and the pipeline
+	// was not run at all.
+	Swapped bool
+	Skipped bool
+	// Stats carries the warm pipeline's drift accounting.
+	Stats analysis.RefreshStats
+	Duration time.Duration
+}
+
+// Refresher closes the ingest → retrain → swap loop: on every tick it folds
+// the collector sink's aggregate totals over the training campaign's
+// traffic matrix (rca.Accumulator), runs the warm pipeline on the rows that
+// changed (analysis.WarmRefreshContext, escalating past the drift
+// threshold), and publishes the retrained model through SwapSnapshot. All
+// work happens off the request path on the server's worker pool; the only
+// goroutine is the tick loop, spawned via pipe.Tasks per the poolgo
+// contract. Every published revision's offline result is retained in a
+// bounded registry (ResultFor) — registered before the swap — so any
+// served response echoing a revision can be audited against the exact
+// offline result that produced it.
+type Refresher struct {
+	srv  *Server
+	cfg  RefreshConfig
+	base *analysis.Result
+	acc  *rca.Accumulator
+	// lastGood re-arms the accumulator's dirty tracking after a failed
+	// refresh, so the aggregates that run saw are retried next tick.
+	lastGood *mat.Dense
+
+	// refreshMu serializes refresh runs (tick loop + manual RefreshOnce).
+	refreshMu sync.Mutex
+
+	// mu guards the revision registry and telemetry.
+	mu      sync.Mutex
+	cur     *analysis.Result
+	history map[uint64]*analysis.Result
+	order   []uint64
+	info    RefreshInfo
+
+	tasks     pipe.Tasks
+	stop      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// NewRefresher wires a refresh controller to a server and the offline
+// result its current snapshot was built from. The base result's revision is
+// registered immediately, so parity audits can resolve responses served
+// before the first refresh.
+func NewRefresher(srv *Server, base *analysis.Result, cfg RefreshConfig) (*Refresher, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("serve: refresher needs a server")
+	}
+	if base == nil || base.Surrogate == nil || base.Dataset == nil || base.Dataset.Traffic == nil {
+		return nil, fmt.Errorf("serve: refresher needs a completed pipeline result")
+	}
+	cfg = cfg.withDefaults()
+	acc, err := rca.NewAccumulator(base.Dataset.Traffic)
+	if err != nil {
+		return nil, fmt.Errorf("serve: refresher: %w", err)
+	}
+	snap, err := NewModelSnapshot(base)
+	if err != nil {
+		return nil, fmt.Errorf("serve: refresher: %w", err)
+	}
+	r := &Refresher{
+		srv:      srv,
+		cfg:      cfg,
+		base:     base,
+		acc:      acc,
+		lastGood: mat.NewDense(base.Dataset.Traffic.Rows(), base.Dataset.Traffic.Cols()),
+		cur:      base,
+		history:  map[uint64]*analysis.Result{},
+		stop:     make(chan struct{}),
+	}
+	r.register(snap.Revision, base)
+	r.mu.Lock()
+	r.info.LastRevision = snap.Revision
+	r.mu.Unlock()
+	srv.refresh.Store(r)
+	return r, nil
+}
+
+// register retains a revision's offline result, evicting the oldest entry
+// past the history bound. Callers must not hold r.mu.
+func (r *Refresher) register(revision uint64, res *analysis.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.history[revision]; !ok {
+		r.order = append(r.order, revision)
+		for len(r.order) > r.cfg.History {
+			delete(r.history, r.order[0])
+			r.order = r.order[1:]
+		}
+	}
+	r.history[revision] = res
+}
+
+// ResultFor returns the offline pipeline result that produced the given
+// snapshot revision, if it is still within the history bound.
+func (r *Refresher) ResultFor(revision uint64) (*analysis.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.history[revision]
+	return res, ok
+}
+
+// Info snapshots the refresh telemetry.
+func (r *Refresher) Info() RefreshInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// Start launches the tick loop. Safe to call once; Stop tears it down.
+func (r *Refresher) Start() {
+	r.startOnce.Do(func() {
+		r.tasks.Go(r.loop)
+	})
+}
+
+// Stop halts the tick loop and waits for an in-flight refresh to finish.
+// The server keeps serving whatever snapshot is current.
+func (r *Refresher) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+	})
+	r.tasks.Wait()
+}
+
+func (r *Refresher) loop() {
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			out, err := r.RefreshOnce(ctx)
+			cancel()
+			if r.cfg.Logf == nil {
+				continue
+			}
+			switch {
+			case err != nil:
+				r.cfg.Logf("refresh failed: %v", err)
+			case out.Skipped:
+				// Quiet: nothing landed since the last refresh.
+			case out.Swapped:
+				r.cfg.Logf("refresh swapped in revision %016x (drift %.4f, reassigned %d, escalated %v) in %s",
+					out.Revision, out.Stats.Drift, out.Stats.Reassigned, out.Stats.Escalated, out.Duration.Round(time.Millisecond))
+			default:
+				r.cfg.Logf("refresh converged on revision %016x (drift %.4f)", out.Revision, out.Stats.Drift)
+			}
+		}
+	}
+}
+
+// RefreshOnce runs a single fold → warm retrain → swap cycle. It is safe
+// to call concurrently with the tick loop (runs serialize) and returns the
+// outcome of this attempt. A refresh whose retrained snapshot fingerprints
+// to the currently served revision publishes nothing.
+func (r *Refresher) RefreshOnce(ctx context.Context) (RefreshOutcome, error) {
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	start := time.Now()
+	var out RefreshOutcome
+	out.Revision = r.srv.Snapshot().Revision
+
+	totals := r.srv.Sink().TrafficMatrix(r.acc.Rows(), r.acc.Cols())
+	if err := r.acc.SetTotals(totals); err != nil {
+		return out, r.fail(err)
+	}
+	traffic, dirty := r.acc.Materialize()
+	if len(dirty) == 0 {
+		r.mu.Lock()
+		r.info.Skipped++
+		r.mu.Unlock()
+		obs.Add("serve.refresh.skipped", 1)
+		out.Skipped = true
+		out.Duration = time.Since(start)
+		return out, nil
+	}
+
+	r.mu.Lock()
+	prev := r.cur
+	r.mu.Unlock()
+	ctx = pipe.WithPool(ctx, r.srv.pool)
+	wres, st, err := analysis.WarmRefreshContext(ctx, prev, traffic, dirty,
+		analysis.WarmConfig{DriftThreshold: r.cfg.DriftThreshold})
+	out.Stats = st
+	if err != nil {
+		r.rearm()
+		return out, r.fail(err)
+	}
+	snap, err := NewModelSnapshot(wres)
+	if err != nil {
+		r.rearm()
+		return out, r.fail(err)
+	}
+
+	// Register the revision's offline result *before* publishing the
+	// snapshot: a response served the instant after the swap must already
+	// be resolvable through ResultFor.
+	r.register(snap.Revision, wres)
+	swapped := snap.Revision != r.srv.Snapshot().Revision
+	if swapped {
+		if err := r.srv.SwapSnapshot(snap); err != nil {
+			return out, r.fail(err)
+		}
+	}
+	for i := 0; i < totals.Rows(); i++ {
+		copy(r.lastGood.Row(i), totals.Row(i))
+	}
+
+	out.Revision = snap.Revision
+	out.Swapped = swapped
+	out.Duration = time.Since(start)
+
+	r.mu.Lock()
+	r.cur = wres
+	r.info.Runs++
+	if swapped {
+		r.info.Swaps++
+	}
+	if st.Escalated {
+		r.info.Escalations++
+	}
+	r.info.LastDrift = st.Drift
+	r.info.LastReassigned = st.Reassigned
+	r.info.LastDurationMS = msSince(start)
+	r.info.LastRevision = snap.Revision
+	r.mu.Unlock()
+
+	obs.Add("serve.refresh.runs", 1)
+	obs.Add("serve.refresh.reassigned", int64(st.Reassigned))
+	if st.Escalated {
+		obs.Add("serve.refresh.escalations", 1)
+	}
+	obs.ObserveMS("serve.refresh.latency.ms", msSince(start))
+	return out, nil
+}
+
+// fail counts a refresh error in telemetry and passes it through.
+func (r *Refresher) fail(err error) error {
+	r.mu.Lock()
+	r.info.Errors++
+	r.mu.Unlock()
+	obs.Add("serve.refresh.errors", 1)
+	return err
+}
+
+// rearm rewinds the accumulator's dirty tracking to the last successful
+// refresh, so aggregates seen by a failed run are retried next tick
+// instead of being silently marked applied.
+func (r *Refresher) rearm() {
+	if err := r.acc.SetTotals(r.lastGood); err != nil {
+		return
+	}
+	r.acc.Materialize()
+}

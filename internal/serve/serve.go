@@ -141,6 +141,10 @@ type Server struct {
 	queue chan []probe.Record
 	tasks pipe.Tasks
 
+	// refresh points at the attached refresh controller, if any; /v1/model
+	// reports its telemetry.
+	refresh atomic.Pointer[Refresher]
+
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	ln      net.Listener
@@ -516,15 +520,20 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// handleModel reports snapshot metadata so clients can size vectors.
+// handleModel reports snapshot metadata so clients can size vectors, plus
+// the refresh controller's telemetry when one is attached.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"services": snap.Services,
 		"k":        snap.K,
 		"trees":    len(snap.Forest.Trees),
 		"revision": snap.Revision,
-	})
+	}
+	if ref := s.refresh.Load(); ref != nil {
+		payload["refresh"] = ref.Info()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

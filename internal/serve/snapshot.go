@@ -50,8 +50,11 @@ func NewModelSnapshot(res *analysis.Result) (*ModelSnapshot, error) {
 	return m, nil
 }
 
-// fingerprint hashes the reference shares and model shape (FNV-1a over the
-// share float bits), giving identical snapshots identical revisions.
+// fingerprint hashes the reference shares and the full forest structure
+// (FNV-1a over float bits and node topology), so equal revisions attest
+// bit-equal served behavior — the invariant the refresh controller's
+// skip-on-unchanged-revision and the chaos swap-storm parity leg rely on —
+// and any retrain that changes a single split yields a fresh revision.
 func (m *ModelSnapshot) fingerprint() uint64 {
 	var h uint64 = 0xcbf29ce484222325
 	mix := func(v uint64) {
@@ -64,7 +67,21 @@ func (m *ModelSnapshot) fingerprint() uint64 {
 		mix(math.Float64bits(s))
 	}
 	mix(uint64(m.K))
+	mix(uint64(m.Services))
 	mix(uint64(len(m.Forest.Trees)))
+	for _, t := range m.Forest.Trees {
+		mix(uint64(len(t.Nodes)))
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			mix(uint64(int64(n.Feature)))
+			mix(math.Float64bits(n.Threshold))
+			mix(uint64(int64(n.Left)))
+			mix(uint64(int64(n.Right)))
+			for _, p := range n.Probs {
+				mix(math.Float64bits(p))
+			}
+		}
+	}
 	return h
 }
 

@@ -7,14 +7,20 @@
 # reruns, and stages under the floor are held to the floor's limit, so
 # scheduler noise on shared runners doesn't trip the gate.
 #
+# A second leg reruns the serving benchmark (classify p50/p99 plus one
+# warm refresh cycle) and gates its latency rows against the committed
+# BENCH_serve.json through the same per-stage comparison (-gatecompare).
+#
 # Knobs (environment):
-#   BENCH_GATE_SEED       generator seed              (default 1)
-#   BENCH_GATE_SCALE      antenna-population scale    (default 0.25)
-#   BENCH_GATE_TREES      surrogate forest size       (default 100)
-#   BENCH_GATE_TOLERANCE  allowed fractional slowdown (default 0.25 = +25%)
-#   BENCH_GATE_FLOOR_MS   per-stage noise floor in ms (default 120)
-#   BENCH_GATE_RUNS       reruns, best wall gated     (default 2)
-#   BENCH_GATE_BASELINE   baseline JSON               (default BENCH_baseline.json)
+#   BENCH_GATE_SEED           generator seed              (default 1)
+#   BENCH_GATE_SCALE          antenna-population scale    (default 0.25)
+#   BENCH_GATE_TREES          surrogate forest size       (default 100)
+#   BENCH_GATE_TOLERANCE      allowed fractional slowdown (default 0.25 = +25%)
+#   BENCH_GATE_FLOOR_MS       per-stage noise floor in ms (default 120)
+#   BENCH_GATE_RUNS           reruns, best wall gated     (default 2)
+#   BENCH_GATE_BASELINE       baseline JSON               (default BENCH_baseline.json)
+#   BENCH_GATE_SERVE_BASELINE serving baseline JSON       (default BENCH_serve.json;
+#                             set empty to skip the serving leg)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,10 +31,23 @@ TOLERANCE="${BENCH_GATE_TOLERANCE:-0.25}"
 FLOOR_MS="${BENCH_GATE_FLOOR_MS:-120}"
 RUNS="${BENCH_GATE_RUNS:-2}"
 BASELINE="${BENCH_GATE_BASELINE:-BENCH_baseline.json}"
+SERVE_BASELINE="${BENCH_GATE_SERVE_BASELINE-BENCH_serve.json}"
 
-exec go run ./cmd/icnbench \
+go run ./cmd/icnbench \
   -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
   -gate "$BASELINE" \
   -gatetolerance "$TOLERANCE" \
   -gatefloor "$FLOOR_MS" \
   -gateruns "$RUNS"
+
+if [[ -n "$SERVE_BASELINE" && -f "$SERVE_BASELINE" ]]; then
+  echo "bench gate: serving leg (baseline $SERVE_BASELINE)"
+  serve_json="$(mktemp)"
+  trap 'rm -f "$serve_json"' EXIT
+  # The candidate must be measured at the committed baseline's shape.
+  go run ./cmd/icnbench -serve -scale 0.1 -trees 25 -servejson "$serve_json"
+  go run ./cmd/icnbench \
+    -gate "$SERVE_BASELINE" -gatecompare "$serve_json" \
+    -gatetolerance "$TOLERANCE" \
+    -gatefloor "$FLOOR_MS"
+fi

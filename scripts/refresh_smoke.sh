@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# refresh_smoke.sh — end-to-end smoke of the continuous-refresh loop.
+#
+# Builds icnserve, starts it with a 1s refresh interval at a tiny training
+# scale, then closes the loop the way an operator would see it: read the
+# initial model revision from /v1/model, ingest a probe batch, wait for
+# the background refresher to fold it, retrain warm, and swap — observed
+# as the served revision advancing — then assert the swap is consistent
+# (two classifies under one revision return identical verdicts), that the
+# refresh telemetry and icn_serve_refresh_* metrics moved, and that a
+# SIGTERM drain stays clean with the refresher attached. Run via
+# `make refresh-smoke`.
+#
+# Set SMOKE_LOG_DIR to keep the server log and response bodies after the
+# run (CI uploads them as artifacts on failure); by default everything
+# lives and dies in a temp dir.
+set -euo pipefail
+
+ADDR="${ICNSERVE_ADDR:-127.0.0.1:9474}"
+SEED=1
+SCALE=0.05
+TREES=10
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp -f "$tmp"/*.log "$tmp"/*.out "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "refresh-smoke: building icnserve"
+go build -o "$tmp/icnserve" ./cmd/icnserve
+
+echo "refresh-smoke: writing sample bodies"
+"$tmp/icnserve" -sample "$tmp" -seed "$SEED" -scale "$SCALE" -trees "$TREES"
+
+echo "refresh-smoke: starting icnserve on $ADDR (refresh every 1s)"
+"$tmp/icnserve" -addr "$ADDR" -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
+  -refresh-interval 1s >"$tmp/server.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 120); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "refresh-smoke: FAIL — server exited before becoming healthy" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+  echo "refresh-smoke: FAIL — /healthz never came up" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "refresh-smoke: healthy"
+
+# Revisions are uint64 fingerprints; jq parses them as doubles and rounds,
+# so distinct revisions can compare equal. Extract them textually.
+revision_of() { grep -o "\"$2\":[0-9]*" "$1" | head -1 | cut -d: -f2; }
+
+curl -fsS "http://$ADDR/v1/model" >"$tmp/model0.out"
+rev0=$(revision_of "$tmp/model0.out" revision)
+jq -e '.refresh' "$tmp/model0.out" >/dev/null || {
+  echo "refresh-smoke: FAIL — /v1/model reports no refresh telemetry" >&2
+  exit 1
+}
+echo "refresh-smoke: base revision $rev0"
+
+status=$(curl -s -o "$tmp/ingest.out" -w '%{http_code}' \
+  -X POST --data-binary "@$tmp/ingest.bin" "http://$ADDR/v1/ingest")
+[[ "$status" == "202" ]] || {
+  echo "refresh-smoke: FAIL — ingest answered $status: $(cat "$tmp/ingest.out")" >&2
+  exit 1
+}
+echo "refresh-smoke: ingest accepted $(jq -r '.accepted' "$tmp/ingest.out") records"
+
+# The background refresher must fold the batch, retrain warm, and swap —
+# observed as the served revision advancing.
+rev1="$rev0"
+for i in $(seq 1 60); do
+  curl -fsS "http://$ADDR/v1/model" >"$tmp/model1.out" || true
+  rev1=$(revision_of "$tmp/model1.out" revision)
+  if [[ -n "$rev1" && "$rev1" != "$rev0" ]]; then
+    break
+  fi
+  sleep 0.5
+done
+[[ -n "$rev1" && "$rev1" != "$rev0" ]] || {
+  echo "refresh-smoke: FAIL — revision never advanced after ingest" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "refresh-smoke: refresh swapped in revision $rev1"
+
+# The ingest batch may fold across more than one tick, each minting a
+# revision; wait until the refresher converges (revision stable across
+# three consecutive polls spanning the tick interval).
+stable=0
+for i in $(seq 1 60); do
+  sleep 1
+  curl -fsS "http://$ADDR/v1/model" >"$tmp/model1.out" || true
+  next=$(revision_of "$tmp/model1.out" revision)
+  if [[ "$next" == "$rev1" ]]; then
+    stable=$((stable + 1))
+    [[ "$stable" -ge 3 ]] && break
+  else
+    stable=0
+    rev1="$next"
+  fi
+done
+[[ "$stable" -ge 3 ]] || {
+  echo "refresh-smoke: FAIL — revision never settled after the ingest drained" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "refresh-smoke: refresher converged on revision $rev1"
+
+jq -e '.refresh.runs >= 1 and .refresh.swaps >= 1' "$tmp/model1.out" >/dev/null || {
+  echo "refresh-smoke: FAIL — refresh telemetry did not count the swap: $(jq -c '.refresh' "$tmp/model1.out")" >&2
+  exit 1
+}
+
+# Revision consistency from the client side: with no further ingest the
+# refresher converges (skips), so two classifies must agree on both the
+# echoed revision and every verdict.
+for n in 1 2; do
+  status=$(curl -s -o "$tmp/classify$n.out" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$tmp/classify.json" "http://$ADDR/v1/classify")
+  [[ "$status" == "200" ]] || {
+    echo "refresh-smoke: FAIL — classify $n answered $status: $(cat "$tmp/classify$n.out")" >&2
+    exit 1
+  }
+done
+crev1=$(revision_of "$tmp/classify1.out" model_revision)
+crev2=$(revision_of "$tmp/classify2.out" model_revision)
+[[ "$crev1" == "$crev2" && "$crev1" == "$rev1" ]] || {
+  echo "refresh-smoke: FAIL — classify revisions diverged ($crev1, $crev2; model says $rev1)" >&2
+  exit 1
+}
+# Compare the verdicts only — the `cached` flag legitimately differs
+# between the post-swap cache miss and the repeat hit.
+diff <(jq -S '[.results[] | {id, cluster}]' "$tmp/classify1.out") \
+     <(jq -S '[.results[] | {id, cluster}]' "$tmp/classify2.out") >/dev/null || {
+  echo "refresh-smoke: FAIL — same revision served different verdicts" >&2
+  exit 1
+}
+echo "refresh-smoke: classify verdicts consistent under revision $crev1"
+
+curl -fsS "http://$ADDR/metrics" >"$tmp/metrics.out"
+grep -q '^icn_serve_refresh_runs ' "$tmp/metrics.out" || {
+  echo "refresh-smoke: FAIL — /metrics missing icn_serve_refresh_runs" >&2
+  exit 1
+}
+grep -q '^icn_serve_refresh_latency_ms_bucket' "$tmp/metrics.out" || {
+  echo "refresh-smoke: FAIL — /metrics missing refresh latency histogram" >&2
+  exit 1
+}
+grep -q '^icn_serve_model_swaps ' "$tmp/metrics.out" || {
+  echo "refresh-smoke: FAIL — /metrics missing icn_serve_model_swaps" >&2
+  exit 1
+}
+echo "refresh-smoke: refresh metrics look sane"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "refresh-smoke: graceful SIGTERM shutdown OK (refresher drained)"
+echo "refresh-smoke: PASS"
