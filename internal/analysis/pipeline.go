@@ -120,7 +120,7 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 		return nil
 	})
 
-	if err := g.Run(ctx, res.trace); err != nil {
+	if err := g.Run(ctx, res.Trace()); err != nil {
 		return nil, err
 	}
 	res.publish(feats, clus, model)

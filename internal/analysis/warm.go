@@ -118,7 +118,7 @@ func WarmRefreshContext(ctx context.Context, prev *Result, traffic *mat.Dense, d
 
 	AddModelStages(g, &nds, cfg, feats, clus, model, "assign")
 
-	if err := g.Run(ctx, res.trace); err != nil {
+	if err := g.Run(ctx, res.Trace()); err != nil {
 		return nil, st, err
 	}
 	res.publish(feats, clus, model)

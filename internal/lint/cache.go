@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file implements the incremental analysis cache: one gob file per
+// package, keyed by a content hash chaining the suite version, the Go
+// toolchain, the analyzer set, the package's own sources and — recursively
+// — every module-internal dependency's key. A repeat run over an unchanged
+// module replays every package's findings, facts and suppression records
+// without type-checking or analyzing anything; editing one package
+// invalidates exactly that package and its transitive importers. Cache
+// I/O is strictly best-effort: unreadable, stale or undecodable entries
+// are misses and write failures are ignored, so a broken cache can slow a
+// run down but never change its verdict.
+
+// cacheVersion invalidates every entry when engine semantics change.
+const cacheVersion = "icnvet-cache-v1"
+
+// cacheEntry is the serialized analysis result of one package.
+type cacheEntry struct {
+	// Key is the content-hash key the entry was written under; a mismatch
+	// on read means the entry is stale.
+	Key string
+	// Findings are the package's surviving findings (local analysis only;
+	// finish-pass and stale-suppression findings are recomputed each run).
+	Findings []Finding
+	// Facts are the facts the package's analyzers exported.
+	Facts []factRecord
+	// Allows are the package's suppression records with the local-phase
+	// used state, replayed so module-global stale-suppression accounting
+	// sees cached packages too.
+	Allows []AllowRecord
+}
+
+// registerFactTypes makes every analyzer's fact types known to gob so
+// cacheEntry.Facts round-trips. Idempotent per concrete type.
+func registerFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, ft := range a.FactTypes {
+			gob.Register(ft)
+		}
+	}
+}
+
+// analyzerSignature folds the analyzer set into the cache key: adding,
+// removing or renaming an analyzer invalidates everything.
+func analyzerSignature(analyzers []*Analyzer) string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// computeCacheKeys derives the per-package cache keys, chaining through
+// module-internal dependencies so a change anywhere in a package's
+// transitive dependency closure changes its key.
+func computeCacheKeys(mod *Module, analyzers []*Analyzer) map[string]string {
+	sig := analyzerSignature(analyzers)
+	keys := map[string]string{}
+	var key func(pkg *Package) string
+	key = func(pkg *Package) string {
+		if k, ok := keys[pkg.PkgPath]; ok {
+			return k
+		}
+		h := sha256.New()
+		// pkg.Dir is in the key because cached findings carry absolute
+		// positions: relocating the module must invalidate them.
+		fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n%s\n", cacheVersion, runtime.Version(), sig, pkg.PkgPath, pkg.Dir, pkg.SrcHash)
+		for _, dep := range pkg.imports {
+			if d := mod.byPath[dep]; d != nil {
+				fmt.Fprintf(h, "%s %s\n", dep, key(d))
+			}
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[pkg.PkgPath] = k
+		return k
+	}
+	for _, pkg := range mod.Pkgs {
+		key(pkg)
+	}
+	return keys
+}
+
+// cacheFile maps a package path to its entry file inside the cache dir.
+func cacheFile(cacheDir, pkgPath string) string {
+	return filepath.Join(cacheDir, strings.ReplaceAll(pkgPath, "/", "__")+".gob")
+}
+
+// readCacheEntry loads a package's entry if present and still keyed to
+// the current content hash; any failure is a miss.
+func readCacheEntry(cacheDir, pkgPath, wantKey string) (*cacheEntry, bool) {
+	f, err := os.Open(cacheFile(cacheDir, pkgPath))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e cacheEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil || e.Key != wantKey {
+		return nil, false
+	}
+	return &e, true
+}
+
+// writeCacheEntry persists a package's entry, atomically via a temp file
+// rename. Failures are deliberately swallowed: the cache is an
+// accelerator, never a correctness dependency.
+func writeCacheEntry(cacheDir, pkgPath string, e *cacheEntry) {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	dst := cacheFile(cacheDir, pkgPath)
+	tmp, err := os.CreateTemp(cacheDir, filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return
+	}
+	encErr := gob.NewEncoder(tmp).Encode(e)
+	closeErr := tmp.Close()
+	if encErr != nil || closeErr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,9 +1,19 @@
 // Package lint is a zero-dependency domain lint engine for this module: an
 // analyzer framework on the standard library's go/ast and go/types that
-// machine-checks the contracts the staged pipeline's correctness rests on —
-// goroutines only through internal/pipe, deterministic pre-split RNG, no
-// panics in library packages, %w error wrapping, and float comparisons /
-// accumulation patterns that keep golden outputs byte-identical.
+// machine-checks the contracts the staged pipeline's and the closed-loop
+// serving path's correctness rest on — goroutines only through
+// internal/pipe, deterministic pre-split RNG, no panics in library
+// packages, %w error wrapping, float comparisons / accumulation patterns
+// that keep golden outputs byte-identical, immutability of published model
+// snapshots, context-guarded blocking in the serving path, consistent
+// atomic/mutex field access, and a closed metric catalog.
+//
+// The v2 engine is a cross-package dataflow framework: packages are
+// analyzed in dependency order and analyzers export typed facts (escape
+// summaries, field-access summaries, metric catalogs) that downstream
+// packages import, with per-package analysis parallelized on the shared
+// internal/pipe pool and a content-hash-keyed cache making repeat runs
+// incremental (see runner.go, facts.go, cache.go).
 //
 // The cmd/icnvet driver loads every package in the module and runs the
 // Analyzers suite over it. Individual findings can be suppressed with an
@@ -12,8 +22,9 @@
 //	//lint:allow <analyzer> <reason>
 //
 // The reason is mandatory: an annotation without one does not suppress
-// anything and is itself reported, so every escape hatch in the tree
-// documents why it exists.
+// anything and is itself reported. An annotation whose analyzer never
+// fires on its target line is also reported (a stale suppression), so
+// escape hatches cannot outlive the code they excused.
 package lint
 
 import (
@@ -40,8 +51,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one domain rule. Run inspects the package behind the Pass and
-// reports violations through Pass.Reportf.
+// Analyzer is one domain rule. Run inspects the package behind the Pass
+// and reports violations through Pass.Reportf; analyzers participating in
+// cross-package dataflow additionally export facts for downstream
+// packages and may register a Finish hook for module-global verdicts.
 type Analyzer struct {
 	// Name is the rule identifier used in findings and annotations.
 	Name string
@@ -49,6 +62,14 @@ type Analyzer struct {
 	Doc string
 	// Run executes the rule over one package.
 	Run func(*Pass)
+	// FactTypes lists zero values of every fact type Run exports, so the
+	// incremental cache can round-trip them through encoding/gob.
+	FactTypes []any
+	// Finish, when set, runs once after every package has been analyzed,
+	// over the module-wide fact store — the place for verdicts that only
+	// exist globally (a metric registered nowhere, a field locked in one
+	// package and read bare in another).
+	Finish func(*FinishPass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -68,6 +89,7 @@ type Pass struct {
 	// Info holds the type-checker's expression and object tables.
 	Info *types.Info
 
+	facts    *FactStore
 	allows   allowIndex
 	findings *[]Finding
 }
@@ -93,6 +115,20 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// AllowRecord is one //lint:allow annotation, tracked so the engine can
+// report suppression debt (icnvet -allows) and stale escape hatches.
+type AllowRecord struct {
+	// Pos locates the annotation comment.
+	Pos token.Position `json:"pos"`
+	// Analyzer is the rule the annotation suppresses.
+	Analyzer string `json:"analyzer"`
+	// Reason is the mandatory justification text.
+	Reason string `json:"reason"`
+	// Used reports whether the annotation suppressed at least one finding
+	// this run; a well-formed, unused annotation is a stale suppression.
+	Used bool `json:"used"`
+}
+
 // allowKey identifies an annotation target: one analyzer on one source line.
 type allowKey struct {
 	file     string
@@ -100,25 +136,55 @@ type allowKey struct {
 	analyzer string
 }
 
-// allowIndex maps annotated lines to suppressions. An annotation suppresses
-// findings on its own line and on the line immediately below it, so both
-// end-of-line and preceding-line comments work.
-type allowIndex map[allowKey]bool
+// allowIndex maps annotated lines to suppressions. An annotation
+// suppresses findings on its own line and on the line immediately below
+// it, so both end-of-line and preceding-line comments work. Suppressing a
+// finding marks the record used.
+type allowIndex map[allowKey]*AllowRecord
 
 func (ai allowIndex) allowed(analyzer string, pos token.Position) bool {
 	if ai == nil {
 		return false
 	}
-	return ai[allowKey{pos.Filename, pos.Line, analyzer}] ||
-		ai[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+	for _, line := range [...]int{pos.Line, pos.Line - 1} {
+		if rec := ai[allowKey{pos.Filename, line, analyzer}]; rec != nil {
+			rec.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// merge folds other's entries into ai (used to build the module-wide
+// index the Finish passes report through).
+func (ai allowIndex) merge(other allowIndex) {
+	for k, rec := range other {
+		ai[k] = rec
+	}
+}
+
+// records returns the index's annotations sorted by position.
+func (ai allowIndex) records() []*AllowRecord {
+	out := make([]*AllowRecord, 0, len(ai))
+	for _, rec := range ai {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // allowDirective is the comment prefix of the suppression mechanism.
 const allowDirective = "//lint:allow"
 
 // indexAllows scans the files' comments for //lint:allow directives.
-// Malformed directives (missing analyzer or missing reason) are reported as
-// findings of the pseudo-analyzer "lint" so they cannot silently rot.
+// Malformed directives (missing analyzer or missing reason) are reported
+// as findings of the pseudo-analyzer "lint" so they cannot silently rot.
 func indexAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) allowIndex {
 	idx := allowIndex{}
 	for _, f := range files {
@@ -138,82 +204,119 @@ func indexAllows(fset *token.FileSet, files []*ast.File, findings *[]Finding) al
 					})
 					continue
 				}
-				idx[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				idx[allowKey{pos.Filename, pos.Line, fields[0]}] = &AllowRecord{
+					Pos:      pos,
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+				}
 			}
 		}
 	}
 	return idx
 }
 
-// Analyzers is the full suite icnvet runs by default.
+// staleAllowFindings reports every well-formed annotation that suppressed
+// nothing, provided its analyzer was part of the run (an allow for a
+// deselected analyzer is not judged) — plus annotations naming analyzers
+// that do not exist at all, which are typos that would otherwise suppress
+// nothing forever. The stale finding itself respects the allow index, so
+// a deliberate tombstone can be annotated with //lint:allow lint <reason>.
+func staleAllowFindings(allows allowIndex, ran map[string]bool, findings *[]Finding) {
+	for _, rec := range allows.records() {
+		if rec.Used {
+			continue
+		}
+		known := ran[rec.Analyzer] || rec.Analyzer == "lint"
+		if !known {
+			if _, exists := analyzerNames[rec.Analyzer]; exists {
+				continue // analyzer deselected this run; not judged
+			}
+			if allows.allowed("lint", rec.Pos) {
+				continue
+			}
+			*findings = append(*findings, Finding{
+				Analyzer: "lint",
+				Pos:      rec.Pos,
+				Message:  fmt.Sprintf("annotation names unknown analyzer %q; it suppresses nothing", rec.Analyzer),
+			})
+			continue
+		}
+		if allows.allowed("lint", rec.Pos) {
+			continue
+		}
+		*findings = append(*findings, Finding{
+			Analyzer: "lint",
+			Pos:      rec.Pos,
+			Message:  fmt.Sprintf("stale suppression: %s does not fire here; remove the //lint:allow", rec.Analyzer),
+		})
+	}
+}
+
+// Analyzers is the full v2 suite icnvet runs by default.
 var Analyzers = []*Analyzer{
 	PoolOnlyGoroutines,
 	RNGDiscipline,
 	PanicFreeLibrary,
 	ErrWrap,
 	FloatDeterminism,
+	SnapshotFreeze,
+	CtxGuard,
+	LockAtomic,
+	MetricRegistry,
 }
 
-// ByName returns the analyzers matching the comma-separated names list, or
-// an error naming the first unknown entry.
+// analyzerNames indexes the registered suite for unknown-name detection.
+var analyzerNames = func() map[string]*Analyzer {
+	m := map[string]*Analyzer{}
+	for _, a := range Analyzers {
+		m[a.Name] = a
+	}
+	return m
+}()
+
+// ByName returns the analyzers matching the comma-separated names list.
+// Unknown and duplicate entries are errors: an analyzer listed twice
+// would run twice and double-report every one of its findings.
 func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
+	seen := map[string]bool{}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		found := false
-		for _, a := range Analyzers {
-			if a.Name == name {
-				out = append(out, a)
-				found = true
-				break
-			}
+		if seen[name] {
+			return nil, fmt.Errorf("lint: analyzer %q listed twice; it would double-report its findings", name)
 		}
-		if !found {
+		seen[name] = true
+		a, ok := analyzerNames[name]
+		if !ok {
 			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
 		}
+		out = append(out, a)
 	}
 	return out, nil
 }
 
-// RunPackage executes the given analyzers over one loaded package and
-// returns the surviving (non-suppressed) findings.
-func RunPackage(mod *Module, pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	allows := indexAllows(mod.Fset, pkg.Files, &findings)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       mod.Fset,
-			Files:      pkg.Files,
-			PkgPath:    pkg.PkgPath,
-			ModulePath: mod.Path,
-			Pkg:        pkg.Types,
-			Info:       pkg.Info,
-			allows:     allows,
-			findings:   &findings,
-		}
-		a.Run(pass)
-	}
-	return findings
+// RunPackage executes the given analyzers over one loaded package,
+// exporting facts into and importing dependency facts from store (nil
+// runs without cross-package dataflow), and returns the surviving
+// (non-suppressed) findings plus the package's allow index for the
+// caller's stale-suppression accounting.
+func RunPackage(mod *Module, pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Finding, allowIndex) {
+	return analyzePackage(mod, pkg, analyzers, store, nil)
 }
 
-// Run loads the module rooted at dir and executes the analyzers over every
-// package. Findings come back sorted by file, line, column and analyzer so
-// output is stable across runs.
+// Run loads the module rooted at dir and executes the analyzers over
+// every package, including Finish passes and stale-suppression findings.
+// Findings come back sorted by file, line, column and analyzer so output
+// is stable across runs.
 func Run(dir string, analyzers []*Analyzer) ([]Finding, error) {
-	mod, err := LoadModule(dir)
+	res, err := RunModule(Options{Dir: dir, Analyzers: analyzers})
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, pkg := range mod.Pkgs {
-		findings = append(findings, RunPackage(mod, pkg, analyzers)...)
-	}
-	SortFindings(findings)
-	return findings, nil
+	return res.Findings, nil
 }
 
 // SortFindings orders findings by position then analyzer name.

@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -29,9 +31,53 @@ func loadTestModule(t *testing.T) *Module {
 	return moduleVal
 }
 
+// baseline is the real module analyzed once with the full v2 pipeline:
+// per-package analysis into a shared fact store, finish passes over the
+// merged facts, and the stale-suppression scan. TestModuleIsClean asserts
+// its findings are empty, and the fixture tests clone its fact store so
+// cross-package fixtures see the real serve/obs facts.
+type baseline struct {
+	store    *FactStore
+	findings []Finding
+}
+
+var (
+	baselineOnce sync.Once
+	baselineVal  *baseline
+)
+
+func moduleBaseline(t *testing.T) *baseline {
+	t.Helper()
+	mod := loadTestModule(t)
+	baselineOnce.Do(func() {
+		store := NewFactStore()
+		allows := allowIndex{}
+		var all []Finding
+		for _, pkg := range mod.Pkgs {
+			fs, a := RunPackage(mod, pkg, Analyzers, store)
+			all = append(all, fs...)
+			allows.merge(a)
+		}
+		ran := map[string]bool{}
+		for _, a := range Analyzers {
+			ran[a.Name] = true
+		}
+		for _, a := range Analyzers {
+			if a.Finish != nil {
+				a.Finish(&FinishPass{Analyzer: a, ModulePath: mod.Path, facts: store, allows: allows, findings: &all})
+			}
+		}
+		staleAllowFindings(allows, ran, &all)
+		SortFindings(all)
+		baselineVal = &baseline{store: store, findings: all}
+	})
+	return baselineVal
+}
+
 // checkFixture compiles the fixture directory under the synthetic import
-// path and runs the full analyzer suite, failing on any type error: a
-// fixture that does not compile proves nothing.
+// path and runs the analyzer suite package-locally (no finish passes, no
+// stale scan), failing on any type error: a fixture that does not compile
+// proves nothing.
 func checkFixture(t *testing.T, name, pkgPath string) ([]Finding, *Package) {
 	t.Helper()
 	mod := loadTestModule(t)
@@ -43,7 +89,60 @@ func checkFixture(t *testing.T, name, pkgPath string) ([]Finding, *Package) {
 	for _, terr := range pkg.TypeErrors {
 		t.Errorf("fixture %s: type error: %v", name, terr)
 	}
-	return RunPackage(mod, pkg, Analyzers), pkg
+	findings, _ := RunPackage(mod, pkg, Analyzers, NewFactStore())
+	return findings, pkg
+}
+
+// fixturePipeline runs a fixture through the full v2 pipeline: dependency
+// fixtures are compiled, registered and analyzed first so their facts
+// exist, then the fixture itself is analyzed against a clone of the real
+// module's fact store, the finish passes and stale scan run, and the
+// findings are filtered down to the fixture's own files (the finish
+// passes see module-wide facts but the module itself is clean).
+func fixturePipeline(t *testing.T, name, pkgPath string, deps [][2]string) ([]Finding, *Package) {
+	t.Helper()
+	mod := loadTestModule(t)
+	store := moduleBaseline(t).store.Clone()
+	for _, dep := range deps {
+		depDir := filepath.Join("testdata", "src", dep[0])
+		depPkg, err := mod.CheckPackageDir(depDir, dep[1])
+		if err != nil {
+			t.Fatalf("CheckPackageDir(%s): %v", depDir, err)
+		}
+		for _, terr := range depPkg.TypeErrors {
+			t.Errorf("dep fixture %s: type error: %v", dep[0], terr)
+		}
+		mod.AddPackage(depPkg)
+		RunPackage(mod, depPkg, Analyzers, store)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := mod.CheckPackageDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("CheckPackageDir(%s): %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	findings, allows := RunPackage(mod, pkg, Analyzers, store)
+	for _, a := range Analyzers {
+		if a.Finish != nil {
+			a.Finish(&FinishPass{Analyzer: a, ModulePath: mod.Path, facts: store, allows: allows, findings: &findings})
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range Analyzers {
+		ran[a.Name] = true
+	}
+	staleAllowFindings(allows, ran, &findings)
+	prefix := dir + string(os.PathSeparator)
+	var kept []Finding
+	for _, f := range findings {
+		if strings.HasPrefix(f.Pos.Filename, prefix) {
+			kept = append(kept, f)
+		}
+	}
+	SortFindings(kept)
+	return kept, pkg
 }
 
 // wantMarkers extracts the fixture's "// want <analyzer>..." comments as a
@@ -89,9 +188,9 @@ func matchWants(t *testing.T, mod *Module, pkg *Package, findings []Finding) {
 	}
 }
 
-// Each analyzer's fixture is checked under an internal/ path so the
-// path-sensitive rules treat it as library code; the markers pin both the
-// positive cases and (by absence) the negative ones.
+// Each per-package analyzer's fixture is checked under an internal/ path
+// so the path-sensitive rules treat it as library code; the markers pin
+// both the positive cases and (by absence) the negative ones.
 func TestFixtures(t *testing.T) {
 	for _, name := range []string{"poolgo", "refreshgo", "rngdet", "nopanic", "errwrap", "floateq"} {
 		t.Run(name, func(t *testing.T) {
@@ -99,6 +198,75 @@ func TestFixtures(t *testing.T) {
 			findings, pkg := checkFixture(t, name, mod.Path+"/internal/"+name+"fixture")
 			matchWants(t, mod, pkg, findings)
 		})
+	}
+}
+
+// The cross-package dataflow fixtures run through the full pipeline:
+// facts from the real serve/obs packages (and, for ctxguard, a dependency
+// fixture analyzed first) flow into the fixture's analysis, and the
+// finish passes join module-wide facts. The ctxguard fixture sits under a
+// synthetic internal/serve/ path so the trio rules apply to it.
+func TestDataflowFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		path string // appended to the module path
+		deps [][2]string
+	}{
+		{"snapfreeze", "/internal/snapfreezefixture", nil},
+		{"ctxguard", "/internal/serve/ctxguardfixture", [][2]string{{"ctxguarddep", "/internal/ctxguarddepfixture"}}},
+		{"lockatomic", "/internal/lockatomicfixture", nil},
+		{"metricreg", "/internal/metricregfixture", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mod := loadTestModule(t)
+			deps := make([][2]string, len(c.deps))
+			for i, d := range c.deps {
+				deps[i] = [2]string{d[0], mod.Path + d[1]}
+			}
+			findings, pkg := fixturePipeline(t, c.name, mod.Path+c.path, deps)
+			matchWants(t, mod, pkg, findings)
+		})
+	}
+}
+
+// A suppression that fires is used; one with nothing beneath it is stale;
+// one naming a nonexistent analyzer is a typo. The latter two surface as
+// findings of the pseudo-analyzer "lint". Want markers cannot live inside
+// allow comments, so this test asserts the findings directly.
+func TestStaleAllow(t *testing.T) {
+	mod := loadTestModule(t)
+	findings, pkg := fixturePipeline(t, "allowstale", mod.Path+"/internal/allowstalefixture", nil)
+	lineOf := func(substr string) int {
+		t.Helper()
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, substr) {
+						return mod.Fset.Position(c.Pos()).Line
+					}
+				}
+			}
+		}
+		t.Fatalf("fixture comment %q not found", substr)
+		return 0
+	}
+	want := []struct {
+		line    int
+		message string
+	}{
+		{lineOf("nothing here panics"), "stale suppression"},
+		{lineOf("no analyzer has this name"), "unknown analyzer"},
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("want %d lint findings, got %d:\n%v", len(want), len(findings), findings)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].line < want[j].line })
+	for i, w := range want {
+		f := findings[i]
+		if f.Analyzer != "lint" || f.Pos.Line != w.line || !strings.Contains(f.Message, w.message) {
+			t.Errorf("finding %d = %s, want lint %q at line %d", i, f, w.message, w.line)
+		}
 	}
 }
 
@@ -129,8 +297,9 @@ func TestMalformedAnnotation(t *testing.T) {
 	}
 }
 
-// The module's own source must lint clean with the full suite — this is
-// the tree-wide contract check that cmd/icnvet enforces in CI, run here so
+// The module's own source must lint clean with the full v2 suite — facts,
+// finish passes and stale-suppression scan included. This is the
+// tree-wide contract check that cmd/icnvet enforces in CI, run here so
 // `go test` alone catches a regression.
 func TestModuleIsClean(t *testing.T) {
 	mod := loadTestModule(t)
@@ -139,12 +308,7 @@ func TestModuleIsClean(t *testing.T) {
 			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
 		}
 	}
-	var all []Finding
-	for _, pkg := range mod.Pkgs {
-		all = append(all, RunPackage(mod, pkg, Analyzers)...)
-	}
-	SortFindings(all)
-	for _, f := range all {
+	for _, f := range moduleBaseline(t).findings {
 		t.Errorf("module not lint-clean: %s", f)
 	}
 }
@@ -168,6 +332,97 @@ func TestModuleLoadShape(t *testing.T) {
 	if idx["repro/internal/pipe"] > idx["repro/internal/analysis"] {
 		t.Errorf("pipe checked after analysis: topo order broken")
 	}
+	// Levels respect dependencies: every module-internal import sits on a
+	// strictly lower level, which is what makes the parallel waves safe.
+	for _, pkg := range mod.Pkgs {
+		for _, dep := range pkg.Imports() {
+			if d := mod.PackageByPath(dep); d != nil && d.level >= pkg.level {
+				t.Errorf("%s (level %d) imports %s (level %d): wave ordering broken", pkg.PkgPath, pkg.level, dep, d.level)
+			}
+		}
+	}
+}
+
+// The incremental cache must replay findings and facts bit-identically,
+// and invalidate exactly the packages whose content hash changed (plus
+// their importers). A tiny throwaway module keeps the test fast: its
+// packages import nothing, so no stdlib type-checking happens.
+func TestIncrementalCache(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tiny\n\ngo 1.22\n")
+	write("internal/a/a.go", `package a
+
+func Spawn(f func()) {
+	go f()
+}
+`)
+	write("internal/b/b.go", `package b
+
+import "tiny/internal/a"
+
+func Use() {
+	a.Spawn(func() {})
+	//lint:allow rngdet deliberately stale suppression for the cache test
+	_ = 1
+}
+`)
+	opts := Options{Dir: dir, Cache: true, CacheDir: filepath.Join(dir, "cache")}
+
+	run := func(label string, wantCached int) *Result {
+		t.Helper()
+		res, err := RunModule(opts)
+		if err != nil {
+			t.Fatalf("%s: RunModule: %v", label, err)
+		}
+		if res.Timing.Cached != wantCached {
+			t.Errorf("%s: %d/%d packages cached, want %d", label, res.Timing.Cached, res.Timing.Packages, wantCached)
+		}
+		var analyzers []string
+		for _, f := range res.Findings {
+			analyzers = append(analyzers, f.Analyzer)
+		}
+		sort.Strings(analyzers)
+		// One raw go statement, one stale suppression.
+		if fmt.Sprint(analyzers) != fmt.Sprint([]string{"lint", "poolgo"}) {
+			t.Errorf("%s: want [lint poolgo] findings, got %v:\n%v", label, analyzers, res.Findings)
+		}
+		return res
+	}
+
+	cold := run("cold", 0)
+	warm := run("warm", 2)
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+		t.Errorf("cached replay diverged:\ncold: %v\nwarm: %v", cold.Findings, warm.Findings)
+	}
+	if !reflect.DeepEqual(cold.Allows, warm.Allows) {
+		t.Errorf("cached allow records diverged:\ncold: %v\nwarm: %v", cold.Allows, warm.Allows)
+	}
+
+	// Touching b invalidates only b: a replays from cache.
+	write("internal/b/b.go", `package b
+
+import "tiny/internal/a"
+
+func Use() {
+	a.Spawn(func() {})
+	//lint:allow rngdet deliberately stale suppression for the cache test
+	_ = 2
+}
+`)
+	touched := run("touched", 1)
+	if !reflect.DeepEqual(cold.Findings, touched.Findings) {
+		t.Errorf("partial rebuild diverged:\ncold: %v\ntouched: %v", cold.Findings, touched.Findings)
+	}
 }
 
 func TestByName(t *testing.T) {
@@ -180,6 +435,9 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if _, err := ByName("nopanic,nopanic"); err == nil {
+		t.Fatal("ByName accepted a duplicate analyzer, which would double-report")
 	}
 }
 
@@ -205,8 +463,9 @@ func TestCountWrapVerbs(t *testing.T) {
 }
 
 func TestAllowAdjacency(t *testing.T) {
+	rec := &AllowRecord{Pos: token.Position{Filename: "f.go", Line: 10}, Analyzer: "nopanic", Reason: "test"}
 	ai := allowIndex{
-		allowKey{"f.go", 10, "nopanic"}: true,
+		allowKey{"f.go", 10, "nopanic"}: rec,
 	}
 	for _, c := range []struct {
 		line int
@@ -221,6 +480,9 @@ func TestAllowAdjacency(t *testing.T) {
 		if got := ai.allowed("nopanic", pos); got != c.want {
 			t.Errorf("allowed(line %d) = %v, want %v", c.line, got, c.want)
 		}
+	}
+	if !rec.Used {
+		t.Error("suppressing a finding did not mark the record used")
 	}
 	if ai.allowed("errwrap", token.Position{Filename: "f.go", Line: 10}) {
 		t.Error("annotation for nopanic suppressed errwrap")

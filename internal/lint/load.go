@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -12,9 +15,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"repro/internal/pipe"
 )
 
-// Package is one type-checked package of the module under analysis.
+// Package is one package of the module under analysis.
 type Package struct {
 	// PkgPath is the import path ("repro/internal/mat"; the module path
 	// itself for the root package).
@@ -23,20 +29,30 @@ type Package struct {
 	Dir string
 	// Files are the parsed non-test sources, in file-name order.
 	Files []*ast.File
-	// Types is the checked package object (never nil, possibly incomplete
-	// when TypeErrors is non-empty).
+	// Types is the checked package object. It is nil until the package is
+	// type-checked: the incremental runner only checks packages whose
+	// analysis cannot be replayed from cache (and their dependencies).
 	Types *types.Package
 	// Info is the type-checker's expression/object table for Files.
 	Info *types.Info
 	// TypeErrors collects type-checker diagnostics. Analysis proceeds on
 	// the partial information, mirroring go vet's tolerance.
 	TypeErrors []error
+	// SrcHash is a hex sha256 over the package's file names and contents,
+	// the package-local part of the incremental cache key.
+	SrcHash string
 
 	imports []string // module-internal imports, for topo ordering
+	level   int      // 1 + max dependency level; packages of equal level check in parallel
 }
 
-// Module is a fully loaded Go module: every package parsed and
-// type-checked, in dependency order.
+// Imports returns the package's module-internal imports.
+func (p *Package) Imports() []string { return p.imports }
+
+// Module is a loaded Go module: every package discovered, parsed and
+// hashed, in dependency order, with type-checking available for all
+// packages (LoadModule) or on demand for a subset (the incremental
+// runner).
 type Module struct {
 	// Dir is the absolute module root (where go.mod lives).
 	Dir string
@@ -57,10 +73,10 @@ func (m *Module) PackageByPath(path string) *Package { return m.byPath[path] }
 // skipDirs are directory names never descended into during discovery.
 // testdata holds lint fixtures that intentionally violate the contracts.
 var skipDirs = map[string]bool{
-	"testdata": true,
-	"vendor":   true,
-	".git":     true,
-	".github":  true,
+	"testdata":  true,
+	"vendor":    true,
+	".git":      true,
+	".github":   true,
 	"artifacts": true,
 }
 
@@ -69,8 +85,22 @@ var skipDirs = map[string]bool{
 // imports resolve against the packages being checked, and everything else
 // (the standard library) is type-checked from $GOROOT source via the
 // go/importer "source" compiler, so no export data or external tooling is
-// needed.
+// needed. Independent packages type-check in parallel on the shared
+// internal/pipe pool.
 func LoadModule(dir string) (*Module, error) {
+	mod, err := scanModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod.CheckPackages(nil, pipe.Shared())
+	return mod, nil
+}
+
+// scanModule is the cheap phase of a load: discover package directories,
+// parse sources, hash contents, and topo-sort — everything the incremental
+// runner needs to decide which packages must be re-analyzed, without
+// paying for any type-checking.
+func scanModule(dir string) (*Module, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: resolve module dir: %w", err)
@@ -132,25 +162,76 @@ func LoadModule(dir string) (*Module, error) {
 	}
 
 	// Topologically sort by module-internal imports so dependencies are
-	// checked before their importers.
+	// checked before their importers, and assign parallelism levels: a
+	// package's level is one past its deepest module-internal dependency,
+	// so packages of equal level are independent and check concurrently.
 	order, err := topoSort(mod.byPath)
 	if err != nil {
 		return nil, err
 	}
-
-	mod.std = importer.ForCompiler(mod.Fset, "source", nil)
 	for _, pkg := range order {
-		checkPackage(mod, pkg, mod.std)
+		pkg.level = 1
+		for _, dep := range pkg.imports {
+			if d := mod.byPath[dep]; d != nil && d.level >= pkg.level {
+				pkg.level = d.level + 1
+			}
+		}
 		mod.Pkgs = append(mod.Pkgs, pkg)
 	}
+
+	// The go/importer source importer is not safe for concurrent use;
+	// serialize it so packages can type-check in parallel around it.
+	mod.std = &lockedImporter{std: importer.ForCompiler(mod.Fset, "source", nil)}
 	return mod, nil
 }
+
+// CheckPackages type-checks the packages whose import paths are in need
+// (nil means every package), in dependency waves: packages of equal
+// topological level are independent and run in parallel on pool. The
+// caller is responsible for need being closed under module-internal
+// dependencies — importing an unchecked internal package is an error
+// recorded in TypeErrors. Already-checked packages are skipped, so the
+// call is idempotent.
+func (m *Module) CheckPackages(need map[string]bool, pool *pipe.Pool) {
+	if pool == nil {
+		pool = pipe.Shared()
+	}
+	waves := map[int][]*Package{}
+	maxLevel := 0
+	for _, pkg := range m.Pkgs {
+		if pkg.Types != nil || (need != nil && !need[pkg.PkgPath]) {
+			continue
+		}
+		waves[pkg.level] = append(waves[pkg.level], pkg)
+		if pkg.level > maxLevel {
+			maxLevel = pkg.level
+		}
+	}
+	for level := 1; level <= maxLevel; level++ {
+		wave := waves[level]
+		if len(wave) == 0 {
+			continue
+		}
+		// The wave barrier makes dependency *types.Package and fact reads
+		// race-free: everything a wave imports was completed by an earlier
+		// wave. Background context: a lint run is not cancellable mid-wave.
+		_ = pool.ForEach(context.Background(), len(wave), func(i int) {
+			checkPackage(m, wave[i], m.std)
+		})
+	}
+}
+
+// AddPackage registers an externally checked package (a test fixture
+// compiled by CheckPackageDir) under its synthetic import path, so other
+// fixture packages can import it and cross-package facts flow to it.
+func (m *Module) AddPackage(pkg *Package) { m.byPath[pkg.PkgPath] = pkg }
 
 // CheckPackageDir parses and type-checks the sources in dir as though the
 // package had the import path pkgPath, resolving module-internal imports
 // against the already-loaded module. The package is not added to the
-// module. The fixture tests use this to compile testdata packages — which
-// the discovery walk deliberately skips — under synthetic paths like
+// module (use AddPackage for fixtures that other fixtures import). The
+// fixture tests use this to compile testdata packages — which the
+// discovery walk deliberately skips — under synthetic paths like
 // "repro/internal/fixture", so the path-sensitive analyzers see them as
 // library or command packages at will.
 func (m *Module) CheckPackageDir(dir, pkgPath string) (*Package, error) {
@@ -165,10 +246,11 @@ func (m *Module) CheckPackageDir(dir, pkgPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// parsePackage parses the non-test .go files of one directory. Files whose
-// package clause does not match the directory majority (e.g. a stray main)
-// are grouped by the first file's package name; directories with no
-// parseable files yield nil.
+// parsePackage parses the non-test .go files of one directory and hashes
+// their contents into Package.SrcHash. Files whose package clause does not
+// match the directory majority (e.g. a stray main) are grouped by the
+// first file's package name; directories with no parseable files yield
+// nil.
 func parsePackage(fset *token.FileSet, dir, pkgPath, modPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -176,14 +258,22 @@ func parsePackage(fset *token.FileSet, dir, pkgPath, modPath string) (*Package, 
 	}
 	pkg := &Package{PkgPath: pkgPath, Dir: dir}
 	seen := map[string]bool{}
+	hash := sha256.New()
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+			return nil, fmt.Errorf("lint: read %s: %w", full, err)
+		}
+		sum := sha256.Sum256(src)
+		fmt.Fprintf(hash, "%s %x\n", name, sum)
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", full, err)
 		}
 		pkg.Files = append(pkg.Files, f)
 		for _, imp := range f.Imports {
@@ -201,6 +291,7 @@ func parsePackage(fset *token.FileSet, dir, pkgPath, modPath string) (*Package, 
 		return nil, nil
 	}
 	sort.Strings(pkg.imports)
+	pkg.SrcHash = hex.EncodeToString(hash.Sum(nil))
 	return pkg, nil
 }
 
@@ -250,6 +341,20 @@ func topoSort(pkgs map[string]*Package) ([]*Package, error) {
 		}
 	}
 	return order, nil
+}
+
+// lockedImporter serializes access to the go/importer source importer,
+// which is not safe for concurrent use; the per-package type checks
+// running in parallel around it are.
+type lockedImporter struct {
+	mu  sync.Mutex
+	std types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.std.Import(path)
 }
 
 // moduleImporter resolves module-internal imports from the already-checked

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pipe"
+)
+
+// Options configures a module-wide analysis run.
+type Options struct {
+	// Dir is the module root (where go.mod lives).
+	Dir string
+	// Analyzers is the rule set to run; nil means the full Analyzers suite.
+	Analyzers []*Analyzer
+	// Cache enables the incremental cache: packages whose content-hash key
+	// matches a stored entry replay their findings and facts without being
+	// type-checked or analyzed.
+	Cache bool
+	// CacheDir overrides the cache location (default <Dir>/.icnvet-cache).
+	CacheDir string
+	// Pool runs per-package type-checking and analysis; nil uses the
+	// process-shared internal/pipe pool.
+	Pool *pipe.Pool
+}
+
+// AnalyzerTime is one row of the per-analyzer timing breakdown.
+type AnalyzerTime struct {
+	// Name is the analyzer.
+	Name string
+	// Total is CPU time summed across packages (parallel work overlaps, so
+	// rows can sum to more than the analyze wall time).
+	Total time.Duration
+}
+
+// Timing breaks a run down by phase for the icnvet -time report.
+type Timing struct {
+	// Scan is discovery, parsing and content hashing.
+	Scan time.Duration
+	// Load is type-checking (zero when every package was cached).
+	Load time.Duration
+	// Analyze is the per-package analyzer phase wall time.
+	Analyze time.Duration
+	// Finish is the module-global finish passes plus stale-allow scan.
+	Finish time.Duration
+	// Packages is the number of packages in the module.
+	Packages int
+	// Cached is how many of them replayed from the incremental cache.
+	Cached int
+	// Analyzers holds the per-analyzer breakdown, in suite order.
+	Analyzers []AnalyzerTime
+}
+
+// Result is the outcome of a module-wide analysis run.
+type Result struct {
+	// Findings are the surviving findings, sorted by position.
+	Findings []Finding
+	// Allows is every //lint:allow in the module with its used state — the
+	// suppression-debt report behind icnvet -allows.
+	Allows []AllowRecord
+	// Facts is the module-wide fact store (icnvet -facts-debug).
+	Facts *FactStore
+	// Timing is the phase breakdown.
+	Timing Timing
+}
+
+// RunModule executes analyzers over every package of the module rooted at
+// opts.Dir: scan, (incremental) type-check, per-package analysis in
+// parallel dependency waves with facts flowing downstream, then the
+// module-global finish passes and stale-suppression scan.
+func RunModule(opts Options) (*Result, error) {
+	analyzers := opts.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = Analyzers
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = pipe.Shared()
+	}
+
+	res := &Result{Facts: NewFactStore()}
+	start := time.Now()
+	mod, err := scanModule(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Scan = time.Since(start)
+	res.Timing.Packages = len(mod.Pkgs)
+
+	// Decide which packages must re-analyze and which replay from cache.
+	cacheDir := opts.CacheDir
+	var keys map[string]string
+	cached := map[string]*cacheEntry{}
+	if opts.Cache {
+		if cacheDir == "" {
+			cacheDir = filepath.Join(mod.Dir, ".icnvet-cache")
+		}
+		registerFactTypes(analyzers)
+		keys = computeCacheKeys(mod, analyzers)
+		for _, pkg := range mod.Pkgs {
+			if e, ok := readCacheEntry(cacheDir, pkg.PkgPath, keys[pkg.PkgPath]); ok {
+				cached[pkg.PkgPath] = e
+			}
+		}
+	}
+	res.Timing.Cached = len(cached)
+
+	// Type-check the stale packages plus their transitive module-internal
+	// dependencies (whose *types.Package objects the stale checks import);
+	// fully cached runs skip type-checking entirely.
+	var need map[string]bool
+	if opts.Cache {
+		need = map[string]bool{}
+		var add func(pkgPath string)
+		add = func(pkgPath string) {
+			if need[pkgPath] {
+				return
+			}
+			need[pkgPath] = true
+			if pkg := mod.byPath[pkgPath]; pkg != nil {
+				for _, dep := range pkg.imports {
+					add(dep)
+				}
+			}
+		}
+		for _, pkg := range mod.Pkgs {
+			if cached[pkg.PkgPath] == nil {
+				add(pkg.PkgPath)
+			}
+		}
+	}
+	loadStart := time.Now()
+	mod.CheckPackages(need, pool)
+	res.Timing.Load = time.Since(loadStart)
+
+	// Analyze in dependency waves: packages of equal topological level are
+	// independent and run in parallel; the wave barrier guarantees every
+	// fact a package imports was exported (or replayed) by an earlier wave.
+	perAnalyzer := make([]int64, len(analyzers))
+	globalAllows := allowIndex{}
+	var findings []Finding
+	var mu sync.Mutex
+	waves := map[int][]*Package{}
+	maxLevel := 0
+	for _, pkg := range mod.Pkgs {
+		waves[pkg.level] = append(waves[pkg.level], pkg)
+		if pkg.level > maxLevel {
+			maxLevel = pkg.level
+		}
+	}
+	analyzeStart := time.Now()
+	for level := 1; level <= maxLevel; level++ {
+		wave := waves[level]
+		if len(wave) == 0 {
+			continue
+		}
+		_ = pool.ForEach(context.Background(), len(wave), func(i int) {
+			pkg := wave[i]
+			if e := cached[pkg.PkgPath]; e != nil {
+				res.Facts.install(e.Facts)
+				allows := allowIndex{}
+				for _, rec := range e.Allows {
+					r := rec
+					allows[allowKey{r.Pos.Filename, r.Pos.Line, r.Analyzer}] = &r
+				}
+				mu.Lock()
+				findings = append(findings, e.Findings...)
+				globalAllows.merge(allows)
+				mu.Unlock()
+				return
+			}
+			pkgFindings, allows := analyzePackage(mod, pkg, analyzers, res.Facts, perAnalyzer)
+			if opts.Cache {
+				// Snapshot before the global phases mutate the used bits:
+				// a cached replay re-runs those phases fresh, so the entry
+				// must hold only local-phase state.
+				entry := &cacheEntry{
+					Key:      keys[pkg.PkgPath],
+					Findings: pkgFindings,
+					Facts:    res.Facts.records(pkg.PkgPath),
+					Allows:   make([]AllowRecord, 0, len(allows)),
+				}
+				for _, rec := range allows.records() {
+					entry.Allows = append(entry.Allows, *rec)
+				}
+				writeCacheEntry(cacheDir, pkg.PkgPath, entry)
+			}
+			mu.Lock()
+			findings = append(findings, pkgFindings...)
+			globalAllows.merge(allows)
+			mu.Unlock()
+		})
+	}
+	res.Timing.Analyze = time.Since(analyzeStart)
+
+	// Module-global phase: finish passes see the full fact store and report
+	// through the merged allow index; then unused suppressions become
+	// findings themselves.
+	finishStart := time.Now()
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for i, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		fStart := time.Now()
+		a.Finish(&FinishPass{
+			Analyzer:   a,
+			ModulePath: mod.Path,
+			facts:      res.Facts,
+			allows:     globalAllows,
+			findings:   &findings,
+		})
+		perAnalyzer[i] += int64(time.Since(fStart))
+	}
+	staleAllowFindings(globalAllows, ran, &findings)
+	res.Timing.Finish = time.Since(finishStart)
+
+	for i, a := range analyzers {
+		res.Timing.Analyzers = append(res.Timing.Analyzers, AnalyzerTime{Name: a.Name, Total: time.Duration(perAnalyzer[i])})
+	}
+	for _, rec := range globalAllows.records() {
+		res.Allows = append(res.Allows, *rec)
+	}
+	SortFindings(findings)
+	res.Findings = findings
+	return res, nil
+}
+
+// analyzePackage runs the analyzers over one package, accumulating
+// per-analyzer nanoseconds into perAnalyzer when non-nil.
+func analyzePackage(mod *Module, pkg *Package, analyzers []*Analyzer, store *FactStore, perAnalyzer []int64) ([]Finding, allowIndex) {
+	var findings []Finding
+	allows := indexAllows(mod.Fset, pkg.Files, &findings)
+	for i, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       mod.Fset,
+			Files:      pkg.Files,
+			PkgPath:    pkg.PkgPath,
+			ModulePath: mod.Path,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			facts:      store,
+			allows:     allows,
+			findings:   &findings,
+		}
+		start := time.Now()
+		a.Run(pass)
+		if perAnalyzer != nil {
+			atomic.AddInt64(&perAnalyzer[i], int64(time.Since(start)))
+		}
+	}
+	return findings, allows
+}

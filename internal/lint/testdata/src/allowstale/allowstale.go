@@ -1,0 +1,25 @@
+// Package allowstalefixture exercises the suppression-debt pseudo
+// analyzer: a //lint:allow that suppresses a real finding is "used", one
+// with nothing to suppress is reported stale, and one naming an analyzer
+// that does not exist is reported as such. TestStaleAllow asserts the
+// findings directly — want markers cannot live inside allow comments.
+package allowstalefixture
+
+// helper carries a suppression that actually fires: the annotation is
+// used, so no stale finding is produced for it.
+func helper() {
+	//lint:allow nopanic fixture: suppression that a real finding consumes
+	panic("boom")
+}
+
+// clean carries a suppression with nothing beneath it: stale.
+func clean() int {
+	//lint:allow nopanic fixture: nothing here panics
+	return 1
+}
+
+// unknown names an analyzer that does not exist.
+func unknown() int {
+	//lint:allow nosuchanalyzer fixture: no analyzer has this name
+	return 2
+}

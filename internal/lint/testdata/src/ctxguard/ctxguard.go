@@ -1,0 +1,100 @@
+// Package ctxguardfixture exercises the ctxguard analyzer both ways. The
+// test checks it under a synthetic internal/serve/... import path, so the
+// trio rules apply: bare channel operations, uncancellable selects,
+// sleeps, context-less dials and calls into blocking helper packages all
+// fire; select-guarded operations, ctx-taking APIs and struct{}-channel
+// waits stay quiet.
+package ctxguardfixture
+
+import (
+	"context"
+	"net"
+	"time"
+
+	dep "repro/internal/ctxguarddepfixture"
+)
+
+func sleeper() {
+	time.Sleep(time.Second) // want ctxguard
+}
+
+func dialer() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:0") // want ctxguard
+}
+
+func bareSend(ch chan int) {
+	ch <- 1 // want ctxguard
+}
+
+func bareRecv(ch chan int) int {
+	return <-ch // want ctxguard
+}
+
+func drain(ch chan int) (sum int) {
+	for v := range ch { // want ctxguard
+		sum += v
+	}
+	return sum
+}
+
+func blockySelect(a, b chan int) int {
+	select { // want ctxguard
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func launder() {
+	dep.Block() // want ctxguard
+}
+
+// --- quiet forms ---
+
+func guardedSend(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func guardedRecv(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func trySend(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func waitDone(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func stopLoop(stop chan struct{}, ch chan int) (sum int) {
+	for {
+		select {
+		case <-stop:
+			return sum
+		case v := <-ch:
+			sum += v
+		}
+	}
+}
+
+func dialCtx(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", "127.0.0.1:0")
+}
+
+func launderCtx(ctx context.Context) {
+	dep.BlockCtx(ctx)
+}

@@ -1,0 +1,27 @@
+// Package ctxguarddepfixture is a helper-package fixture for ctxguard:
+// it lives OUTSIDE the guarded trio, so its own blocking operations are
+// not findings, but Block exports a ctxBlockingFact that makes calls to
+// it from the trio fire. BlockCtx accepts a context and exports nothing.
+package ctxguarddepfixture
+
+import (
+	"context"
+	"time"
+)
+
+// Block sleeps with no way to cancel; callers inside the guarded trio
+// must not launder their waits through it.
+func Block() {
+	time.Sleep(time.Millisecond)
+}
+
+// BlockCtx waits cancellably: it takes a context, so no blocking fact is
+// exported and trio callers may use it freely.
+func BlockCtx(ctx context.Context) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,89 @@
+// Package lockatomicfixture exercises the lockatomic analyzer both ways:
+// a field incremented through sync/atomic must never see a plain access,
+// and a field whose every write holds the receiver mutex must hold it on
+// reads too. *Locked helpers are trusted, fields with no consistent
+// discipline are left alone, and sync-owned fields (the mutex itself)
+// are never tracked.
+package lockatomicfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counterBox struct {
+	mu    sync.Mutex
+	hits  int64
+	total int64
+	mixed int64
+	cold  int64
+}
+
+// bump establishes the atomic discipline on hits.
+func (b *counterBox) bump() {
+	atomic.AddInt64(&b.hits, 1)
+}
+
+// read races bump: plain load of an atomically-written field.
+func (b *counterBox) read() int64 {
+	return b.hits // want lockatomic
+}
+
+// resetHits races bump from the write side.
+func (b *counterBox) resetHits() {
+	b.hits = 0 // want lockatomic
+}
+
+// addTotal establishes the mutex discipline on total: every write holds
+// counterBox.mu.
+func (b *counterBox) addTotal(n int64) {
+	b.mu.Lock()
+	b.total += n
+	b.mu.Unlock()
+}
+
+// totalGuarded reads under the same mutex: quiet (the deferred Unlock
+// does not end the critical section early).
+func (b *counterBox) totalGuarded() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// totalRacy reads the mutex-guarded field bare.
+func (b *counterBox) totalRacy() int64 {
+	return b.total // want lockatomic
+}
+
+// totalLocked is trusted by naming convention to run with the receiver's
+// locks held: quiet.
+func (b *counterBox) totalLocked() int64 {
+	return b.total
+}
+
+// setMixed and setMixedFast write mixed both with and without the mutex,
+// so no guard is inferred and readMixed stays quiet — the discipline is
+// inconsistent, not violated.
+func (b *counterBox) setMixed(n int64) {
+	b.mu.Lock()
+	b.mixed = n
+	b.mu.Unlock()
+}
+
+func (b *counterBox) setMixedFast(n int64) {
+	b.mixed = n
+}
+
+func (b *counterBox) readMixed() int64 {
+	return b.mixed
+}
+
+// cold has no atomic accesses and no guarded writes: plain everywhere is
+// fine.
+func (b *counterBox) coldWrite(n int64) {
+	b.cold = n
+}
+
+func (b *counterBox) coldRead() int64 {
+	return b.cold
+}

@@ -1,0 +1,30 @@
+// Package metricregfixture exercises the metricreg analyzer both ways:
+// emitting a name absent from the obs catalog fires, emitting a counter
+// through a histogram API fires, composing a name at runtime fires
+// locally, and catalog-registered names emitted through the right API
+// stay quiet.
+package metricregfixture
+
+import "repro/internal/obs"
+
+// registered emits catalog names through their registered kinds: quiet.
+func registered() {
+	obs.Add("serve.ingest.batches", 1)
+	obs.ObserveMS("serve.classify.latency.ms", 1.5)
+}
+
+// unregistered emits a name the obs catalog does not know.
+func unregistered() {
+	obs.Add("bogus.metric", 1) // want metricreg
+}
+
+// kindMismatch emits a registered counter through the histogram API.
+func kindMismatch() {
+	obs.ObserveMS("serve.ingest.batches", 2.0) // want metricreg
+}
+
+// dynamicName composes the metric name at runtime, so the registry check
+// cannot see it.
+func dynamicName(site string) {
+	obs.Add("fault."+site+".errs", 1) // want metricreg
+}

@@ -1,0 +1,98 @@
+// Package snapfreezefixture exercises the snapfreeze analyzer in both
+// directions: writes after a snapshot or result escapes (SwapSnapshot,
+// a registry store, ResultFor, an atomic load) fire, while construction
+// writes before publishing and read-only access stay quiet.
+package snapfreezefixture
+
+import (
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/serve"
+)
+
+// afterSwap mutates a snapshot that escaped through SwapSnapshot: the
+// escape summary exported by the serve package marks the parameter
+// published.
+func afterSwap(s *serve.Server, snap *serve.ModelSnapshot) {
+	_ = s.SwapSnapshot(snap)
+	snap.K = 3 // want snapfreeze
+}
+
+// afterAtomicStore publishes directly through an atomic pointer.
+func afterAtomicStore(slot *atomic.Pointer[serve.ModelSnapshot], snap *serve.ModelSnapshot) {
+	slot.Store(snap)
+	snap.Services = 9 // want snapfreeze
+}
+
+// registry mirrors the refresher's revision history: storing a result
+// into the receiver map publishes it (an intra-package escape summary).
+type registry struct {
+	history map[uint64]*analysis.Result
+}
+
+func (r *registry) add(rev uint64, res *analysis.Result) {
+	r.history[rev] = res
+}
+
+func afterRegister(r *registry, res *analysis.Result) {
+	r.add(7, res)
+	res.K = 0 // want snapfreeze
+}
+
+// afterResultFor mutates a result aliased out of the refresher's shared
+// history (ReturnsPublished fact on ResultFor).
+func afterResultFor(r *serve.Refresher) {
+	res, ok := r.ResultFor(1)
+	if ok {
+		res.K = 5 // want snapfreeze
+	}
+}
+
+// scale is a known mutator of its argument (Mutates fact).
+func scale(res *analysis.Result) {
+	res.K = 1
+}
+
+// mutateViaHelper hands a published result to a mutator.
+func mutateViaHelper(r *serve.Refresher) {
+	res, _ := r.ResultFor(2)
+	scale(res) // want snapfreeze
+}
+
+// construct writes during construction, before any escape: quiet.
+func construct() *serve.ModelSnapshot {
+	snap := &serve.ModelSnapshot{}
+	snap.K = 4
+	snap.Services = 12
+	return snap
+}
+
+// publishFresh finishes all writes before the snapshot escapes: quiet.
+func publishFresh(s *serve.Server) {
+	snap := &serve.ModelSnapshot{}
+	snap.K = 2
+	_ = s.SwapSnapshot(snap)
+}
+
+// readPublished only reads through the published alias: quiet.
+func readPublished(r *serve.Refresher) int {
+	res, ok := r.ResultFor(3)
+	if !ok {
+		return 0
+	}
+	return res.K
+}
+
+// freshFromPublished builds a replacement instead of mutating: quiet.
+func freshFromPublished(s *serve.Server, r *serve.Refresher) {
+	res, ok := r.ResultFor(4)
+	if !ok {
+		return
+	}
+	next, err := serve.NewModelSnapshot(res)
+	if err != nil {
+		return
+	}
+	_ = s.SwapSnapshot(next)
+}

@@ -1,0 +1,105 @@
+package obs
+
+// This file is the module's metric catalog: the single registry of every
+// counter and histogram name the system emits. The metricreg analyzer
+// (internal/lint) statically checks the call sites against this table —
+// every obs.Add / obs.ObserveMS name literal in the module must appear
+// here exactly once, with the matching kind, and every non-dynamic entry
+// must have at least one call site — so /metrics cannot silently grow
+// unregistered series or carry dead registrations. At runtime the catalog
+// seeds the registries (see init below), so every registered metric is
+// present on /metrics from the first scrape, at zero, instead of appearing
+// only after its first increment.
+
+// MetricKind distinguishes the two registry shapes.
+type MetricKind string
+
+const (
+	// KindCounter is a monotonically increasing named counter (obs.Add).
+	KindCounter MetricKind = "counter"
+	// KindHistogram is a fixed-bucket latency histogram (obs.ObserveMS /
+	// obs.GetHistogram).
+	KindHistogram MetricKind = "histogram"
+)
+
+// MetricDef is one catalog entry. Name is the registry name; the exported
+// Prometheus name is derived from it ("icn_" prefix, non-alphanumerics to
+// underscores — see metricName).
+type MetricDef struct {
+	// Name is the registry name passed to Add / ObserveMS.
+	Name string
+	// Kind selects the registry.
+	Kind MetricKind
+	// Help is a one-line description for documentation.
+	Help string
+	// Dynamic marks names composed at runtime from a closed enum (the
+	// fault injector's per-site counters). Dynamic entries are exempt from
+	// the metricreg "must have a static call site" check; their call sites
+	// carry a //lint:allow metricreg annotation instead.
+	Dynamic bool
+}
+
+// Catalog lists every metric the module emits. Keep it sorted by name
+// within each group; metricreg rejects duplicates, unregistered call
+// sites, kind mismatches, and non-dynamic entries with no call site.
+var Catalog = []MetricDef{
+	// Pipeline engine.
+	{Name: "pipe.foreach", Kind: KindCounter, Help: "pool fan-out calls"},
+	{Name: "pipe.items", Kind: KindCounter, Help: "work items distributed across the pool"},
+	{Name: "pipe.stages", Kind: KindCounter, Help: "pipeline stages executed"},
+	{Name: "pipe.tasks", Kind: KindCounter, Help: "tracked auxiliary goroutines spawned"},
+
+	// Serving: ingest.
+	{Name: "serve.ingest.batches", Kind: KindCounter, Help: "probe batches acked (202)"},
+	{Name: "serve.ingest.folded", Kind: KindCounter, Help: "records folded into the aggregate by drain workers"},
+	{Name: "serve.ingest.latency.ms", Kind: KindHistogram, Help: "ingest handler latency"},
+	{Name: "serve.ingest.malformed", Kind: KindCounter, Help: "malformed probe streams rejected"},
+	{Name: "serve.ingest.records", Kind: KindCounter, Help: "probe records acked"},
+	{Name: "serve.ingest.rejected", Kind: KindCounter, Help: "batches rejected with 429 backpressure"},
+
+	// Serving: classify.
+	{Name: "serve.classify.antennas", Kind: KindCounter, Help: "traffic vectors classified"},
+	{Name: "serve.classify.cache.hits", Kind: KindCounter, Help: "verdicts served from the revision LRU"},
+	{Name: "serve.classify.cache.misses", Kind: KindCounter, Help: "verdicts that ran the model"},
+	{Name: "serve.classify.latency.ms", Kind: KindHistogram, Help: "classify handler latency"},
+	{Name: "serve.classify.requests", Kind: KindCounter, Help: "classify requests"},
+
+	// Serving: model lifecycle.
+	{Name: "serve.model.swaps", Kind: KindCounter, Help: "snapshot swaps published"},
+	{Name: "serve.refresh.errors", Kind: KindCounter, Help: "refresh attempts that failed"},
+	{Name: "serve.refresh.escalations", Kind: KindCounter, Help: "warm refreshes escalated to full re-linkage"},
+	{Name: "serve.refresh.latency.ms", Kind: KindHistogram, Help: "end-to-end refresh duration"},
+	{Name: "serve.refresh.reassigned", Kind: KindCounter, Help: "antennas reassigned across refreshes"},
+	{Name: "serve.refresh.runs", Kind: KindCounter, Help: "completed refresh runs"},
+	{Name: "serve.refresh.skipped", Kind: KindCounter, Help: "refresh ticks with no new aggregates"},
+
+	// Fault injection: one errs/delays pair per fault.Site, with the name
+	// composed at the injection site ("fault." + site + suffix).
+	{Name: "fault.conn.read.delays", Kind: KindCounter, Help: "injected read delays", Dynamic: true},
+	{Name: "fault.conn.read.errs", Kind: KindCounter, Help: "injected read errors", Dynamic: true},
+	{Name: "fault.conn.write.delays", Kind: KindCounter, Help: "injected write delays", Dynamic: true},
+	{Name: "fault.conn.write.errs", Kind: KindCounter, Help: "injected write errors", Dynamic: true},
+	{Name: "fault.dial.delays", Kind: KindCounter, Help: "injected dial delays", Dynamic: true},
+	{Name: "fault.dial.errs", Kind: KindCounter, Help: "injected dial errors", Dynamic: true},
+	{Name: "fault.pipe.stage.delays", Kind: KindCounter, Help: "injected stage delays", Dynamic: true},
+	{Name: "fault.pipe.stage.errs", Kind: KindCounter, Help: "injected stage errors", Dynamic: true},
+	{Name: "fault.serve.classify.delays", Kind: KindCounter, Help: "injected classify delays", Dynamic: true},
+	{Name: "fault.serve.classify.errs", Kind: KindCounter, Help: "injected classify errors", Dynamic: true},
+	{Name: "fault.serve.fold.delays", Kind: KindCounter, Help: "injected drain-fold delays", Dynamic: true},
+	{Name: "fault.serve.fold.errs", Kind: KindCounter, Help: "injected drain-fold errors", Dynamic: true},
+	{Name: "fault.serve.ingest.delays", Kind: KindCounter, Help: "injected ingest delays", Dynamic: true},
+	{Name: "fault.serve.ingest.errs", Kind: KindCounter, Help: "injected ingest errors", Dynamic: true},
+}
+
+// init seeds the registries from the catalog so every registered metric is
+// emitted on /metrics (at zero) before its first observation.
+func init() {
+	for _, d := range Catalog {
+		switch d.Kind {
+		case KindCounter:
+			Add(d.Name, 0)
+		case KindHistogram:
+			GetHistogram(d.Name, nil)
+		}
+	}
+}

@@ -79,6 +79,7 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) error {
 			wg.Add(1)
 			go func() {
 				defer func() {
+					//lint:allow ctxguard releasing a held slot back to a buffered semaphore can never block; a select here would leak the slot on cancellation
 					<-p.sem
 					wg.Done()
 				}()

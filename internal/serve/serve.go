@@ -279,6 +279,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // building real queue pressure upstream; acked batches are still always
 // folded before the worker exits.
 func (s *Server) drainQueue() {
+	//lint:allow ctxguard draining to queue close is the shutdown contract: acked batches must fold before the worker exits, and Shutdown closes the queue
 	for batch := range s.queue {
 		_ = s.cfg.Faults.Wait(context.Background(), fault.Fold)
 		s.sink.AddBatch(batch)
