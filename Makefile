@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint lint-fast test race bench bench-gate bench-baseline artifacts serve-smoke refresh-smoke serve-bench chaos-smoke fuzz-short
+.PHONY: build lint lint-fast test race bench bench-gate bench-baseline artifacts serve-smoke refresh-smoke serve-bench chaos-smoke shard-smoke shard-bench fuzz-short
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,20 @@ serve-bench:
 # and a reproducible fault-plan digest (see DESIGN.md §10).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# End-to-end smoke of the sharded tier: two identical-seed runs of the
+# icnbench -shards leg at a small scale, each killing one shard and one
+# replica mid-soak; the runs must agree on the ring digest and the
+# acked/folded record counts (see DESIGN.md §14).
+shard-smoke:
+	./scripts/shard_smoke.sh
+
+# Full nationwide-scale sharded benchmark: scale 1.0 (4,762 indoor +
+# 22,000 outdoor antennas), 2M probe sessions through 4 shards and 2
+# replicas with mid-run kills. Refreshes the committed BENCH_shard.json
+# gate baseline; run after intentional performance changes and commit.
+shard-bench:
+	$(GO) run ./cmd/icnbench -shards 4 -replicas 2 -shardjson BENCH_shard.json
 
 # Every fuzz target for a short fixed slice each — the CI-sized sweep of
 # the wire-format, CSV, and HTTP-body parsers.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/serve"
 	"repro/internal/services"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -52,6 +53,7 @@ func chaosRules() map[fault.Site]fault.Rule {
 		fault.ConnRead:  {DelayProb: 0.10, Delay: ms},
 		fault.Ingest:    {DelayProb: 0.30, Delay: 2 * ms},
 		fault.Fold:      {DelayProb: 0.60, Delay: 2 * ms},
+		fault.ShardFold: {DelayProb: 0.40, Delay: 2 * ms},
 		fault.Classify:  {DelayProb: 0.25, Delay: ms},
 	}
 }
@@ -98,6 +100,26 @@ type swapStormRecord struct {
 	InjectedDelays int    `json:"injected_delays"`
 }
 
+// shardStormRecord is the sharded chaos leg's outcome in the -chaosjson
+// output: the soak kills one shard and one replica mid-flight and holds
+// the acked-batch and per-revision parity invariants throughout.
+type shardStormRecord struct {
+	Seed           string `json:"seed"`
+	Shards         int    `json:"shards"`
+	Replicas       int    `json:"replicas"`
+	RingDigest     string `json:"ring_digest"`
+	AckedBatches   int    `json:"acked_batches"`
+	RejectedBatch  int    `json:"rejected_batches"`
+	FoldedRecords  int    `json:"folded_records"`
+	ClassifyOK     int    `json:"classify_ok"`
+	ClassifyShed   int    `json:"classify_shed"`
+	Failovers      int64  `json:"failovers"`
+	Swaps          int    `json:"swaps"`
+	RevisionsSeen  int    `json:"revisions_seen"`
+	InjectedErrs   int    `json:"injected_errs"`
+	InjectedDelays int    `json:"injected_delays"`
+}
+
 // chaosRecord is the -chaosjson schema.
 type chaosRecord struct {
 	Seed       uint64                `json:"seed"`
@@ -108,6 +130,7 @@ type chaosRecord struct {
 	RevisionB  uint64                `json:"revision_b"`
 	Schedules  []chaosScheduleRecord `json:"schedules"`
 	SwapStorm  *swapStormRecord      `json:"swap_storm,omitempty"`
+	ShardStorm *shardStormRecord     `json:"shard_storm,omitempty"`
 }
 
 // runChaos trains two model snapshots (a "retrain" pair over the same
@@ -116,7 +139,7 @@ type chaosRecord struct {
 // snapshot publishes raced against classify load under the same fault
 // rules, each response audited against the offline result of whichever
 // revision it echoes.
-func runChaos(cfg analysis.Config, schedules, swaps int, outPath string) error {
+func runChaos(cfg analysis.Config, schedules, swaps, chaosShards int, outPath string) error {
 	if schedules <= 0 {
 		schedules = 3
 	}
@@ -164,8 +187,8 @@ func runChaos(cfg analysis.Config, schedules, swaps int, outPath string) error {
 		PlanDigest: fmt.Sprintf("%#016x", plan),
 		RevisionA:  snapA.Revision, RevisionB: snapB.Revision,
 	}
-	reproduce := fmt.Sprintf("go run ./cmd/icnbench -chaos -seed %d -chaosschedules %d -chaosswaps %d -scale %g -trees %d",
-		cfg.Seed, schedules, swaps, cfg.Scale, cfg.ForestTrees)
+	reproduce := fmt.Sprintf("go run ./cmd/icnbench -chaos -seed %d -chaosschedules %d -chaosswaps %d -chaosshards %d -scale %g -trees %d",
+		cfg.Seed, schedules, swaps, chaosShards, cfg.Scale, cfg.ForestTrees)
 	for i := 0; i < schedules; i++ {
 		si := scheduleSeed(cfg.Seed, i)
 		sr, err := runChaosSchedule(si, rules, snapA, snapB, resA, labels)
@@ -194,6 +217,21 @@ func runChaos(cfg analysis.Config, schedules, swaps int, outPath string) error {
 			stormSeed, ss.Swaps, ss.Refreshes, ss.Escalations, ss.ClassifyOK, ss.ClassifyShed,
 			ss.RevisionsSeen, ss.InjectedErrs, ss.InjectedDelays)
 		rec.SwapStorm = &ss
+	}
+
+	if chaosShards > 0 {
+		shardSeed := scheduleSeed(cfg.Seed, schedules+1)
+		sh, err := runShardStorm(shardSeed, rules, resA, chaosShards)
+		if err != nil {
+			fmt.Printf("icnbench: chaos shard storm FAILED (seed %#016x): %v\n", shardSeed, err)
+			fmt.Printf("icnbench: reproduce with: %s\n", reproduce)
+			return fmt.Errorf("icnbench: chaos shard storm: %w", err)
+		}
+		fmt.Printf("icnbench: chaos shard storm OK — seed %#016x ring=%s acked=%d rejected=%d folded=%d classify_ok=%d shed=%d failovers=%d swaps=%d revisions=%d faults(err=%d delay=%d)\n",
+			shardSeed, sh.RingDigest, sh.AckedBatches, sh.RejectedBatch, sh.FoldedRecords,
+			sh.ClassifyOK, sh.ClassifyShed, sh.Failovers, sh.Swaps, sh.RevisionsSeen,
+			sh.InjectedErrs, sh.InjectedDelays)
+		rec.ShardStorm = &sh
 	}
 	fmt.Printf("icnbench: chaos PASS — %d schedules, all invariants held; reproduce with: %s\n", schedules, reproduce)
 
@@ -247,7 +285,7 @@ func runChaosSchedule(seed uint64, rules map[fault.Site]fault.Rule,
 	}
 	url := "http://" + srv.Addr().String()
 
-	col, err := collect.Listen("127.0.0.1:0")
+	col, err := collect.ListenContext(ctx, "127.0.0.1:0")
 	if err != nil {
 		_ = srv.Shutdown(ctx)
 		return out, err
@@ -731,6 +769,266 @@ func runSwapStorm(seed uint64, rules map[fault.Site]fault.Rule, base *analysis.R
 			return out, legErrs[0]
 		}
 		return out, fmt.Errorf("swap-storm: %d swaps, want >= %d", out.Swaps, swaps)
+	}
+	if len(legErrs) > 0 {
+		return out, legErrs[0]
+	}
+	return out, nil
+}
+
+// runShardStorm soaks the sharded tier under the same seeded fault rules:
+// concurrent ingest and classify load through the router while one shard
+// and one replica are killed mid-flight and a refresh fans a new revision
+// out to the survivors. Invariants: every 202-acked batch is folded into
+// some shard sink by the drain (kills included), every classify 200
+// matches the offline labels of the revision it echoes, and nothing hangs
+// past the hard deadline.
+func runShardStorm(seed uint64, rules map[fault.Site]fault.Rule, base *analysis.Result, shards int) (shardStormRecord, error) {
+	var out shardStormRecord
+	out.Seed = fmt.Sprintf("%#016x", seed)
+	out.Shards = shards
+	out.Replicas = 2
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	inj := fault.New(seed, rules)
+	snap, err := serve.NewModelSnapshot(base)
+	if err != nil {
+		return out, err
+	}
+	rt, err := shard.NewRouter(snap, base, shard.Config{
+		Shards: shards, Replicas: 2,
+		RingSeed: seed, QueueDepth: 8, Faults: inj,
+	})
+	if err != nil {
+		return out, err
+	}
+	if err := rt.Start(); err != nil {
+		return out, err
+	}
+	url := rt.URL()
+	out.RingDigest = fmt.Sprintf("%016x", rt.Ring().Digest())
+
+	var (
+		mu      sync.Mutex
+		legErrs []error
+		revSeen = map[uint64]bool{}
+	)
+	fail := func(err error) {
+		mu.Lock()
+		legErrs = append(legErrs, err)
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(legErrs) > 0
+	}
+
+	// Classify clients run for the storm's whole lifetime so the shard and
+	// replica kills race in-flight proxied requests. 503 is sanctioned
+	// shedding (injected latency past the deadline, or a replica dying
+	// under the proxy); a 200 must be parity-perfect for its revision.
+	outdoor := base.Dataset.OutdoorTraffic
+	nVec := 32
+	if nVec > outdoor.Rows() {
+		nVec = outdoor.Rows()
+	}
+	var creq serve.ClassifyRequest
+	for i := 0; i < nVec; i++ {
+		creq.Antennas = append(creq.Antennas, serve.AntennaVector{
+			ID: uint32(i), Traffic: outdoor.Row(i),
+		})
+	}
+	classifyBody, err := json.Marshal(creq)
+	if err != nil {
+		return out, err
+	}
+	stopClients := make(chan struct{})
+	var clients pipe.Tasks
+	classifyOK := 0
+	classifyShed := 0
+	for c := 0; c < 2; c++ {
+		c := c
+		clients.Go(func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			for {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				resp, err := client.Post(url+"/v1/classify", "application/json", bytes.NewReader(classifyBody))
+				if err != nil {
+					fail(fmt.Errorf("shard-storm classify %d: %w", c, err))
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					mu.Lock()
+					classifyShed++
+					mu.Unlock()
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("shard-storm classify %d: status %d: %s", c, resp.StatusCode, body))
+					return
+				}
+				var cr serve.ClassifyResponse
+				if err := json.Unmarshal(body, &cr); err != nil {
+					fail(fmt.Errorf("shard-storm classify %d: %w", c, err))
+					return
+				}
+				offline, ok := rt.ResultFor(cr.ModelRevision)
+				if !ok {
+					fail(fmt.Errorf("shard-storm classify %d: response echoes unregistered revision %016x", c, cr.ModelRevision))
+					return
+				}
+				for _, v := range cr.Results {
+					if v.Cluster != offline.OutdoorLabels[v.ID] {
+						fail(fmt.Errorf("shard-storm classify %d: antenna %d served cluster %d under revision %016x, offline labels say %d",
+							c, v.ID, v.Cluster, cr.ModelRevision, offline.OutdoorLabels[v.ID]))
+						return
+					}
+				}
+				mu.Lock()
+				classifyOK++
+				revSeen[cr.ModelRevision] = true
+				mu.Unlock()
+			}
+		})
+	}
+
+	// Ingest through the router with retry-on-429 (each retry re-partitions
+	// against the updated ring, which is how acked batches survive the
+	// shard kill).
+	nIndoor := base.Dataset.Traffic.Rows()
+	ingestClient := &http.Client{Timeout: 30 * time.Second}
+	const perBatch = 25
+	ackedRecords := 0
+	ingest := func(iter int) bool {
+		var stream bytes.Buffer
+		pw := probe.NewWriter(&stream)
+		for j := 0; j < perBatch; j++ {
+			rec := probe.Record{
+				Hour: uint32(j % 24), AntennaID: uint32((iter*19 + j) % nIndoor),
+				Protocol: probe.TCP, ServerPort: 443,
+				ServerName: probe.DomainOf((iter + j) % services.M),
+				DownBytes:  (1 + uint64(iter%4)) << 20, UpBytes: 1 << 16,
+			}
+			if err := pw.Write(rec); err != nil {
+				fail(fmt.Errorf("shard-storm ingest %d: %w", iter, err))
+				return false
+			}
+		}
+		if err := pw.Flush(); err != nil {
+			fail(fmt.Errorf("shard-storm ingest %d: %w", iter, err))
+			return false
+		}
+		for attempt := 0; attempt < 200 && ctx.Err() == nil; attempt++ {
+			resp, err := ingestClient.Post(url+"/v1/ingest", "application/octet-stream", bytes.NewReader(stream.Bytes()))
+			if err != nil {
+				fail(fmt.Errorf("shard-storm ingest %d: %w", iter, err))
+				return false
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				out.AckedBatches++
+				ackedRecords += perBatch
+				return true
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				out.RejectedBatch++
+				time.Sleep(2 * time.Millisecond)
+			default:
+				fail(fmt.Errorf("shard-storm ingest %d: unexpected status %d", iter, resp.StatusCode))
+				return false
+			}
+		}
+		fail(fmt.Errorf("shard-storm ingest %d: batch never acked", iter))
+		return false
+	}
+
+	const batchesPerPhase = 15
+	for iter := 0; iter < batchesPerPhase && !failed(); iter++ {
+		if !ingest(iter) {
+			break
+		}
+	}
+	// Mid-soak kills: one shard (its queue drains every acked batch before
+	// the kill returns) and one replica (proxied classifies fail over).
+	if !failed() && shards > 1 {
+		if err := rt.KillShard(shards - 1); err != nil {
+			fail(fmt.Errorf("shard-storm kill shard: %w", err))
+		}
+	}
+	if !failed() {
+		kctx, kcancel := context.WithTimeout(ctx, 30*time.Second)
+		if err := rt.KillReplica(kctx, 1); err != nil {
+			fail(fmt.Errorf("shard-storm kill replica: %w", err))
+		}
+		kcancel()
+	}
+	for iter := batchesPerPhase; iter < 2*batchesPerPhase && !failed(); iter++ {
+		if !ingest(iter) {
+			break
+		}
+	}
+
+	// Refresh under fire: fold the merged cross-shard totals and publish at
+	// least one new revision through the fan-out (replica 0 is the only
+	// survivor here, but the protocol — register, swap, fan out — is the
+	// same one the classify leg audits per echoed revision).
+	for iter := 0; out.Swaps < 1 && !failed(); iter++ {
+		if iter >= 8 {
+			fail(fmt.Errorf("shard-storm: no swap after %d refresh attempts", iter))
+			break
+		}
+		if !ingest(2*batchesPerPhase + iter) {
+			break
+		}
+		for rt.Sinks().PendingRecords() != 0 && ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		rctx, rcancel := context.WithTimeout(ctx, 2*time.Minute)
+		ro, err := rt.RefreshOnce(rctx)
+		rcancel()
+		if err != nil {
+			fail(fmt.Errorf("shard-storm refresh %d: %w", iter, err))
+			break
+		}
+		if ro.Swapped {
+			out.Swaps++
+		}
+	}
+
+	close(stopClients)
+	clients.Wait()
+
+	// Bounded drain, then the acked-batch audit across every shard sink —
+	// the killed shard's drained aggregate included.
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer sdCancel()
+	if err := rt.Shutdown(sdCtx); err != nil {
+		fail(fmt.Errorf("shard-storm shutdown (possible deadlock): %w", err))
+	}
+	st := rt.Stats()
+	out.FoldedRecords = st.FoldedRecords
+	out.Failovers = st.ClassifyFailovers
+	if out.FoldedRecords != ackedRecords {
+		fail(fmt.Errorf("shard-storm acked-batch loss: sinks hold %d records, want %d (%d acked × %d)",
+			out.FoldedRecords, ackedRecords, out.AckedBatches, perBatch))
+	}
+	mu.Lock()
+	out.ClassifyOK = classifyOK
+	out.ClassifyShed = classifyShed
+	out.RevisionsSeen = len(revSeen)
+	mu.Unlock()
+	for _, c := range inj.Stats() {
+		out.InjectedErrs += int(c.Errs)
+		out.InjectedDelays += int(c.Delays)
 	}
 	if len(legErrs) > 0 {
 		return out, legErrs[0]

@@ -9,12 +9,23 @@
 //	         [-benchjson FILE]
 //	icnbench -serve [-serveclients N] [-servereqs N] [-servebatch N]
 //	         [-servejson FILE]
+//	icnbench -shards N [-replicas M] [-shardclients N] [-shardbatches N]
+//	         [-shardrecords N] [-shardjson FILE]
 //
 // With -serve the command instead benchmarks the online path: it stands up
 // an in-process icnserve instance around a freshly trained snapshot,
 // sustains a concurrent classify load over HTTP, drains the server
 // gracefully, and writes throughput plus p50/p99 latency to -servejson
 // (default BENCH_serve.json).
+//
+// With -shards the command benchmarks the sharded nationwide tier: N
+// ingest shards on a consistent-hash ring behind M replicated serve
+// instances, a bulk probe-session load with one shard and one replica
+// killed mid-flight, a cross-shard refresh fan-out, and a full-population
+// classify audit. Unless -scale is given it runs at scale 1 — the paper's
+// 4,762 indoor and 22,000 outdoor antennas — and the default load drives
+// 2,000,000 probe sessions. Results land in -shardjson (default
+// BENCH_shard.json).
 //
 // At -scale 1 the run uses the paper's full population (4,762 indoor and
 // 22,000 outdoor antennas); this takes a few minutes and ~1 GiB of memory.
@@ -54,13 +65,34 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection soak against a live server instead of regenerating artifacts")
 	chaosSchedules := flag.Int("chaosschedules", 3, "number of seeded fault schedules (with -chaos)")
 	chaosSwaps := flag.Int("chaosswaps", 50, "refresh-driven snapshot swaps the swap-storm leg must complete with parity held (with -chaos; 0 disables the leg)")
+	chaosShards := flag.Int("chaosshards", 3, "shards in the sharded chaos leg: kills a shard and a replica mid-soak with invariants held (with -chaos; 0 disables the leg)")
 	chaosJSON := flag.String("chaosjson", "", "chaos soak record output path (with -chaos, optional)")
+	shards := flag.Int("shards", 0, "benchmark the sharded tier with this many ingest shards instead of regenerating artifacts (0 = off; defaults -scale to 1)")
+	replicas := flag.Int("replicas", 2, "serve replicas behind the shard router (with -shards)")
+	shardClients := flag.Int("shardclients", 8, "concurrent ingest clients (with -shards)")
+	shardBatches := flag.Int("shardbatches", 50, "probe batches per client (with -shards)")
+	shardRecords := flag.Int("shardrecords", 5000, "probe records per batch (with -shards)")
+	shardJSON := flag.String("shardjson", "BENCH_shard.json", "sharded benchmark output path (with -shards)")
 	gatePath := flag.String("gate", "", "baseline stage-timing JSON: rerun the pipeline and fail on per-stage wall-time regressions")
 	gateCompare := flag.String("gatecompare", "", "candidate stage-timing JSON to compare instead of rerunning (with -gate)")
 	gateTolerance := flag.Float64("gatetolerance", 0.25, "fractional slowdown allowed per stage before the gate fails (with -gate)")
 	gateFloor := flag.Float64("gatefloor", 120, "baseline milliseconds floor — stages faster than this are held to the floor's limit, absorbing scheduler noise (with -gate)")
 	gateRuns := flag.Int("gateruns", 2, "pipeline reruns; the per-stage best wall time is gated (with -gate)")
 	flag.Parse()
+
+	// The sharded leg models the nationwide deployment: unless -scale was
+	// given explicitly, -shards runs the paper's full population.
+	if *shards > 0 {
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if !scaleSet {
+			*scale = 1.0
+		}
+	}
 
 	cfg := analysis.Config{
 		Seed:        *seed,
@@ -69,7 +101,14 @@ func main() {
 		ForestTrees: *trees,
 	}
 	if *chaos {
-		if err := runChaos(cfg, *chaosSchedules, *chaosSwaps, *chaosJSON); err != nil {
+		if err := runChaos(cfg, *chaosSchedules, *chaosSwaps, *chaosShards, *chaosJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards > 0 {
+		if err := runShardBench(cfg, *shards, *replicas, *shardClients, *shardBatches, *shardRecords, *shardJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}

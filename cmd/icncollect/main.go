@@ -48,14 +48,14 @@ func main() {
 }
 
 func runCollector(addr string, interval time.Duration) {
-	c, err := collect.Listen(addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c, err := collect.ListenContext(ctx, addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("icncollect: listening on %s (SIGINT to stop)\n", c.Addr())
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// The reporter rides on pipe.Tasks like every other goroutine in the
 	// module, so it is tracked and drained before the process exits.

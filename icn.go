@@ -25,6 +25,10 @@
 //     ServeConfig, ServeStats, ClassifyRequest, AntennaVector,
 //     ClassifyResponse, AntennaVerdict, and the continuous-refresh
 //     controller NewRefresher, Refresher, RefreshConfig, RefreshInfo.
+//   - Sharded serving: NewRouter, Router, ShardConfig, RouterStats,
+//     RingStats, ReplicaStats, ShardSinkStats, and the placement ring
+//     NewRing, Ring, DefaultVirtualNodes — nationwide-scale ingest
+//     partitioned across shard sinks behind replicated serve instances.
 //
 // Run is the only pipeline entrypoint: context-first, with functional
 // options. The pre-option wrappers (RunContext, RunOnDataset,
@@ -69,6 +73,19 @@
 //		log.Fatal(err)
 //	}
 //	defer srv.Shutdown(context.Background())
+//
+// To run the sharded nationwide tier — N ingest shards on a consistent-hash
+// ring behind M replicated serve instances all publishing one model
+// revision (see also cmd/icnbench -shards and examples/sharding):
+//
+//	router, err := icn.NewRouter(snap, result, icn.ShardConfig{Shards: 4, Replicas: 2})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	if err := router.Start(); err != nil {
+//		log.Fatal(err)
+//	}
+//	defer router.Shutdown(context.Background())
 package icn
 
 import (
@@ -80,6 +97,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -243,4 +261,52 @@ type RefreshInfo = serve.RefreshInfo
 // the tick loop and Stop for a drained halt.
 func NewRefresher(srv *Server, base *Result, cfg RefreshConfig) (*Refresher, error) {
 	return serve.NewRefresher(srv, base, cfg)
+}
+
+// --- Sharded serving --------------------------------------------------------
+
+// ShardConfig parameterizes the sharded ingest + replicated serving layer:
+// shard and replica counts, ring seeding, queue depths, and the attached
+// refresh controller.
+type ShardConfig = shard.Config
+
+// Router is the sharded front door: probe ingest partitioned across N
+// shard sinks by consistent hash with all-or-nothing batch acks, classify
+// traffic proxied round-robin over M replicas with failover, and every
+// refreshed snapshot fanned out so all replicas serve one revision.
+type Router = shard.Router
+
+// RouterStats is the router's /v1/stats payload: acked-batch accounting,
+// ring placement, per-shard queues, and per-replica revisions.
+type RouterStats = shard.RouterStats
+
+// RingStats summarizes ring placement state within RouterStats.
+type RingStats = shard.RingStats
+
+// ReplicaStats is one replica's routing and serving state.
+type ReplicaStats = shard.ReplicaStats
+
+// ShardSinkStats is one shard's queue depth and fold progress.
+type ShardSinkStats = shard.SinkStats
+
+// NewRouter builds the sharded layer around a trained snapshot. base is
+// the offline result the snapshot came from; when non-nil a refresh
+// controller is attached with cross-shard totals and snapshot fan-out
+// wired in (pass nil to serve a static snapshot). Call Start to bind and
+// Shutdown for a drained stop that folds every acked batch.
+func NewRouter(snap *ModelSnapshot, base *Result, cfg ShardConfig) (*Router, error) {
+	return shard.NewRouter(snap, base, cfg)
+}
+
+// Ring is the seeded consistent-hash ring placing antennas on shards.
+type Ring = shard.Ring
+
+// DefaultVirtualNodes is the ring's default per-shard virtual-node count.
+const DefaultVirtualNodes = shard.DefaultVirtualNodes
+
+// NewRing builds a placement ring over the given shard count.
+// virtualNodes ≤ 0 selects DefaultVirtualNodes; the same (shards,
+// virtualNodes, seed) triple always yields the same placement.
+func NewRing(shards, virtualNodes int, seed uint64) (*Ring, error) {
+	return shard.NewRing(shards, virtualNodes, seed)
 }

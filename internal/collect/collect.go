@@ -54,42 +54,91 @@ type Collector struct {
 	handlers pipe.Tasks
 }
 
-// Option customizes a Collector.
-type Option func(*Collector)
+// settings is the package's unified option state: one functional-option
+// surface configures both entry points. Each entry point reads only the
+// fields that concern it — a dial option passed to ListenContext is simply
+// inert, and vice versa — so callers can keep one shared option slice.
+type settings struct {
+	// Collector side.
+	readLimit time.Duration
+	sink      *Sink
+	// Exporter side.
+	export exportConfig
+}
+
+func defaultSettings() settings {
+	return settings{
+		readLimit: 30 * time.Second,
+		export:    exportConfig{base: 50 * time.Millisecond},
+	}
+}
+
+// Option customizes ListenContext and Export. The collector options are
+// WithReadTimeout and WithSink; the exporter options are WithDialRetry,
+// WithRetrySeed and WithDialContext. Options that do not apply to an entry
+// point are ignored by it.
+type Option func(*settings)
+
+// ExportOption customizes Export.
+//
+// Deprecated: the option surfaces are unified; every option constructor now
+// returns an Option usable with both ListenContext and Export. ExportOption
+// remains as an alias so existing call sites compile unchanged.
+type ExportOption = Option
 
 // WithReadTimeout bounds how long a connection may stay silent before it
 // is dropped (default 30s; tests use shorter values).
 func WithReadTimeout(d time.Duration) Option {
-	return func(c *Collector) { c.readLimit = d }
+	return func(s *settings) { s.readLimit = d }
 }
 
 // WithSink folds records into an existing sink instead of a fresh one,
 // letting one aggregate receive both TCP and HTTP producers.
-func WithSink(s *Sink) Option {
-	return func(c *Collector) {
-		if s != nil {
-			c.sink = s
+func WithSink(sk *Sink) Option {
+	return func(s *settings) {
+		if sk != nil {
+			s.sink = sk
 		}
 	}
 }
 
-// Listen starts a collector on addr ("host:port"; use "127.0.0.1:0" for an
-// ephemeral port). The caller must invoke Serve to accept connections.
-func Listen(addr string, opts ...Option) (*Collector, error) {
-	ln, err := net.Listen("tcp", addr)
+// ListenContext starts a collector on addr ("host:port"; use "127.0.0.1:0"
+// for an ephemeral port), honoring ctx cancellation while the listener is
+// being bound. The caller must invoke Serve to accept connections.
+func ListenContext(ctx context.Context, addr string, opts ...Option) (*Collector, error) {
+	st := defaultSettings()
+	for _, o := range opts {
+		o(&st)
+	}
+	// ListenConfig only consults ctx during name resolution, so a local
+	// bind under an already-dead context would still succeed without this.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("collect: listen %s: %w", addr, err)
+	}
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collect: listen %s: %w", addr, err)
 	}
 	c := &Collector{
 		ln:        ln,
-		sink:      NewSink(),
-		readLimit: 30 * time.Second,
+		sink:      st.sink,
+		readLimit: st.readLimit,
 		shutdown:  make(chan struct{}),
 	}
-	for _, o := range opts {
-		o(c)
+	if c.sink == nil {
+		c.sink = NewSink()
 	}
 	return c, nil
+}
+
+// Listen starts a collector on addr.
+//
+// Deprecated: use ListenContext, which is context-first like the rest of
+// the module's entry points. Listen is ListenContext with
+// context.Background().
+func Listen(addr string, opts ...Option) (*Collector, error) {
+	return ListenContext(context.Background(), addr, opts...)
 }
 
 // Addr returns the listener address (useful with ephemeral ports).
@@ -189,42 +238,43 @@ type exportConfig struct {
 	base     time.Duration
 	maxDelay time.Duration
 	seed     uint64
+	seedSet  bool
 	dial     func(ctx context.Context, addr string) (net.Conn, error)
 }
-
-// ExportOption customizes Export.
-type ExportOption func(*exportConfig)
 
 // WithDialRetry retries transient dial failures up to budget additional
 // attempts, sleeping base·2ⁱ plus up to 50% deterministic jitter between
 // attempts (capped at 8·base). A refused connection during a collector
 // restart no longer fails the whole export.
-func WithDialRetry(budget int, base time.Duration) ExportOption {
-	return func(c *exportConfig) {
+func WithDialRetry(budget int, base time.Duration) Option {
+	return func(s *settings) {
 		if budget > 0 {
-			c.attempts = budget
+			s.export.attempts = budget
 		}
 		if base > 0 {
-			c.base = base
-			c.maxDelay = 8 * base
+			s.export.base = base
+			s.export.maxDelay = 8 * base
 		}
 	}
 }
 
 // WithRetrySeed selects the jitter stream (the default derives it from the
 // target address, so distinct exporters desynchronize their retries).
-func WithRetrySeed(seed uint64) ExportOption {
-	return func(c *exportConfig) { c.seed = seed }
+func WithRetrySeed(seed uint64) Option {
+	return func(s *settings) {
+		s.export.seed = seed
+		s.export.seedSet = true
+	}
 }
 
 // WithDialContext replaces the exporter's dialer. This is the seam the
 // fault-injection harness (internal/fault) wraps to exercise refused
 // dials, mid-stream resets, and slow reads; proxies and test transports
 // fit the same slot.
-func WithDialContext(dial func(ctx context.Context, addr string) (net.Conn, error)) ExportOption {
-	return func(c *exportConfig) {
+func WithDialContext(dial func(ctx context.Context, addr string) (net.Conn, error)) Option {
+	return func(s *settings) {
 		if dial != nil {
-			c.dial = dial
+			s.export.dial = dial
 		}
 	}
 }
@@ -298,13 +348,17 @@ func seedFromAddr(addr string) uint64 {
 // Export dials a collector and streams the given records over one
 // connection, honoring context cancellation between writes. By default the
 // dial is attempted once; pass WithDialRetry to survive transient refusals.
-func Export(ctx context.Context, addr string, records []probe.Record, opts ...ExportOption) error {
+func Export(ctx context.Context, addr string, records []probe.Record, opts ...Option) error {
 	if len(records) == 0 {
 		return ErrNoRecords
 	}
-	cfg := exportConfig{base: 50 * time.Millisecond, seed: seedFromAddr(addr)}
+	st := defaultSettings()
 	for _, o := range opts {
-		o(&cfg)
+		o(&st)
+	}
+	cfg := st.export
+	if !cfg.seedSet {
+		cfg.seed = seedFromAddr(addr)
 	}
 	conn, err := dialRetry(ctx, addr, cfg)
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 // with its Serve error channel and cancel function.
 func startCollector(t *testing.T) (*Collector, chan error, context.CancelFunc) {
 	t.Helper()
-	c, err := Listen("127.0.0.1:0", WithReadTimeout(2*time.Second))
+	c, err := ListenContext(context.Background(), "127.0.0.1:0", WithReadTimeout(2*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestGracefulShutdownWaitsForInFlight(t *testing.T) {
 }
 
 func TestReadTimeoutDropsSilentConn(t *testing.T) {
-	c, err := Listen("127.0.0.1:0", WithReadTimeout(50*time.Millisecond))
+	c, err := ListenContext(context.Background(), "127.0.0.1:0", WithReadTimeout(50*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

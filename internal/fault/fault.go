@@ -63,6 +63,10 @@ const (
 	Classify Site = "serve.classify"
 	// Stage covers pipeline stage execution (pipe.WithStageHook).
 	Stage Site = "pipe.stage"
+	// ShardFold covers the sharded drain workers folding queued batches
+	// into per-shard sinks (internal/shard) — the slow-shard regime that
+	// builds router-level backpressure.
+	ShardFold Site = "shard.fold"
 )
 
 // ErrInjected is the sentinel every injected error wraps; use errors.Is to

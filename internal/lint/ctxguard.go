@@ -9,7 +9,8 @@ import (
 )
 
 // ctxguard enforces cancellable blocking in the serving path: inside
-// internal/serve, internal/collect and internal/pipe, every operation
+// internal/serve, internal/collect, internal/pipe and internal/shard,
+// every operation
 // that can block forever — channel sends/receives outside a select, range
 // over a channel, a select with neither a default nor a cancellation
 // case, time.Sleep, context-less dials — is a finding; the sanctioned
@@ -30,13 +31,13 @@ type ctxBlockingFact struct {
 // CtxGuard is the ctxguard analyzer.
 var CtxGuard = &Analyzer{
 	Name:      "ctxguard",
-	Doc:       "blocking operations in internal/serve, internal/collect and internal/pipe must be select-guarded with a cancellation case or use ctx-taking APIs",
+	Doc:       "blocking operations in internal/serve, internal/collect, internal/pipe and internal/shard must be select-guarded with a cancellation case or use ctx-taking APIs",
 	Run:       runCtxGuard,
 	FactTypes: []any{ctxBlockingFact{}},
 }
 
 // ctxGuardedPkgs are the module subtrees the local rules apply to.
-var ctxGuardedPkgs = []string{"internal/serve", "internal/collect", "internal/pipe"}
+var ctxGuardedPkgs = []string{"internal/serve", "internal/collect", "internal/pipe", "internal/shard"}
 
 func inCtxGuardedPkg(pkgPath, module string) bool {
 	for _, sub := range ctxGuardedPkgs {

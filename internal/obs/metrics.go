@@ -37,6 +37,12 @@ type MetricDef struct {
 	// the metricreg "must have a static call site" check; their call sites
 	// carry a //lint:allow metricreg annotation instead.
 	Dynamic bool
+	// Buckets overrides a histogram's bucket upper bounds (default:
+	// DefaultLatencyBuckets). Because the registry is first-caller-wins and
+	// init seeds every cataloged metric, non-latency histograms (queue
+	// depths, ring occupancy shares) must declare their bounds here rather
+	// than at a call site.
+	Buckets []float64
 }
 
 // Catalog lists every metric the module emits. Keep it sorted by name
@@ -73,6 +79,25 @@ var Catalog = []MetricDef{
 	{Name: "serve.refresh.runs", Kind: KindCounter, Help: "completed refresh runs"},
 	{Name: "serve.refresh.skipped", Kind: KindCounter, Help: "refresh ticks with no new aggregates"},
 
+	// Sharded ingest + replicated serving (internal/shard).
+	{Name: "shard.fanout.lag.ms", Kind: KindHistogram, Help: "snapshot fan-out lag behind the primary swap"},
+	{Name: "shard.fanout.swaps", Kind: KindCounter, Help: "replica snapshot swaps fanned out after a refresh"},
+	{Name: "shard.fold.records", Kind: KindCounter, Help: "records folded into per-shard sinks by drain workers"},
+	{Name: "shard.ingest.batches", Kind: KindCounter, Help: "sharded probe batches acked (202) by the router"},
+	{Name: "shard.ingest.latency.ms", Kind: KindHistogram, Help: "router ingest handler latency"},
+	{Name: "shard.ingest.malformed", Kind: KindCounter, Help: "malformed probe streams rejected by the router"},
+	{Name: "shard.ingest.records", Kind: KindCounter, Help: "sharded probe records acked by the router"},
+	{Name: "shard.ingest.rejected", Kind: KindCounter, Help: "batches rejected with 429 router backpressure"},
+	{Name: "shard.kills", Kind: KindCounter, Help: "shards killed: drained and removed from the ring"},
+	{Name: "shard.queue.depth", Kind: KindHistogram, Help: "per-shard queue depth in batches, sampled at enqueue",
+		Buckets: []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}},
+	{Name: "shard.replica.kills", Kind: KindCounter, Help: "serve replicas killed and removed from routing"},
+	{Name: "shard.ring.changes", Kind: KindCounter, Help: "ring membership changes (shard added or removed)"},
+	{Name: "shard.ring.occupancy", Kind: KindHistogram, Help: "per-alive-shard share of the hash space, observed at each membership change",
+		Buckets: []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.7, 1}},
+	{Name: "shard.router.failovers", Kind: KindCounter, Help: "proxied requests retried on another replica"},
+	{Name: "shard.router.proxied", Kind: KindCounter, Help: "requests proxied to serve replicas"},
+
 	// Fault injection: one errs/delays pair per fault.Site, with the name
 	// composed at the injection site ("fault." + site + suffix).
 	{Name: "fault.conn.read.delays", Kind: KindCounter, Help: "injected read delays", Dynamic: true},
@@ -89,6 +114,8 @@ var Catalog = []MetricDef{
 	{Name: "fault.serve.fold.errs", Kind: KindCounter, Help: "injected drain-fold errors", Dynamic: true},
 	{Name: "fault.serve.ingest.delays", Kind: KindCounter, Help: "injected ingest delays", Dynamic: true},
 	{Name: "fault.serve.ingest.errs", Kind: KindCounter, Help: "injected ingest errors", Dynamic: true},
+	{Name: "fault.shard.fold.delays", Kind: KindCounter, Help: "injected shard-fold delays", Dynamic: true},
+	{Name: "fault.shard.fold.errs", Kind: KindCounter, Help: "injected shard-fold errors", Dynamic: true},
 }
 
 // init seeds the registries from the catalog so every registered metric is
@@ -99,7 +126,7 @@ func init() {
 		case KindCounter:
 			Add(d.Name, 0)
 		case KindHistogram:
-			GetHistogram(d.Name, nil)
+			GetHistogram(d.Name, d.Buckets)
 		}
 	}
 }

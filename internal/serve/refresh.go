@@ -28,6 +28,17 @@ type RefreshConfig struct {
 	Timeout time.Duration
 	// Logf, when set, receives one line per completed refresh attempt.
 	Logf func(format string, args ...any)
+	// Totals overrides the aggregate-totals source folded on every refresh
+	// (default: the attached server's sink). The sharded router points this
+	// at the merged cross-shard traffic matrix so a refresh sees every
+	// shard's ingest, not just the primary's.
+	Totals func(rows, cols int) *mat.Dense
+	// OnSwap, when set, runs synchronously after RefreshOnce publishes a
+	// new snapshot to the attached server — the snapshot-distribution seam
+	// the sharded router uses to fan the same revision out to its replicas.
+	// Both arguments are shared with the serving path and must not be
+	// mutated.
+	OnSwap func(snap *ModelSnapshot, res *analysis.Result)
 }
 
 func (c RefreshConfig) withDefaults() RefreshConfig {
@@ -235,7 +246,15 @@ func (r *Refresher) RefreshOnce(ctx context.Context) (RefreshOutcome, error) {
 	var out RefreshOutcome
 	out.Revision = r.srv.Snapshot().Revision
 
-	totals := r.srv.Sink().TrafficMatrix(r.acc.Rows(), r.acc.Cols())
+	var totals *mat.Dense
+	if r.cfg.Totals != nil {
+		totals = r.cfg.Totals(r.acc.Rows(), r.acc.Cols())
+	} else {
+		totals = r.srv.Sink().TrafficMatrix(r.acc.Rows(), r.acc.Cols())
+	}
+	if totals == nil {
+		return out, r.fail(fmt.Errorf("serve: refresh totals source returned nil"))
+	}
 	if err := r.acc.SetTotals(totals); err != nil {
 		return out, r.fail(err)
 	}
@@ -275,6 +294,9 @@ func (r *Refresher) RefreshOnce(ctx context.Context) (RefreshOutcome, error) {
 	if swapped {
 		if err := r.srv.SwapSnapshot(snap); err != nil {
 			return out, r.fail(err)
+		}
+		if r.cfg.OnSwap != nil {
+			r.cfg.OnSwap(snap, wres)
 		}
 	}
 	for i := 0; i < totals.Rows(); i++ {

@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: same (shards, vnodes, seed) → identical
+// digest and identical placement for every key; a different seed moves the
+// ring.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a, err := NewRing(4, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same seed, different digests: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	for key := uint32(0); key < 10000; key++ {
+		if a.Place(key) != b.Place(key) {
+			t.Fatalf("key %d placed differently by identical rings", key)
+		}
+	}
+	c, err := NewRing(4, 0, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced the same ring digest")
+	}
+}
+
+// TestRingBalance: across shard counts, empirical key share and exact
+// arc-length occupancy both stay within tolerance of the ideal 1/n, and
+// occupancy sums to 1.
+func TestRingBalance(t *testing.T) {
+	const keys = 100000
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		r, err := NewRing(n, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for key := uint32(0); key < keys; key++ {
+			s := r.Place(key)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: key %d placed on invalid shard %d", n, key, s)
+			}
+			counts[s]++
+		}
+		occ := r.Occupancy()
+		sum := 0.0
+		ideal := 1.0 / float64(n)
+		for s := 0; s < n; s++ {
+			sum += occ[s]
+			frac := float64(counts[s]) / keys
+			// 128 vnodes/shard keeps shares within ±45% of ideal even at
+			// n=16; the bound is loose enough to be seed-stable and tight
+			// enough to catch a broken hash or walk.
+			if frac < 0.55*ideal || frac > 1.45*ideal {
+				t.Errorf("n=%d shard %d: key share %.4f outside [0.55, 1.45]×ideal %.4f", n, s, frac, ideal)
+			}
+			if math.Abs(occ[s]-frac) > 0.02 {
+				t.Errorf("n=%d shard %d: occupancy %.4f disagrees with empirical share %.4f", n, s, occ[s], frac)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: occupancy sums to %.12f, want 1", n, sum)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnRemove: removing a shard remaps only the keys it
+// owned — every other key keeps its shard — and the moved fraction tracks
+// the removed shard's occupancy.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	const keys = 50000
+	r, err := NewRing(5, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, keys)
+	for key := 0; key < keys; key++ {
+		before[key] = r.Place(uint32(key))
+	}
+	const victim = 2
+	removedShare := r.Occupancy()[victim]
+	if err := r.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for key := 0; key < keys; key++ {
+		after := r.Place(uint32(key))
+		if before[key] != victim {
+			if after != before[key] {
+				t.Fatalf("key %d moved from surviving shard %d to %d", key, before[key], after)
+			}
+			continue
+		}
+		if after == victim {
+			t.Fatalf("key %d still on removed shard", key)
+		}
+		moved++
+	}
+	frac := float64(moved) / keys
+	if math.Abs(frac-removedShare) > 0.02 {
+		t.Errorf("moved fraction %.4f, removed shard owned %.4f", frac, removedShare)
+	}
+}
+
+// TestRingMinimalRemapOnAdd: growing the ring moves keys only onto the new
+// shard, and roughly its fair share of them.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	const keys = 50000
+	r, err := NewRing(4, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, keys)
+	for key := 0; key < keys; key++ {
+		before[key] = r.Place(uint32(key))
+	}
+	id := r.Add()
+	if id != 4 {
+		t.Fatalf("Add returned id %d, want 4", id)
+	}
+	moved := 0
+	for key := 0; key < keys; key++ {
+		after := r.Place(uint32(key))
+		if after != before[key] {
+			if after != id {
+				t.Fatalf("key %d moved to shard %d, not the new shard %d", key, after, id)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	ideal := 1.0 / 5
+	if frac < 0.5*ideal || frac > 1.5*ideal {
+		t.Errorf("new shard captured %.4f of keys, want within [0.5, 1.5]×%.4f", frac, ideal)
+	}
+}
+
+// TestRingRemoveGuards: invalid removals error and the last alive shard is
+// protected, so Place can never face an empty ring.
+func TestRingRemoveGuards(t *testing.T) {
+	r, err := NewRing(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(5); err == nil {
+		t.Fatal("removing an unknown shard succeeded")
+	}
+	if err := r.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(0); err == nil {
+		t.Fatal("double-remove succeeded")
+	}
+	if err := r.Remove(1); err == nil {
+		t.Fatal("removed the last alive shard")
+	}
+	if got := r.Place(12345); got != 1 {
+		t.Fatalf("all keys should land on the survivor, got shard %d", got)
+	}
+	if r.Alive() != 1 || r.Shards() != 2 {
+		t.Fatalf("Alive=%d Shards=%d, want 1 and 2", r.Alive(), r.Shards())
+	}
+	if r.IsAlive(0) || !r.IsAlive(1) {
+		t.Fatal("liveness flags wrong after removal")
+	}
+	if _, err := NewRing(0, 8, 1); err == nil {
+		t.Fatal("NewRing accepted zero shards")
+	}
+}
+
+// TestRingDigestTracksLiveness: the digest changes when membership does —
+// two runs can only agree if they killed the same shards.
+func TestRingDigestTracksLiveness(t *testing.T) {
+	r, err := NewRing(3, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := r.Digest()
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Digest() == d0 {
+		t.Fatal("digest unchanged after removing a shard")
+	}
+}

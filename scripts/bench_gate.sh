@@ -11,6 +11,12 @@
 # warm refresh cycle) and gates its latency rows against the committed
 # BENCH_serve.json through the same per-stage comparison (-gatecompare).
 #
+# A third leg reruns the sharded nationwide benchmark at scale 1.0 (4
+# shards, 2 replicas, 2M probe sessions with mid-run kills) and gates its
+# shard_ingest / shard_classify_p50 / shard_classify_p99 / shard_refresh
+# rows against the committed BENCH_shard.json. This leg trains the full
+# population and takes minutes; set BENCH_GATE_SHARD_BASELINE="" to skip.
+#
 # Knobs (environment):
 #   BENCH_GATE_SEED           generator seed              (default 1)
 #   BENCH_GATE_SCALE          antenna-population scale    (default 0.25)
@@ -21,6 +27,8 @@
 #   BENCH_GATE_BASELINE       baseline JSON               (default BENCH_baseline.json)
 #   BENCH_GATE_SERVE_BASELINE serving baseline JSON       (default BENCH_serve.json;
 #                             set empty to skip the serving leg)
+#   BENCH_GATE_SHARD_BASELINE sharded baseline JSON       (default BENCH_shard.json;
+#                             set empty to skip the sharded leg)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +40,7 @@ FLOOR_MS="${BENCH_GATE_FLOOR_MS:-120}"
 RUNS="${BENCH_GATE_RUNS:-2}"
 BASELINE="${BENCH_GATE_BASELINE:-BENCH_baseline.json}"
 SERVE_BASELINE="${BENCH_GATE_SERVE_BASELINE-BENCH_serve.json}"
+SHARD_BASELINE="${BENCH_GATE_SHARD_BASELINE-BENCH_shard.json}"
 
 go run ./cmd/icnbench \
   -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
@@ -48,6 +57,18 @@ if [[ -n "$SERVE_BASELINE" && -f "$SERVE_BASELINE" ]]; then
   go run ./cmd/icnbench -serve -scale 0.1 -trees 25 -servejson "$serve_json"
   go run ./cmd/icnbench \
     -gate "$SERVE_BASELINE" -gatecompare "$serve_json" \
+    -gatetolerance "$TOLERANCE" \
+    -gatefloor "$FLOOR_MS"
+fi
+
+if [[ -n "$SHARD_BASELINE" && -f "$SHARD_BASELINE" ]]; then
+  echo "bench gate: sharded leg (baseline $SHARD_BASELINE, scale 1.0 — this takes minutes)"
+  shard_json="$(mktemp)"
+  trap 'rm -f "${serve_json:-}" "$shard_json"' EXIT
+  # Same shape as `make shard-bench`, which refreshes the baseline.
+  go run ./cmd/icnbench -shards 4 -replicas 2 -shardjson "$shard_json"
+  go run ./cmd/icnbench \
+    -gate "$SHARD_BASELINE" -gatecompare "$shard_json" \
     -gatetolerance "$TOLERANCE" \
     -gatefloor "$FLOOR_MS"
 fi

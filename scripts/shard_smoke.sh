@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# shard_smoke.sh — end-to-end smoke of the sharded nationwide tier.
+#
+# Builds icnbench and runs the -shards leg twice at a small scale with the
+# same seed. Each run stands up N ingest shards on a consistent-hash ring
+# behind two serve replicas, drives concurrent probe batches through the
+# router while one shard and one replica are killed mid-soak, fans one
+# refreshed revision out, and audits the two distributed invariants
+# (acked == folded after the drain; served↔offline parity per echoed
+# revision). The two runs must agree on the ring digest — placement is a
+# pure function of (shards, vnodes, seed) — and on the acked/folded record
+# counts. Run via `make shard-smoke`.
+#
+# Set SMOKE_LOG_DIR to keep the transcripts and JSON records after the run
+# (CI uploads them as artifacts on failure).
+set -euo pipefail
+
+SEED="${SHARD_SEED:-7}"
+SHARDS="${SHARD_SHARDS:-3}"
+REPLICAS="${SHARD_REPLICAS:-2}"
+SCALE=0.05
+TREES=15
+
+tmp="$(mktemp -d)"
+cleanup() {
+  if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp -f "$tmp"/run_*.txt "$tmp"/shard_*.json "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "shard-smoke: building icnbench"
+go build -o "$tmp/icnbench" ./cmd/icnbench
+
+run() {
+  "$tmp/icnbench" -shards "$SHARDS" -replicas "$REPLICAS" -seed "$SEED" \
+    -scale "$SCALE" -trees "$TREES" \
+    -shardclients 2 -shardbatches 6 -shardrecords 500 \
+    -shardjson "$tmp/shard_$1.json" 2>&1 | tee "$tmp/run_$1.txt"
+}
+
+echo "shard-smoke: run 1 (seed=$SEED shards=$SHARDS replicas=$REPLICAS)"
+run 1
+echo "shard-smoke: run 2 (same seed — ring placement must reproduce)"
+run 2
+
+grep -q 'shard PASS' "$tmp/run_1.txt" && grep -q 'shard PASS' "$tmp/run_2.txt" || {
+  echo "shard-smoke: FAIL — a run did not pass its invariants" >&2
+  exit 1
+}
+grep -q 'killed shard' "$tmp/run_1.txt" || {
+  echo "shard-smoke: FAIL — no shard was killed mid-soak" >&2
+  exit 1
+}
+grep -q 'killed replica' "$tmp/run_1.txt" || {
+  echo "shard-smoke: FAIL — no replica was killed mid-soak" >&2
+  exit 1
+}
+
+field() { sed -n "s/.*\"$2\": \"\{0,1\}\([0-9a-fx]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$tmp/shard_$1.json" | head -1; }
+for key in ring_digest acked_records folded_records; do
+  v1="$(field 1 "$key")"
+  v2="$(field 2 "$key")"
+  [[ -n "$v1" && "$v1" == "$v2" ]] || {
+    echo "shard-smoke: FAIL — $key diverged between identical-seed runs ($v1 vs $v2)" >&2
+    exit 1
+  }
+  echo "shard-smoke: $key reproduced ($v1)"
+done
+
+acked="$(field 1 acked_records)"
+folded="$(field 1 folded_records)"
+[[ "$acked" == "$folded" && "$acked" != "0" ]] || {
+  echo "shard-smoke: FAIL — acked ($acked) != folded ($folded)" >&2
+  exit 1
+}
+echo "shard-smoke: PASS"
