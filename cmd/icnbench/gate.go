@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
@@ -38,10 +40,37 @@ type gateRow struct {
 	Status  gateStatus
 }
 
+// parseGateMax parses a -gatemax spec — comma-separated stage=ms pairs,
+// e.g. "temporal=300,selection=130" — into absolute per-stage wall-time
+// ceilings.
+func parseGateMax(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, ms, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("gatemax: %q is not stage=ms", pair)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(ms), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("gatemax: %q has no positive millisecond value", pair)
+		}
+		out[strings.TrimSpace(name)] = v
+	}
+	return out, nil
+}
+
 // runGate loads the baseline record, measures (or loads, with comparePath)
 // a candidate record, prints the per-stage table and returns an error when
-// any baseline stage regressed beyond the tolerance or disappeared.
-func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, tolerance, floorMS float64, runs int) error {
+// any baseline stage regressed beyond the tolerance, exceeded its
+// absolute maxMS ceiling, or disappeared.
+func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, tolerance, floorMS float64, runs int, maxMS map[string]float64) error {
 	base, err := readBenchRecord(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench gate: baseline: %w", err)
@@ -58,9 +87,18 @@ func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, t
 		}
 	}
 
-	rows, regressed := compareBench(base, cand, tolerance, floorMS)
+	rows, regressed := compareBench(base, cand, tolerance, floorMS, maxMS)
 	fmt.Printf("bench gate: tolerance +%.0f%%, floor %.0fms (limit = max(baseline, floor) × %.2f)\n",
 		tolerance*100, floorMS, 1+tolerance)
+	if len(maxMS) > 0 {
+		var caps []string
+		for _, r := range rows {
+			if m, ok := maxMS[r.Name]; ok {
+				caps = append(caps, fmt.Sprintf("%s≤%.0fms", r.Name, m))
+			}
+		}
+		fmt.Printf("bench gate: absolute ceilings: %s\n", strings.Join(caps, ", "))
+	}
 	fmt.Printf("%-14s %12s %12s %12s   %s\n", "stage", "baseline", "current", "limit", "status")
 	for _, r := range rows {
 		cur := fmt.Sprintf("%.1fms", r.CandMS)
@@ -127,23 +165,31 @@ func measureBest(cfg analysis.Config, runs int, benchPath string) (benchRecord, 
 // A stage regresses when its candidate wall exceeds
 // max(baseline, floor) × (1 + tolerance); a baseline stage missing from
 // the candidate also counts as a regression (a silently dropped stage must
-// not pass the gate).
-func compareBench(base, cand benchRecord, tolerance, floorMS float64) (rows []gateRow, regressed int) {
+// not pass the gate). maxMS imposes absolute per-stage ceilings on top:
+// a listed stage's limit is clamped to its ceiling, so a slow creep that
+// stays inside the relative tolerance still fails once it crosses the
+// budgeted wall (the tentpole stages commit to temporal ≤ 300 ms and
+// selection ≤ 130 ms at the baseline shape).
+func compareBench(base, cand benchRecord, tolerance, floorMS float64, maxMS map[string]float64) (rows []gateRow, regressed int) {
 	candWall := make(map[string]float64, len(cand.Stages))
 	for _, st := range cand.Stages {
 		candWall[st.Name] = st.WallMS
 	}
-	limit := func(baseMS float64) float64 {
+	limit := func(name string, baseMS float64) float64 {
 		b := baseMS
 		if b < floorMS {
 			b = floorMS
 		}
-		return b * (1 + tolerance)
+		l := b * (1 + tolerance)
+		if m, ok := maxMS[name]; ok && m < l {
+			l = m
+		}
+		return l
 	}
 	seen := make(map[string]bool, len(base.Stages))
 	for _, st := range base.Stages {
 		seen[st.Name] = true
-		row := gateRow{Name: st.Name, BaseMS: st.WallMS, LimitMS: limit(st.WallMS)}
+		row := gateRow{Name: st.Name, BaseMS: st.WallMS, LimitMS: limit(st.Name, st.WallMS)}
 		if w, ok := candWall[st.Name]; !ok {
 			row.Status = gateMissing
 			regressed++
@@ -158,7 +204,7 @@ func compareBench(base, cand benchRecord, tolerance, floorMS float64) (rows []ga
 		}
 		rows = append(rows, row)
 	}
-	total := gateRow{Name: "TOTAL", BaseMS: base.TotalMS, CandMS: cand.TotalMS, LimitMS: limit(base.TotalMS)}
+	total := gateRow{Name: "TOTAL", BaseMS: base.TotalMS, CandMS: cand.TotalMS, LimitMS: limit("TOTAL", base.TotalMS)}
 	if total.CandMS > total.LimitMS {
 		total.Status = gateRegress
 		regressed++
@@ -168,7 +214,7 @@ func compareBench(base, cand benchRecord, tolerance, floorMS float64) (rows []ga
 	rows = append(rows, total)
 	for _, st := range cand.Stages {
 		if !seen[st.Name] {
-			rows = append(rows, gateRow{Name: st.Name, CandMS: st.WallMS, LimitMS: limit(0), Status: gateNew})
+			rows = append(rows, gateRow{Name: st.Name, CandMS: st.WallMS, LimitMS: limit(st.Name, 0), Status: gateNew})
 		}
 	}
 	return rows, regressed

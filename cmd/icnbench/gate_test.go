@@ -35,7 +35,7 @@ func findRow(t *testing.T, rows []gateRow, name string) gateRow {
 
 func TestCompareBenchAllWithinTolerance(t *testing.T) {
 	base, cand := gateFixture()
-	rows, regressed := compareBench(base, cand, 0.25, 25)
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 0 {
 		t.Fatalf("regressed = %d, want 0: %+v", regressed, rows)
 	}
@@ -56,7 +56,7 @@ func TestCompareBenchDetectsInflatedStage(t *testing.T) {
 			cand.Stages[i].WallMS = 700
 		}
 	}
-	rows, regressed := compareBench(base, cand, 0.25, 25)
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1", regressed)
 	}
@@ -78,7 +78,7 @@ func TestCompareBenchFloorAbsorbsTinyStageNoise(t *testing.T) {
 			cand.Stages[i].WallMS = 4.2
 		}
 	}
-	_, regressed := compareBench(base, cand, 0.25, 25)
+	_, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 0 {
 		t.Fatalf("regressed = %d, want 0 (floor must absorb sub-floor noise)", regressed)
 	}
@@ -87,7 +87,7 @@ func TestCompareBenchFloorAbsorbsTinyStageNoise(t *testing.T) {
 func TestCompareBenchMissingStageFails(t *testing.T) {
 	base, cand := gateFixture()
 	cand.Stages = cand.Stages[:2] // drop outdoor
-	rows, regressed := compareBench(base, cand, 0.25, 25)
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1", regressed)
 	}
@@ -99,7 +99,7 @@ func TestCompareBenchMissingStageFails(t *testing.T) {
 func TestCompareBenchNewStageInformational(t *testing.T) {
 	base, cand := gateFixture()
 	cand.Stages = append(cand.Stages, stageJSON{Name: "embedding", WallMS: 90})
-	rows, regressed := compareBench(base, cand, 0.25, 25)
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 0 {
 		t.Fatalf("regressed = %d, want 0 (new stages are informational)", regressed)
 	}
@@ -111,11 +111,60 @@ func TestCompareBenchNewStageInformational(t *testing.T) {
 func TestCompareBenchTotalRegression(t *testing.T) {
 	base, cand := gateFixture()
 	cand.TotalMS = 1000 // beyond 700*1.25 = 875
-	rows, regressed := compareBench(base, cand, 0.25, 25)
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
 	if regressed != 1 {
 		t.Fatalf("regressed = %d, want 1", regressed)
 	}
 	if r := findRow(t, rows, "TOTAL"); r.Status != gateRegress {
 		t.Fatalf("TOTAL status %s, want %s", r.Status, gateRegress)
+	}
+}
+
+func TestCompareBenchAbsoluteCeiling(t *testing.T) {
+	base, cand := gateFixture()
+	// forest at 480ms is inside the relative limit (500×1.25 = 625) but
+	// above a 450ms absolute ceiling.
+	rows, regressed := compareBench(base, cand, 0.25, 25, map[string]float64{"forest": 450})
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1: %+v", regressed, rows)
+	}
+	r := findRow(t, rows, "forest")
+	if r.Status != gateRegress || r.LimitMS != 450 {
+		t.Fatalf("forest row %+v, want REGRESSION with limit 450", r)
+	}
+}
+
+func TestCompareBenchCeilingAboveLimitIsInert(t *testing.T) {
+	base, cand := gateFixture()
+	// A ceiling looser than the relative limit changes nothing.
+	rows, regressed := compareBench(base, cand, 0.25, 25, map[string]float64{"forest": 10000, "outdoor": 80})
+	if regressed != 0 {
+		t.Fatalf("regressed = %d, want 0: %+v", regressed, rows)
+	}
+	if r := findRow(t, rows, "forest"); r.LimitMS != 625 {
+		t.Fatalf("forest limit %v, want relative 625", r.LimitMS)
+	}
+	// outdoor's relative limit max(60, 25)×1.25 = 75 is already tighter
+	// than the 80ms ceiling, so the relative limit stands.
+	if r := findRow(t, rows, "outdoor"); r.LimitMS != 75 {
+		t.Fatalf("outdoor limit %v, want relative 75", r.LimitMS)
+	}
+}
+
+func TestParseGateMax(t *testing.T) {
+	got, err := parseGateMax("temporal=300, selection=130")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["temporal"] != 300 || got["selection"] != 130 || len(got) != 2 {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := parseGateMax(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"temporal", "temporal=", "temporal=-5", "temporal=abc"} {
+		if _, err := parseGateMax(bad); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		}
 	}
 }

@@ -78,6 +78,7 @@ func main() {
 	gateTolerance := flag.Float64("gatetolerance", 0.25, "fractional slowdown allowed per stage before the gate fails (with -gate)")
 	gateFloor := flag.Float64("gatefloor", 120, "baseline milliseconds floor — stages faster than this are held to the floor's limit, absorbing scheduler noise (with -gate)")
 	gateRuns := flag.Int("gateruns", 2, "pipeline reruns; the per-stage best wall time is gated (with -gate)")
+	gateMax := flag.String("gatemax", "", "absolute per-stage wall-time ceilings as stage=ms pairs, e.g. temporal=300,selection=130 — a listed stage fails above its ceiling even inside the relative tolerance (with -gate)")
 	flag.Parse()
 
 	// The sharded leg models the nationwide deployment: unless -scale was
@@ -115,7 +116,12 @@ func main() {
 		return
 	}
 	if *gatePath != "" {
-		if err := runGate(cfg, *gatePath, *gateCompare, *benchPath, *gateTolerance, *gateFloor, *gateRuns); err != nil {
+		maxMS, err := parseGateMax(*gateMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runGate(cfg, *gatePath, *gateCompare, *benchPath, *gateTolerance, *gateFloor, *gateRuns, maxMS); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -55,8 +55,12 @@ func main() {
 	if sweepMax > table.Traffic.Rows() {
 		sweepMax = table.Traffic.Rows()
 	}
+	sweep, err := cluster.SweepK(linkage, dists, 2, sweepMax)
+	if err != nil {
+		fatal(err)
+	}
 	tb := report.NewTable("model selection", "k", "silhouette", "dunn")
-	for _, p := range cluster.SweepK(linkage, dists, 2, sweepMax) {
+	for _, p := range sweep {
 		tb.AddRow(p.K, p.Silhouette, p.Dunn)
 	}
 	fmt.Println(tb.String())

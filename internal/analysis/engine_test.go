@@ -35,7 +35,11 @@ func computeSequential(t *testing.T, ds *synth.Dataset, cfg Config) sequentialRe
 	linkage := cluster.Ward(rsca)
 	d := cluster.PairwiseDistances(rsca)
 	var ref sequentialReference
-	ref.Selection = cluster.SweepK(linkage, d, 2, cfg.SweepKMax)
+	var err error
+	ref.Selection, err = cluster.SweepK(linkage, d, 2, cfg.SweepKMax)
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw := linkage.CutK(cfg.K)
 	mapping := alignLabels(raw, ds, cfg.K)
 	ref.Labels = make([]int, len(raw))

@@ -42,6 +42,12 @@ type Config struct {
 	// SHAPSamplesPerCluster bounds the per-cluster explained sample count
 	// (default 30 members plus 15 contrast samples).
 	SHAPSamplesPerCluster int
+	// TemporalExactSort computes temporal medians with the legacy
+	// sort-based stats.Median instead of the default counting-sort
+	// selection. The two are value-identical on every input (see
+	// TestTemporalProfilesExactSortParity); the gate exists as the parity
+	// reference, mirroring forest.Config.ExactSort.
+	TemporalExactSort bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,8 +122,8 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 	// memoizing profile methods see a coherent view mid-graph.
 	g.Add("temporal", []string{"labels"}, func(ctx context.Context) error {
 		res.adoptClusters(feats, clus)
-		res.ClusterTemporalProfiles(defaultTemporalCap)
-		return nil
+		_, err := res.ClusterTemporalProfilesContext(ctx, defaultTemporalCap)
+		return err
 	})
 
 	if err := g.Run(ctx, res.Trace()); err != nil {

@@ -64,15 +64,35 @@ type Result struct {
 	// downstream consumer (selection sweep, cophenetic fidelity, k-means
 	// ablation). Callers must treat it as read-only.
 	dists *mat.Condensed
-	// temporalCache memoizes ClusterTemporalProfiles /
-	// ServiceTemporalProfiles per (service, antenna-cap) pair; the
-	// temporal stage warms it concurrently with forest training.
-	temporalCache map[temporalKey][]TemporalProfile
+	// temporalCache memoizes ClusterTemporalProfilesContext /
+	// ServiceTemporalProfilesContext per (service, antenna-cap) pair with
+	// single-flight entries; the temporal stage warms it concurrently
+	// with forest training.
+	temporalCache map[temporalKey]*temporalEntry
+	// seriesCache memoizes the per-antenna hourly series underneath the
+	// profiles, keyed by (antenna index, service), so the expensive
+	// synthesis runs once per antenna across the whole (service, cap)
+	// profile key space and the forecasting series.
+	seriesCache map[seriesKey][]float64
 }
 
 type temporalKey struct {
 	service int // -1 = total traffic
 	cap     int
+}
+
+// temporalEntry is one single-flight cache slot: the computing caller
+// closes done after filling profiles/err; waiters block on done (or
+// their own context).
+type temporalEntry struct {
+	done     chan struct{}
+	profiles []TemporalProfile
+	err      error
+}
+
+type seriesKey struct {
+	antenna int
+	service int // -1 = total traffic
 }
 
 // defaultTemporalCap is the per-cluster antenna cap the temporal stage

@@ -112,7 +112,11 @@ func AddClusterStages(g *pipe.Graph, ds *synth.Dataset, cfg Config, feats *Featu
 	})
 
 	g.Add("selection", []string{"linkage"}, func(ctx context.Context) error {
-		out.Selection = cluster.SweepK(out.Linkage, feats.Dists, 2, cfg.SweepKMax)
+		var err error
+		out.Selection, err = cluster.SweepK(out.Linkage, feats.Dists, 2, cfg.SweepKMax)
+		if err != nil {
+			return fmt.Errorf("selection sweep: %w", err)
+		}
 		out.Knees = cluster.Knees(out.Selection, 3)
 		return nil
 	})

@@ -27,107 +27,239 @@ func (r *Result) windowBounds() (firstDay, lastDay, hours int) {
 	return firstDay, lastDay, hours
 }
 
-// ClusterTemporalProfiles computes the Fig. 10 per-cluster heatmaps: for
-// every cluster, the median across member antennas of hourly total
-// traffic, normalized to the cluster's maximum. maxAntennasPerCluster
-// bounds the per-cluster sample for tractability (0 = all members).
-// Results are memoized per cap — the pipeline's temporal stage warms the
-// cache concurrently with forest training — and must be treated as
-// read-only by callers.
+// ClusterTemporalProfilesContext computes the Fig. 10 per-cluster
+// heatmaps: for every cluster, the median across member antennas of
+// hourly total traffic, normalized to the cluster's maximum.
+// maxAntennasPerCluster bounds the per-cluster sample for tractability
+// (0 = all members). Results are memoized per cap with single-flight
+// semantics — concurrent callers of the same key block on one
+// computation — and must be treated as read-only by callers. The only
+// failure mode is ctx cancellation.
+func (r *Result) ClusterTemporalProfilesContext(ctx context.Context, maxAntennasPerCluster int) ([]TemporalProfile, error) {
+	return r.temporalProfiles(ctx, -1, maxAntennasPerCluster)
+}
+
+// ClusterTemporalProfiles is ClusterTemporalProfilesContext without
+// cancellation.
+//
+// Deprecated: use ClusterTemporalProfilesContext so a cancelled pipeline
+// does not keep burning the worker pool on temporal fan-out.
 func (r *Result) ClusterTemporalProfiles(maxAntennasPerCluster int) []TemporalProfile {
-	return r.temporalProfiles(-1, maxAntennasPerCluster)
+	out, err := r.ClusterTemporalProfilesContext(context.Background(), maxAntennasPerCluster)
+	if err != nil {
+		// The background context is never cancelled and cancellation is
+		// the only error source.
+		//lint:allow nopanic background context cannot be cancelled
+		panic(err)
+	}
+	return out
 }
 
-// ServiceTemporalProfiles computes the Fig. 11 heatmaps for one service:
-// per cluster, the normalized median of the service's hourly traffic.
-// Results are memoized per (service, cap) and must be treated as
-// read-only by callers.
+// ServiceTemporalProfilesContext computes the Fig. 11 heatmaps for one
+// service: per cluster, the normalized median of the service's hourly
+// traffic. Results are memoized per (service, cap) with single-flight
+// semantics and must be treated as read-only by callers.
+func (r *Result) ServiceTemporalProfilesContext(ctx context.Context, serviceID, maxAntennasPerCluster int) ([]TemporalProfile, error) {
+	return r.temporalProfiles(ctx, serviceID, maxAntennasPerCluster)
+}
+
+// ServiceTemporalProfiles is ServiceTemporalProfilesContext without
+// cancellation.
+//
+// Deprecated: use ServiceTemporalProfilesContext so a cancelled pipeline
+// does not keep burning the worker pool on temporal fan-out.
 func (r *Result) ServiceTemporalProfiles(serviceID int, maxAntennasPerCluster int) []TemporalProfile {
-	return r.temporalProfiles(serviceID, maxAntennasPerCluster)
+	out, err := r.ServiceTemporalProfilesContext(context.Background(), serviceID, maxAntennasPerCluster)
+	if err != nil {
+		//lint:allow nopanic background context cannot be cancelled
+		panic(err)
+	}
+	return out
 }
 
-// temporalProfiles computes (or returns the memoized) per-cluster profile
-// set for one service (-1 = total traffic) at the given antenna cap.
-func (r *Result) temporalProfiles(serviceID, cap int) []TemporalProfile {
+// temporalProfiles returns the memoized per-cluster profile set for one
+// service (-1 = total traffic) at the given antenna cap, computing it
+// with single-flight semantics on a miss: the first caller of a key
+// installs an in-flight entry and computes; concurrent callers of the
+// same key wait on the entry (or their own ctx) instead of duplicating
+// the pool fan-out. A cancelled computation is forgotten so a later
+// caller can retry.
+func (r *Result) temporalProfiles(ctx context.Context, serviceID, cap int) ([]TemporalProfile, error) {
 	key := temporalKey{service: serviceID, cap: cap}
 	r.mu.Lock()
-	if cached, ok := r.temporalCache[key]; ok {
-		r.mu.Unlock()
-		return cached
+	if r.temporalCache == nil {
+		r.temporalCache = map[temporalKey]*temporalEntry{}
+	}
+	e, inflight := r.temporalCache[key]
+	if !inflight {
+		e = &temporalEntry{done: make(chan struct{})}
+		r.temporalCache[key] = e
 	}
 	r.mu.Unlock()
 
-	firstDay, _, hours := r.windowBounds()
-	out := make([]TemporalProfile, r.K)
-	for c := 0; c < r.K; c++ {
-		members := subsample(r.ClusterMembers(c), cap)
-		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: medianSeries(r, members, serviceID, firstDay, hours)}
+	if inflight {
+		select {
+		case <-e.done:
+			return e.profiles, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 
-	r.mu.Lock()
-	if r.temporalCache == nil {
-		r.temporalCache = map[temporalKey][]TemporalProfile{}
+	e.profiles, e.err = r.computeTemporalProfiles(ctx, serviceID, cap)
+	if e.err != nil {
+		r.mu.Lock()
+		delete(r.temporalCache, key)
+		r.mu.Unlock()
 	}
-	r.temporalCache[key] = out
+	close(e.done)
+	return e.profiles, e.err
+}
+
+// computeTemporalProfiles is the cache-miss path of temporalProfiles:
+// one pool pass fills the per-antenna series cache for the union of all
+// sampled members, then the per-cluster median/normalize reductions run
+// concurrently, one cluster per pool item with its own scratch arenas.
+func (r *Result) computeTemporalProfiles(ctx context.Context, serviceID, cap int) ([]TemporalProfile, error) {
+	firstDay, _, hours := r.windowBounds()
+	members := make([][]int, r.K)
+	for c := 0; c < r.K; c++ {
+		members[c] = subsample(r.ClusterMembers(c), cap)
+	}
+	if err := r.fillSeriesCache(ctx, members, serviceID); err != nil {
+		return nil, err
+	}
+	exact := r.Config.TemporalExactSort
+	out := make([]TemporalProfile, r.K)
+	err := pipe.FromContext(ctx).ForEach(ctx, r.K, func(c int) {
+		perAntenna := r.cachedSeries(members[c], serviceID)
+		med := medianWindow(perAntenna, firstDay*24, hours, exact)
+		out[c] = TemporalProfile{Cluster: c, FirstDay: firstDay, Hours: stats.Normalize(med)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fillSeriesCache ensures the per-antenna hourly series of every listed
+// member is cached for the given service (-1 = totals). The expensive
+// series syntheses run once per (antenna, service) for the lifetime of
+// the Result — the (service, cap) profile key space and the forecasting
+// series reuse the same slices — distributed over the context's worker
+// pool.
+func (r *Result) fillSeriesCache(ctx context.Context, members [][]int, serviceID int) error {
+	r.mu.Lock()
+	if r.seriesCache == nil {
+		r.seriesCache = map[seriesKey][]float64{}
+	}
+	var missing []int
+	seen := make(map[int]bool)
+	for _, ms := range members {
+		for _, idx := range ms {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			if _, ok := r.seriesCache[seriesKey{antenna: idx, service: serviceID}]; !ok {
+				missing = append(missing, idx)
+			}
+		}
+	}
+	r.mu.Unlock()
+	if len(missing) == 0 {
+		return ctx.Err()
+	}
+	series := make([][]float64, len(missing))
+	err := pipe.FromContext(ctx).ForEach(ctx, len(missing), func(i int) {
+		ant := r.Dataset.Indoor[missing[i]]
+		if serviceID < 0 {
+			series[i] = r.Dataset.HourlyTotals(ant)
+		} else {
+			series[i] = r.Dataset.HourlyService(ant, serviceID)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	for i, idx := range missing {
+		r.seriesCache[seriesKey{antenna: idx, service: serviceID}] = series[i]
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// cachedSeries returns the cached hourly series of the given members in
+// member order. Every entry must have been filled by fillSeriesCache
+// first; the cache only grows, so the returned slices stay valid without
+// holding the lock.
+func (r *Result) cachedSeries(members []int, serviceID int) [][]float64 {
+	out := make([][]float64, len(members))
+	r.mu.Lock()
+	for i, idx := range members {
+		out[i] = r.seriesCache[seriesKey{antenna: idx, service: serviceID}]
+	}
 	r.mu.Unlock()
 	return out
 }
 
-// ClusterHourlySeries returns the un-normalized per-hour median traffic of
-// a cluster's antennas over the *entire* measurement calendar (65 days),
-// the input needed by seasonal forecasting models (the proactive
-// management roadmap of Section 7). maxAntennas bounds the median sample.
-func (r *Result) ClusterHourlySeries(clusterID, maxAntennas int) []float64 {
-	members := subsample(r.ClusterMembers(clusterID), maxAntennas)
-	hours := r.Dataset.Cal.Hours()
-	if len(members) == 0 {
-		return make([]float64, hours)
-	}
-	perHour := make([][]float64, hours)
-	for h := range perHour {
-		perHour[h] = make([]float64, 0, len(members))
-	}
-	for _, idx := range members {
-		series := r.Dataset.HourlyTotals(r.Dataset.Indoor[idx])
-		for h := 0; h < hours; h++ {
-			perHour[h] = append(perHour[h], series[h])
-		}
-	}
+// medianWindow reduces per-antenna hourly series to the per-hour median
+// over [offset, offset+hours). One column buffer and one counting-sort
+// scratch are reused across all hours; exact selects the legacy
+// sort-based stats.Median instead of the default binned selection (the
+// two are value-identical — see TestTemporalProfilesExactSortParity —
+// so the gate exists purely as a parity reference).
+func medianWindow(perAntenna [][]float64, offset, hours int, exact bool) []float64 {
 	med := make([]float64, hours)
-	for h := range med {
-		med[h] = stats.Median(perHour[h])
+	if len(perAntenna) == 0 {
+		return med
+	}
+	column := make([]float64, len(perAntenna))
+	scratch := stats.NewMedianScratch()
+	for h := 0; h < hours; h++ {
+		for mi := range perAntenna {
+			column[mi] = perAntenna[mi][offset+h]
+		}
+		if exact {
+			med[h] = stats.Median(column)
+		} else {
+			med[h] = scratch.Median(column)
+		}
 	}
 	return med
 }
 
-// medianSeries computes the per-hour median over the given antennas of
-// total traffic (serviceID < 0) or one service's traffic, normalized to
-// the series maximum. The per-antenna hourly series (the expensive part)
-// are computed on the shared worker pool; each item fills its own slot.
-func medianSeries(r *Result, members []int, serviceID, firstDay, hours int) []float64 {
+// ClusterHourlySeriesContext returns the un-normalized per-hour median
+// traffic of a cluster's antennas over the *entire* measurement calendar
+// (65 days), the input needed by seasonal forecasting models (the
+// proactive management roadmap of Section 7). maxAntennas bounds the
+// median sample. The per-antenna series are shared with the profile
+// cache; the only failure mode is ctx cancellation.
+func (r *Result) ClusterHourlySeriesContext(ctx context.Context, clusterID, maxAntennas int) ([]float64, error) {
+	members := subsample(r.ClusterMembers(clusterID), maxAntennas)
+	hours := r.Dataset.Cal.Hours()
 	if len(members) == 0 {
-		return make([]float64, hours)
+		return make([]float64, hours), nil
 	}
-	perAntenna := make([][]float64, len(members))
-	pipe.Shared().ForEach(context.Background(), len(members), func(mi int) {
-		ant := r.Dataset.Indoor[members[mi]]
-		if serviceID < 0 {
-			perAntenna[mi] = r.Dataset.HourlyTotals(ant)
-		} else {
-			perAntenna[mi] = r.Dataset.HourlyService(ant, serviceID)
-		}
-	})
+	if err := r.fillSeriesCache(ctx, [][]int{members}, -1); err != nil {
+		return nil, err
+	}
+	perAntenna := r.cachedSeries(members, -1)
+	return medianWindow(perAntenna, 0, hours, r.Config.TemporalExactSort), nil
+}
 
-	offset := firstDay * 24
-	med := make([]float64, hours)
-	column := make([]float64, len(members))
-	for h := 0; h < hours; h++ {
-		for mi := range members {
-			column[mi] = perAntenna[mi][offset+h]
-		}
-		med[h] = stats.Median(column)
+// ClusterHourlySeries is ClusterHourlySeriesContext without cancellation.
+//
+// Deprecated: use ClusterHourlySeriesContext so a cancelled caller does
+// not keep burning the worker pool.
+func (r *Result) ClusterHourlySeries(clusterID, maxAntennas int) []float64 {
+	out, err := r.ClusterHourlySeriesContext(context.Background(), clusterID, maxAntennas)
+	if err != nil {
+		//lint:allow nopanic background context cannot be cancelled
+		panic(err)
 	}
-	return stats.Normalize(med)
+	return out
 }
 
 // DayNight splits a profile into per-day rows of 24 hours, for heatmap

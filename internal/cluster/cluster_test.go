@@ -211,7 +211,7 @@ func TestThresholdSeparatesK(t *testing.T) {
 func TestSilhouetteSeparatedVsRandom(t *testing.T) {
 	x, truth := blobs(3, 20, 4, 5, 19)
 	d := PairwiseDistances(x)
-	good := Silhouette(d, truth)
+	good := MustSilhouette(d, truth)
 	if good < 0.7 {
 		t.Fatalf("well-separated blobs silhouette %v", good)
 	}
@@ -221,7 +221,7 @@ func TestSilhouetteSeparatedVsRandom(t *testing.T) {
 	for i := range bad {
 		bad[i] = r.Intn(3)
 	}
-	if s := Silhouette(d, bad); s > good/2 {
+	if s := MustSilhouette(d, bad); s > good/2 {
 		t.Fatalf("random labels silhouette %v vs %v", s, good)
 	}
 }
@@ -229,7 +229,7 @@ func TestSilhouetteSeparatedVsRandom(t *testing.T) {
 func TestSilhouetteDegenerate(t *testing.T) {
 	x := mat.MustFromRows([][]float64{{0}, {1}, {2}})
 	d := PairwiseDistances(x)
-	if Silhouette(d, []int{0, 0, 0}) != 0 {
+	if MustSilhouette(d, []int{0, 0, 0}) != 0 {
 		t.Fatal("single cluster silhouette should be 0")
 	}
 }
@@ -237,7 +237,7 @@ func TestSilhouetteDegenerate(t *testing.T) {
 func TestDunnIndexBehavior(t *testing.T) {
 	x, truth := blobs(3, 15, 4, 6, 23)
 	d := PairwiseDistances(x)
-	good := DunnIndex(d, truth)
+	good := MustDunnIndex(d, truth)
 	if good <= 0 {
 		t.Fatalf("Dunn of separated blobs = %v", good)
 	}
@@ -249,10 +249,10 @@ func TestDunnIndexBehavior(t *testing.T) {
 		}
 		merged[i] = v
 	}
-	if worse := DunnIndex(d, merged); worse >= good {
+	if worse := MustDunnIndex(d, merged); worse >= good {
 		t.Fatalf("merged labeling Dunn %v should be below %v", worse, good)
 	}
-	if DunnIndex(d, make([]int, x.Rows())) != 0 {
+	if MustDunnIndex(d, make([]int, x.Rows())) != 0 {
 		t.Fatal("single cluster Dunn should be 0")
 	}
 }
@@ -280,7 +280,10 @@ func TestSweepKAndKnees(t *testing.T) {
 	x, _ := blobs(4, 15, 4, 6, 37)
 	l := Ward(x)
 	d := PairwiseDistances(x)
-	points := SweepK(l, d, 2, 8)
+	points, err := SweepK(l, d, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 7 {
 		t.Fatalf("%d sweep points", len(points))
 	}
@@ -475,6 +478,106 @@ func BenchmarkSilhouette500(b *testing.B) {
 	d := PairwiseDistances(x)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Silhouette(d, truth)
+		_ = MustSilhouette(d, truth)
+	}
+}
+
+// The incremental sweep must reproduce the from-scratch reference —
+// CutK per k plus the standalone Silhouette/Dunn walks — bit-for-bit
+// across the entire k range, k = N included.
+func TestSweepKMatchesFromScratch(t *testing.T) {
+	x, _ := blobs(4, 11, 5, 7, 41) // 44 points, uneven structure
+	l := Ward(x)
+	d := PairwiseDistances(x)
+	points, err := SweepK(l, d, 2, l.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != l.N-1 {
+		t.Fatalf("%d sweep points, want %d", len(points), l.N-1)
+	}
+	for i, p := range points {
+		wantK := 2 + i
+		if p.K != wantK {
+			t.Fatalf("point %d has K=%d, want %d (ascending order)", i, p.K, wantK)
+		}
+		labels := l.CutK(p.K)
+		if sil := MustSilhouette(d, labels); p.Silhouette != sil {
+			t.Errorf("k=%d: incremental silhouette %v != from-scratch %v", p.K, p.Silhouette, sil)
+		}
+		if dunn := MustDunnIndex(d, labels); p.Dunn != dunn {
+			t.Errorf("k=%d: incremental Dunn %v != from-scratch %v", p.K, p.Dunn, dunn)
+		}
+	}
+}
+
+// The incremental cut must produce the same partition as Cut at every k
+// (same co-membership, label numbering aside).
+func TestIncrementalCutPartitionParity(t *testing.T) {
+	x, _ := blobs(3, 10, 4, 5, 43)
+	l := Ward(x)
+	cut, err := newIncrementalCut(l, l.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := l.N; k >= 1; k-- {
+		want := l.CutK(k)
+		if cut.K != k {
+			t.Fatalf("incremental cut at K=%d, want %d", cut.K, k)
+		}
+		// Compare partitions via canonical first-appearance relabeling.
+		canon := func(labels []int) []int {
+			m := map[int]int{}
+			out := make([]int, len(labels))
+			for i, l := range labels {
+				id, ok := m[l]
+				if !ok {
+					id = len(m)
+					m[l] = id
+				}
+				out[i] = id
+			}
+			return out
+		}
+		got, ref := canon(cut.Labels), canon(want)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("k=%d: partition mismatch at leaf %d: %v vs %v", k, i, got, ref)
+			}
+		}
+		if k > 1 {
+			cut.Refine()
+		}
+	}
+}
+
+// The metrics report mismatched label lengths as errors (nopanic
+// contract); the Must variants panic on the same wiring bug.
+func TestMetricsLengthMismatchError(t *testing.T) {
+	x, truth := blobs(2, 5, 3, 3, 47)
+	d := PairwiseDistances(x)
+	short := truth[:len(truth)-1]
+	if _, err := Silhouette(d, short); err == nil {
+		t.Fatal("Silhouette accepted mismatched labels")
+	}
+	if _, err := DunnIndex(d, short); err == nil {
+		t.Fatal("DunnIndex accepted mismatched labels")
+	}
+	for name, fn := range map[string]func(){
+		"MustSilhouette": func() { MustSilhouette(d, short) },
+		"MustDunnIndex":  func() { MustDunnIndex(d, short) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	l := Ward(x)
+	if _, err := SweepK(l, mat.NewCondensed(l.N+1), 2, 5); err == nil {
+		t.Fatal("SweepK accepted a mismatched distance matrix")
 	}
 }

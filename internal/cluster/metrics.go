@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mat"
@@ -42,18 +43,17 @@ func numLabels(labels []int) (int, []int) {
 // the precomputed distance matrix (Rousseeuw 1987): for each point,
 // (b-a)/max(a,b), with a the mean intra-cluster distance and b the lowest
 // mean distance to another cluster. Singleton clusters contribute 0, and a
-// labeling with fewer than 2 clusters scores 0.
-func Silhouette(d *mat.Condensed, labels []int) float64 {
+// labeling with fewer than 2 clusters scores 0. A label/matrix length
+// mismatch — labels cut from a linkage over a different population — is
+// reported as an error.
+func Silhouette(d *mat.Condensed, labels []int) (float64, error) {
 	n := d.N()
 	if len(labels) != n {
-		// Labels always come from cutting a linkage built over the same
-		// distance matrix; a mismatch is a wiring bug, not bad input.
-		//lint:allow nopanic labels and distances derive from the same matrix
-		panic("cluster: Silhouette label length mismatch")
+		return 0, fmt.Errorf("cluster: Silhouette over %d labels for a %d-point distance matrix", len(labels), n)
 	}
 	k, sizes := numLabels(labels)
 	if k < 2 {
-		return 0
+		return 0, nil
 	}
 	var total float64
 	sums := make([]float64, k)
@@ -85,23 +85,34 @@ func Silhouette(d *mat.Condensed, labels []int) float64 {
 			total += (b - a) / max
 		}
 	}
-	return total / float64(n)
+	return total / float64(n), nil
+}
+
+// MustSilhouette is Silhouette for callers whose labels provably derive
+// from the same matrix (a cut of a linkage built over d): it panics on the
+// impossible mismatch instead of returning an error.
+func MustSilhouette(d *mat.Condensed, labels []int) float64 {
+	v, err := Silhouette(d, labels)
+	if err != nil {
+		//lint:allow nopanic Must variant for labels derived from the same matrix
+		panic(err)
+	}
+	return v
 }
 
 // DunnIndex returns the ratio of the minimum inter-cluster distance
 // (single linkage) to the maximum intra-cluster diameter (complete
 // diameter), over the precomputed distance matrix. Larger is better. A
 // labeling with fewer than 2 clusters, or with a zero maximum diameter,
-// scores 0.
-func DunnIndex(d *mat.Condensed, labels []int) float64 {
+// scores 0. A label/matrix length mismatch is reported as an error.
+func DunnIndex(d *mat.Condensed, labels []int) (float64, error) {
 	n := d.N()
 	if len(labels) != n {
-		//lint:allow nopanic labels and distances derive from the same matrix
-		panic("cluster: DunnIndex label length mismatch")
+		return 0, fmt.Errorf("cluster: DunnIndex over %d labels for a %d-point distance matrix", len(labels), n)
 	}
 	k, _ := numLabels(labels)
 	if k < 2 {
-		return 0
+		return 0, nil
 	}
 	minInter := math.Inf(1)
 	maxDiam := 0.0
@@ -118,9 +129,20 @@ func DunnIndex(d *mat.Condensed, labels []int) float64 {
 		}
 	}
 	if maxDiam == 0 || math.IsInf(minInter, 1) {
-		return 0
+		return 0, nil
 	}
-	return minInter / maxDiam
+	return minInter / maxDiam, nil
+}
+
+// MustDunnIndex is DunnIndex for labels that provably match the matrix;
+// it panics on the impossible mismatch instead of returning an error.
+func MustDunnIndex(d *mat.Condensed, labels []int) float64 {
+	v, err := DunnIndex(d, labels)
+	if err != nil {
+		//lint:allow nopanic Must variant for labels derived from the same matrix
+		panic(err)
+	}
+	return v
 }
 
 // DaviesBouldin returns the Davies-Bouldin index of the labeling over the
@@ -185,26 +207,133 @@ type SelectionPoint struct {
 	Dunn       float64
 }
 
-// SweepK evaluates Silhouette and Dunn for every k in [kMin, kMax] by
-// cutting the linkage, reusing one distance matrix. It reproduces the data
-// behind Fig. 2.
-func SweepK(l *Linkage, d *mat.Condensed, kMin, kMax int) []SelectionPoint {
+// SweepK evaluates Silhouette and Dunn for every k in [kMin, kMax],
+// reusing one distance matrix. It reproduces the data behind Fig. 2.
+//
+// The sweep walks k downward from kMax, refining one dendrogram cut
+// incrementally (each k−1 partition is the k partition with one more
+// merge applied, see incrementalCut) and scoring each candidate with a
+// single fused pass over the condensed matrix that accumulates the
+// silhouette neighbour sums and the Dunn extrema together. Both values
+// are bit-identical to cutting from scratch and calling Silhouette and
+// DunnIndex per k — the per-cluster accumulation order and the reduction
+// order are preserved exactly (TestSweepKMatchesFromScratch pins this
+// across the full k range). A linkage/matrix dimension mismatch is
+// reported as an error.
+func SweepK(l *Linkage, d *mat.Condensed, kMin, kMax int) ([]SelectionPoint, error) {
 	if kMin < 2 {
 		kMin = 2
 	}
 	if kMax > l.N {
 		kMax = l.N
 	}
-	var out []SelectionPoint
-	for k := kMin; k <= kMax; k++ {
-		labels := l.CutK(k)
-		out = append(out, SelectionPoint{
-			K:          k,
-			Silhouette: Silhouette(d, labels),
-			Dunn:       DunnIndex(d, labels),
-		})
+	if kMax < kMin {
+		return nil, nil
 	}
-	return out
+	if d.N() != l.N {
+		return nil, fmt.Errorf("cluster: SweepK over a %d-leaf linkage and a %d-point distance matrix", l.N, d.N())
+	}
+	cut, err := newIncrementalCut(l, kMax)
+	if err != nil {
+		return nil, err
+	}
+	scorer := newPartitionScorer(d, kMax)
+	out := make([]SelectionPoint, kMax-kMin+1)
+	for k := kMax; ; k-- {
+		sil, dunn := scorer.score(cut.Labels, cut.K)
+		out[k-kMin] = SelectionPoint{K: k, Silhouette: sil, Dunn: dunn}
+		if k == kMin {
+			break
+		}
+		cut.Refine()
+	}
+	return out, nil
+}
+
+// partitionScorer owns the scratch arenas of the fused per-candidate
+// scoring pass. One walk over the condensed upper triangle feeds both
+// metrics: row i's contiguous segment d(i, i+1..n−1) updates the
+// silhouette per-cluster distance sums of both endpoints and the Dunn
+// min-inter/max-diameter extrema. Per accumulator cell the additions land
+// in ascending-j order — the exact order the standalone Silhouette walk
+// uses — so the fused results are bit-identical, not just close.
+type partitionScorer struct {
+	d     *mat.Condensed
+	sums  []float64 // n × kMax row-major per-point per-cluster distance sums
+	sizes []int
+}
+
+func newPartitionScorer(d *mat.Condensed, kMax int) *partitionScorer {
+	return &partitionScorer{
+		d:     d,
+		sums:  make([]float64, d.N()*kMax),
+		sizes: make([]int, kMax),
+	}
+}
+
+// score computes (Silhouette, Dunn) of a dense labeling in [0, k).
+func (p *partitionScorer) score(labels []int, k int) (sil, dunn float64) {
+	n := p.d.N()
+	if k < 2 {
+		return 0, 0
+	}
+	sizes := p.sizes[:k]
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	sums := p.sums[:n*k]
+	for i := range sums {
+		sums[i] = 0
+	}
+	minInter := math.Inf(1)
+	maxDiam := 0.0
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		si := sums[i*k : (i+1)*k]
+		row := p.d.UpperRow(i)
+		for jj, dist := range row {
+			j := i + 1 + jj
+			lj := labels[j]
+			si[lj] += dist
+			sums[j*k+li] += dist
+			if li == lj {
+				if dist > maxDiam {
+					maxDiam = dist
+				}
+			} else if dist < minInter {
+				minInter = dist
+			}
+		}
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := labels[i]
+		if sizes[own] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		si := sums[i*k : (i+1)*k]
+		a := si[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := si[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if max := math.Max(a, b); max > 0 {
+			total += (b - a) / max
+		}
+	}
+	sil = total / float64(n)
+	if maxDiam != 0 && !math.IsInf(minInter, 1) {
+		dunn = minInter / maxDiam
+	}
+	return sil, dunn
 }
 
 // Knees returns the k values implementing the Section 4.2.1 stopping

@@ -176,8 +176,15 @@ func mergeInto(d2 *mat.Condensed, active []bool, size []int, src, dst int, dij f
 // CLI flag or a config file — is reported as an error; use CutK when k is
 // already validated.
 func (l *Linkage) Cut(k int) ([]int, error) {
+	labels, _, err := l.cutState(k)
+	return labels, err
+}
+
+// cutState is Cut plus the root bookkeeping the incremental refinement
+// needs: rootOf[label] is the dendrogram node id rooting that cluster.
+func (l *Linkage) cutState(k int) (labels, rootOf []int, err error) {
 	if k < 1 || k > l.N {
-		return nil, fmt.Errorf("cluster: cut at k=%d outside [1,%d]", k, l.N)
+		return nil, nil, fmt.Errorf("cluster: cut at k=%d outside [1,%d]", k, l.N)
 	}
 	parent := make([]int, l.N+len(l.Merges))
 	for i := range parent {
@@ -198,7 +205,8 @@ func (l *Linkage) Cut(k int) ([]int, error) {
 		parent[find(m.A)] = node
 		parent[find(m.B)] = node
 	}
-	labels := make([]int, l.N)
+	labels = make([]int, l.N)
+	rootOf = make([]int, 0, k)
 	next := 0
 	seen := make(map[int]int)
 	for i := 0; i < l.N; i++ {
@@ -208,6 +216,7 @@ func (l *Linkage) Cut(k int) ([]int, error) {
 			id = next
 			next++
 			seen[root] = id
+			rootOf = append(rootOf, root)
 		}
 		labels[i] = id
 	}
@@ -217,7 +226,77 @@ func (l *Linkage) Cut(k int) ([]int, error) {
 		//lint:allow nopanic dendrogram structural invariant, not reachable from input
 		panic(fmt.Sprintf("cluster: cut produced %d clusters, want %d", next, k))
 	}
-	return labels, nil
+	return labels, rootOf, nil
+}
+
+// incrementalCut refines one dendrogram cut across descending k without
+// re-running the union-find per candidate: cutting at k applies the N−k
+// lowest merges, so the partition at k−1 is the partition at k with
+// exactly one more merge applied. Each Refine step joins the two label
+// classes under that merge in O(N), against O(N α(N) + merge replay) for
+// a from-scratch Cut. The partition at every k is identical to Cut's (the
+// flat partition of a dendrogram cut is unique); only the label numbering
+// may differ from first-appearance order after the first step, which the
+// label-permutation-invariant selection metrics never observe.
+type incrementalCut struct {
+	l *Linkage
+	// K is the current cluster count; Labels holds a dense labeling in
+	// [0, K) of the current partition.
+	K      int
+	Labels []int
+	// labelOf maps a root dendrogram node id to its cluster label;
+	// rootOf is the inverse, indexed by label.
+	labelOf []int
+	rootOf  []int
+}
+
+// newIncrementalCut starts the refinement at k clusters (labels match
+// Cut(k) exactly at this starting point).
+func newIncrementalCut(l *Linkage, k int) (*incrementalCut, error) {
+	labels, rootOf, err := l.cutState(k)
+	if err != nil {
+		return nil, err
+	}
+	c := &incrementalCut{
+		l: l, K: k, Labels: labels,
+		labelOf: make([]int, l.N+len(l.Merges)),
+		rootOf:  rootOf,
+	}
+	for label, root := range rootOf {
+		c.labelOf[root] = label
+	}
+	return c, nil
+}
+
+// Refine applies the next merge, going from K to K−1 clusters. The freed
+// label slot is backfilled with the highest label so Labels stay dense.
+// Calling Refine at K == 1 is a structural bug.
+func (c *incrementalCut) Refine() {
+	s := c.l.N - c.K // the first merge Cut(K) did not apply
+	m := c.l.Merges[s]
+	node := c.l.N + s
+	la, lb := c.labelOf[m.A], c.labelOf[m.B]
+	keep, freed := la, lb
+	if keep > freed {
+		keep, freed = freed, keep
+	}
+	last := c.K - 1
+	for i, lab := range c.Labels {
+		if lab == freed {
+			c.Labels[i] = keep
+		} else if lab == last && freed != last {
+			c.Labels[i] = freed
+		}
+	}
+	c.labelOf[node] = keep
+	c.rootOf[keep] = node
+	if freed != last {
+		lastRoot := c.rootOf[last]
+		c.labelOf[lastRoot] = freed
+		c.rootOf[freed] = lastRoot
+	}
+	c.rootOf = c.rootOf[:last]
+	c.K--
 }
 
 // CutK is Cut for callers whose k is already validated (the pipeline

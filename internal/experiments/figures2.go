@@ -296,11 +296,11 @@ func (s *Suite) AblationFeatureTransform() Artifact {
 		d2 := mat.PairwiseSqDist(features)
 		d := cluster.PairwiseDistancesFromSq(d2)
 		labels := cluster.WardFromSqDistances(d2).CutK(s.Res.K)
-		return cluster.Silhouette(d, labels), analysisARI(labels, truth)
+		return cluster.MustSilhouette(d, labels), analysisARI(labels, truth)
 	}
 	// The RSCA column reuses the pipeline's own linkage and distances.
 	rscaLabels := s.Res.Linkage.CutK(s.Res.K)
-	rscaSil := cluster.Silhouette(s.Res.Distances(), rscaLabels)
+	rscaSil := cluster.MustSilhouette(s.Res.Distances(), rscaLabels)
 	rscaARI := analysisARI(rscaLabels, truth)
 	rcaSil, rcaARI := evaluate(rcaOf(t))
 	normSil, normARI := evaluate(normOf(t))
@@ -336,8 +336,8 @@ func (s *Suite) AblationWardVsKMeans() Artifact {
 	wardARI := analysisARI(s.Res.Labels, truth)
 	kmARI := analysisARI(km.Labels, truth)
 	d := s.Res.Distances()
-	wardSil := cluster.Silhouette(d, s.Res.Labels)
-	kmSil := cluster.Silhouette(d, km.Labels)
+	wardSil := cluster.MustSilhouette(d, s.Res.Labels)
+	kmSil := cluster.MustSilhouette(d, km.Labels)
 
 	tb := report.NewTable("Ablation: clustering strategy at k=9", "algorithm", "silhouette", "ARI vs ground truth")
 	tb.AddRow("Ward agglomerative (paper)", wardSil, wardARI)

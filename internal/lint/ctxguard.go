@@ -9,8 +9,8 @@ import (
 )
 
 // ctxguard enforces cancellable blocking in the serving path: inside
-// internal/serve, internal/collect, internal/pipe and internal/shard,
-// every operation
+// internal/serve, internal/collect, internal/pipe, internal/shard and
+// internal/analysis, every operation
 // that can block forever — channel sends/receives outside a select, range
 // over a channel, a select with neither a default nor a cancellation
 // case, time.Sleep, context-less dials — is a finding; the sanctioned
@@ -31,13 +31,13 @@ type ctxBlockingFact struct {
 // CtxGuard is the ctxguard analyzer.
 var CtxGuard = &Analyzer{
 	Name:      "ctxguard",
-	Doc:       "blocking operations in internal/serve, internal/collect, internal/pipe and internal/shard must be select-guarded with a cancellation case or use ctx-taking APIs",
+	Doc:       "blocking operations in internal/serve, internal/collect, internal/pipe, internal/shard and internal/analysis must be select-guarded with a cancellation case or use ctx-taking APIs",
 	Run:       runCtxGuard,
 	FactTypes: []any{ctxBlockingFact{}},
 }
 
 // ctxGuardedPkgs are the module subtrees the local rules apply to.
-var ctxGuardedPkgs = []string{"internal/serve", "internal/collect", "internal/pipe", "internal/shard"}
+var ctxGuardedPkgs = []string{"internal/serve", "internal/collect", "internal/pipe", "internal/shard", "internal/analysis"}
 
 func inCtxGuardedPkg(pkgPath, module string) bool {
 	for _, sub := range ctxGuardedPkgs {

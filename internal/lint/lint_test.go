@@ -214,6 +214,7 @@ func TestDataflowFixtures(t *testing.T) {
 	}{
 		{"snapfreeze", "/internal/snapfreezefixture", nil},
 		{"ctxguard", "/internal/serve/ctxguardfixture", [][2]string{{"ctxguarddep", "/internal/ctxguarddepfixture"}}},
+		{"ctxguardanalysis", "/internal/analysis/ctxguardanalysisfixture", nil},
 		{"lockatomic", "/internal/lockatomicfixture", nil},
 		{"metricreg", "/internal/metricregfixture", nil},
 	}

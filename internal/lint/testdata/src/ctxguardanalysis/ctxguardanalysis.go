@@ -1,0 +1,69 @@
+// Package ctxguardanalysisfixture pins the ctxguard scope extension to
+// internal/analysis. The test checks it under a synthetic
+// internal/analysis/... import path, so the guarded-subtree rules apply:
+// bare channel operations, sleeps and uncancellable selects fire, while
+// the memoization idiom the analysis package actually uses — a
+// single-flight wait select on a struct{} done channel with a
+// cancellation case — stays quiet.
+package ctxguardanalysisfixture
+
+import (
+	"context"
+	"time"
+)
+
+type entry struct {
+	done  chan struct{}
+	value float64
+	err   error
+}
+
+func backoff() {
+	time.Sleep(10 * time.Millisecond) // want ctxguard
+}
+
+func publish(ch chan []float64, profile []float64) {
+	ch <- profile // want ctxguard
+}
+
+func collect(ch chan float64) (sum float64) {
+	for v := range ch { // want ctxguard
+		sum += v
+	}
+	return sum
+}
+
+func firstOf(a, b chan float64) float64 {
+	select { // want ctxguard
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// --- quiet forms ---
+
+// waitSingleFlight is the temporal-cache wait path: block on the
+// computing caller's done channel or on the waiter's own context.
+func waitSingleFlight(ctx context.Context, e *entry) (float64, error) {
+	select {
+	case <-e.done:
+		return e.value, e.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func tryPublish(ch chan []float64, profile []float64) bool {
+	select {
+	case ch <- profile:
+		return true
+	default:
+		return false
+	}
+}
+
+func waitCancelled(ctx context.Context) {
+	<-ctx.Done()
+}

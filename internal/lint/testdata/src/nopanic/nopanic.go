@@ -20,3 +20,20 @@ func validate(n int) error {
 	}
 	return nil
 }
+
+// mustValidate is the Must-variant idiom: an annotated panic wrapping the
+// error-returning twin for callers whose input is proven valid.
+func mustValidate(n int) {
+	if err := validate(n); err != nil {
+		//lint:allow nopanic Must variant over the error-returning twin
+		panic(err)
+	}
+}
+
+// mustValidateBare is the same idiom without the annotation; the
+// analyzer must still flag it.
+func mustValidateBare(n int) {
+	if err := validate(n); err != nil {
+		panic(err) // want nopanic
+	}
+}

@@ -234,6 +234,16 @@ func (c *Condensed) At(i, j int) float64 { return c.data[c.index(i, j)] }
 // Set assigns element (i, j) (and, implicitly, (j, i)).
 func (c *Condensed) Set(i, j int, v float64) { c.data[c.index(i, j)] = v }
 
+// UpperRow returns the stored segment d(i, i+1), …, d(i, n-1) as a slice
+// view into the condensed storage — the contiguous upper-triangle row the
+// selection metrics walk without paying the branchy index arithmetic of
+// At. Callers must not mutate the view. i must be in [0, n-1]; the last
+// row is empty.
+func (c *Condensed) UpperRow(i int) []float64 {
+	start := i * (2*c.n - i - 1) / 2
+	return c.data[start : start+c.n-i-1]
+}
+
 // Clone returns a deep copy of the condensed matrix.
 func (c *Condensed) Clone() *Condensed {
 	out := &Condensed{n: c.n, data: make([]float64, len(c.data))}

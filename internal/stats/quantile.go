@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// medianBins is the fixed resolution of the counting pass. 256 bins keep
+// the scratch cache-resident; exactness never depends on the bin count
+// because the target order statistics are selected from the original
+// values, the bins only narrow where to look.
+const medianBins = 256
+
+// MedianScratch is a reusable arena for exact fixed-bin median selection.
+// The temporal-profile hot path calls Median once per hour column; reusing
+// the scratch keeps those calls allocation-free.
+//
+// Unlike a histogram sketch, the result is not an estimate: the counting
+// pass locates the bin(s) holding the middle order statistics and the
+// exact values are then selected from the original data, so Median returns
+// stats.Median bit-for-bit on every input (the parity fixtures in
+// quantile_test.go pin odd/even counts, ties and all-zero columns).
+type MedianScratch struct {
+	counts [medianBins]int
+	inBin  []float64
+}
+
+// NewMedianScratch returns an empty scratch arena.
+func NewMedianScratch() *MedianScratch {
+	return &MedianScratch{inBin: make([]float64, 0, 64)}
+}
+
+// BinnedMedian returns the median of xs via fixed-bin counting selection,
+// without modifying the input. It equals Median(xs) exactly.
+func BinnedMedian(xs []float64) float64 {
+	var m MedianScratch
+	return m.Median(xs)
+}
+
+// Median returns the median of xs — bit-identical to stats.Median — using
+// a counting pass over fixed-width bins plus exact in-bin selection
+// instead of a full sort. The input is not modified. Inputs containing
+// NaN fall back to the sort path (NaN has no consistent bin ordering).
+func (m *MedianScratch) Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return xs[0]
+	}
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return Quantile(xs, 0.5)
+		}
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	// The two middle order statistics the interpolated median combines:
+	// identical ranks for odd n.
+	loRank := (n - 1) / 2
+	hiRank := n / 2
+	//lint:allow floateq constant-column fast path; any mn < mx proceeds to binning
+	if mn == mx {
+		return combineMedian(mn, mn, loRank, hiRank)
+	}
+
+	scale := float64(medianBins) / (mx - mn)
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	for _, x := range xs {
+		m.counts[medianBin(x, mn, scale)]++
+	}
+	// Locate the bin holding loRank. Binning is monotone in the value, so
+	// every value in an earlier bin sorts before every value in a later
+	// one and in-bin selection yields true order statistics.
+	cum, bl := 0, 0
+	for ; bl < medianBins; bl++ {
+		if cum+m.counts[bl] > loRank {
+			break
+		}
+		cum += m.counts[bl]
+	}
+	m.inBin = m.inBin[:0]
+	nextMin := math.Inf(1)
+	for _, x := range xs {
+		b := medianBin(x, mn, scale)
+		if b == bl {
+			m.inBin = append(m.inBin, x)
+		} else if b > bl && x < nextMin {
+			nextMin = x
+		}
+	}
+	sort.Float64s(m.inBin)
+	vlo := m.inBin[loRank-cum]
+	vhi := vlo
+	if hiRank != loRank {
+		if hiRank-cum < len(m.inBin) {
+			vhi = m.inBin[hiRank-cum]
+		} else {
+			vhi = nextMin
+		}
+	}
+	return combineMedian(vlo, vhi, loRank, hiRank)
+}
+
+// medianBin maps a value to its counting bin.
+func medianBin(x, mn, scale float64) int {
+	b := int((x - mn) * scale)
+	if b >= medianBins {
+		b = medianBins - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// combineMedian merges the two middle order statistics with the exact
+// arithmetic of QuantileSorted at q=0.5 (frac is exactly ½ for even n).
+func combineMedian(vlo, vhi float64, loRank, hiRank int) float64 {
+	if loRank == hiRank {
+		return vlo
+	}
+	return vlo*0.5 + vhi*0.5
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The fixed-bin selector must reproduce the sort-based median exactly on
+// every regime the temporal columns hit: odd and even counts, heavy ties,
+// all-zero hours, single elements, adversarial spreads.
+func TestBinnedMedianMatchesSortMedian(t *testing.T) {
+	fixtures := [][]float64{
+		{},
+		{3.5},
+		{2, 1},
+		{1, 2, 3},
+		{4, 1, 3, 2},
+		{5, 5, 5, 5, 5},
+		{0, 0, 0, 0},                      // all-zero hour
+		{0, 0, 0, 1e-12},                  // near-degenerate spread
+		{1, 1, 1, 2, 2, 2},                // tied halves
+		{7, 7, 7, 7, 7, 7, 9},             // ties around the middle
+		{-3, -1, -2, -7, 0, 4},            // negatives
+		{1e300, -1e300, 0, 1e-300, 2e300}, // extreme spread
+		{math.Inf(1), 1, 2, 3},
+		{math.Inf(-1), math.Inf(1), 0, 1},
+		{math.NaN(), 1, 2}, // falls back to the sort path
+	}
+	scratch := NewMedianScratch()
+	for i, xs := range fixtures {
+		want := Median(xs)
+		got := scratch.Median(xs)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("fixture %d %v: binned %v != sorted %v", i, xs, got, want)
+		}
+		if free := BinnedMedian(xs); free != got && !(math.IsNaN(free) && math.IsNaN(got)) {
+			t.Errorf("fixture %d: BinnedMedian %v != scratch %v", i, free, got)
+		}
+	}
+}
+
+// Randomized cross-check over column sizes the temporal stage actually
+// uses (1..64 antennas per cluster), including duplicated values so many
+// columns collapse into few bins.
+func TestBinnedMedianRandomizedParity(t *testing.T) {
+	src := rng.New(99)
+	scratch := NewMedianScratch()
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + int(src.Uint64()%64)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch src.Uint64() % 4 {
+			case 0:
+				xs[i] = 0 // zeros are common in event-venue columns
+			case 1:
+				xs[i] = float64(src.Uint64()%8) * 0.25 // heavy ties
+			default:
+				xs[i] = src.Float64() * 1e4
+			}
+		}
+		want := Median(xs)
+		if got := scratch.Median(xs); got != want {
+			t.Fatalf("trial %d n=%d: binned %v != sorted %v (%v)", trial, n, got, want, xs)
+		}
+	}
+}
+
+// The scratch path must not mutate its input.
+func TestBinnedMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	_ = NewMedianScratch().Median(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("input mutated at %d: %v", i, xs)
+		}
+	}
+}
+
+func BenchmarkMedianSort40(b *testing.B) {
+	xs := make([]float64, 40)
+	src := rng.New(7)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Median(xs)
+	}
+}
+
+func BenchmarkMedianBinned40(b *testing.B) {
+	xs := make([]float64, 40)
+	src := rng.New(7)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	scratch := NewMedianScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = scratch.Median(xs)
+	}
+}

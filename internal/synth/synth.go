@@ -18,6 +18,7 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/envmodel"
 	"repro/internal/geo"
@@ -59,6 +60,13 @@ type Antenna struct {
 	events   []temporal.Event
 	// shapeTraffic[s] is the total traffic of services with shape s.
 	shapeTraffic [numShapes]float64
+
+	// gridOnce/gridCache lazily hold the antenna's hour-resolved weight
+	// grid (see weightGrid). Built at most once per antenna; the grid
+	// depends only on the template, the event schedule and the calendar,
+	// all of which are frozen at generation time.
+	gridOnce  sync.Once
+	gridCache *weightGrid
 }
 
 // Events returns the venue's scheduled events (empty for most antennas).
@@ -438,6 +446,9 @@ func (a *Antenna) fillShapeTraffic(row []float64) {
 // shape s at (day, hourOfDay): the venue envelope (template + events) times
 // the service-shape modulation. The post-event shape samples the venue
 // surge two hours late, reproducing the Waze pattern of Section 6.
+//
+// This scalar form is the reference the cached weightGrid must reproduce
+// bit-for-bit; the hourly-series hot paths below read the grid instead.
 func (a *Antenna) shapeWeight(cal *temporal.Calendar, day, hourOfDay int, s services.TemporalShape) float64 {
 	w := a.template.Weight(cal, day, hourOfDay)
 	surgeHour := hourOfDay
@@ -459,7 +470,8 @@ func (a *Antenna) shapeWeight(cal *temporal.Calendar, day, hourOfDay int, s serv
 
 // shapeWeightSums returns, per temporal shape, the sum of shapeWeight over
 // every hour of the calendar — the normalization constant that makes
-// hourly series integrate to the antenna's total traffic.
+// hourly series integrate to the antenna's total traffic. Reference
+// implementation; the hot paths use the grid's identically-ordered sums.
 func (a *Antenna) shapeWeightSums(cal *temporal.Calendar) [numShapes]float64 {
 	var sums [numShapes]float64
 	for day := 0; day < cal.Days(); day++ {
@@ -472,22 +484,119 @@ func (a *Antenna) shapeWeightSums(cal *temporal.Calendar) [numShapes]float64 {
 	return sums
 }
 
+// weightGrid caches the hour-resolved factors of shapeWeight so the hourly
+// series derivations stop re-walking the template and event schedule per
+// (hour, shape) evaluation. shapeWeight factors as
+//
+//	envelope(day, h | surge shift) × ShapeModifier(s, hourOfDay, weekend)
+//
+// and only the post-event shape shifts the envelope's event sampling, so
+// two envelope rows (normal and surge-shifted) plus the 9×24×2 modifier
+// table reconstruct every shapeWeight value with the exact operations of
+// the scalar form — same template lookup, same event accumulation order,
+// same final multiply — keeping the series bit-identical.
+type weightGrid struct {
+	// normal[t] is template weight + active event intensities at absolute
+	// hour t; post[t] samples the events two hours earlier (the Waze
+	// surge shift) while keeping the template weight at t.
+	normal, post []float64
+	// mod[s][h][w] tabulates temporal.ShapeModifier(s, h, weekend w).
+	mod [numShapes][24][2]float64
+	// sums holds shapeWeightSums, accumulated in the reference day→h→s
+	// order from grid values.
+	sums [numShapes]float64
+}
+
+// envelopeAt returns the venue envelope — template weight at (day,
+// hourOfDay) plus the intensities of events active at (evDay, evHour) —
+// accumulated in schedule order, exactly as shapeWeight does.
+func (a *Antenna) envelopeAt(cal *temporal.Calendar, day, hourOfDay, evDay, evHour int) float64 {
+	w := a.template.Weight(cal, day, hourOfDay)
+	for _, ev := range a.events {
+		if ev.Active(evDay, evHour) {
+			w += ev.Intensity
+		}
+	}
+	return w
+}
+
+// grid returns the antenna's weight grid, building it on first use. Safe
+// for concurrent callers; the pipeline's temporal fan-out hits the same
+// antenna from several workers.
+func (a *Antenna) grid(cal *temporal.Calendar) *weightGrid {
+	a.gridOnce.Do(func() {
+		hours := cal.Hours()
+		g := &weightGrid{
+			normal: make([]float64, hours),
+			post:   make([]float64, hours),
+		}
+		for s := 0; s < numShapes; s++ {
+			for h := 0; h < 24; h++ {
+				g.mod[s][h][0] = temporal.ShapeModifier(services.TemporalShape(s), h, false)
+				g.mod[s][h][1] = temporal.ShapeModifier(services.TemporalShape(s), h, true)
+			}
+		}
+		for day := 0; day < cal.Days(); day++ {
+			for h := 0; h < 24; h++ {
+				t := day*24 + h
+				g.normal[t] = a.envelopeAt(cal, day, h, day, h)
+				surgeDay, surgeHour := day, h-2
+				if surgeHour < 0 {
+					surgeHour += 24
+					surgeDay--
+				}
+				g.post[t] = a.envelopeAt(cal, day, h, surgeDay, surgeHour)
+			}
+		}
+		// Accumulate the normalization sums in the reference order
+		// (day → hour → shape) so they match shapeWeightSums bit-for-bit.
+		for day := 0; day < cal.Days(); day++ {
+			we := 0
+			if cal.IsWeekend(day) {
+				we = 1
+			}
+			for h := 0; h < 24; h++ {
+				t := day*24 + h
+				for s := 0; s < numShapes; s++ {
+					g.sums[s] += g.at(t, h, we, services.TemporalShape(s))
+				}
+			}
+		}
+		a.gridCache = g
+	})
+	return a.gridCache
+}
+
+// at reconstructs shapeWeight from the grid: envelope × modifier.
+func (g *weightGrid) at(t, hourOfDay, weekend int, s services.TemporalShape) float64 {
+	base := g.normal[t]
+	if s == services.ShapePostEvent {
+		base = g.post[t]
+	}
+	return base * g.mod[s][hourOfDay][weekend]
+}
+
 // HourlyTotals returns the antenna's total traffic per absolute hour of the
 // calendar. The series sums to the antenna's total traffic in the dataset
 // matrix (up to floating-point rounding).
 func (d *Dataset) HourlyTotals(a *Antenna) []float64 {
-	sums := a.shapeWeightSums(d.Cal)
+	g := a.grid(d.Cal)
 	out := make([]float64, d.Cal.Hours())
 	for day := 0; day < d.Cal.Days(); day++ {
+		we := 0
+		if d.Cal.IsWeekend(day) {
+			we = 1
+		}
 		for h := 0; h < 24; h++ {
+			t := day*24 + h
 			var v float64
 			for s := 0; s < numShapes; s++ {
-				if sums[s] == 0 {
+				if g.sums[s] == 0 {
 					continue
 				}
-				v += a.shapeTraffic[s] * a.shapeWeight(d.Cal, day, h, services.TemporalShape(s)) / sums[s]
+				v += a.shapeTraffic[s] * g.at(t, h, we, services.TemporalShape(s)) / g.sums[s]
 			}
-			out[day*24+h] = v
+			out[t] = v
 		}
 	}
 	return out
@@ -503,14 +612,19 @@ func (d *Dataset) HourlyService(a *Antenna, serviceID int) []float64 {
 		total = d.Traffic.At(a.ID, serviceID)
 	}
 	shape := services.Get(serviceID).Shape
-	sums := a.shapeWeightSums(d.Cal)
+	g := a.grid(d.Cal)
 	out := make([]float64, d.Cal.Hours())
-	if sums[shape] == 0 {
+	if g.sums[shape] == 0 {
 		return out
 	}
 	for day := 0; day < d.Cal.Days(); day++ {
+		we := 0
+		if d.Cal.IsWeekend(day) {
+			we = 1
+		}
 		for h := 0; h < 24; h++ {
-			out[day*24+h] = total * a.shapeWeight(d.Cal, day, h, shape) / sums[shape]
+			t := day*24 + h
+			out[t] = total * g.at(t, h, we, shape) / g.sums[shape]
 		}
 	}
 	return out

@@ -375,3 +375,80 @@ func BenchmarkHourlyTotals(b *testing.B) {
 		_ = ds.HourlyTotals(a)
 	}
 }
+
+// referenceHourlyTotals is the pre-grid scalar derivation of HourlyTotals,
+// kept as the bit-identity reference for the cached weight grid.
+func referenceHourlyTotals(d *Dataset, a *Antenna) []float64 {
+	sums := a.shapeWeightSums(d.Cal)
+	out := make([]float64, d.Cal.Hours())
+	for day := 0; day < d.Cal.Days(); day++ {
+		for h := 0; h < 24; h++ {
+			var v float64
+			for s := 0; s < numShapes; s++ {
+				if sums[s] == 0 {
+					continue
+				}
+				v += a.shapeTraffic[s] * a.shapeWeight(d.Cal, day, h, services.TemporalShape(s)) / sums[s]
+			}
+			out[day*24+h] = v
+		}
+	}
+	return out
+}
+
+// referenceHourlyService mirrors the pre-grid HourlyService.
+func referenceHourlyService(d *Dataset, a *Antenna, serviceID int) []float64 {
+	var total float64
+	if a.Outdoor {
+		total = d.OutdoorTraffic.At(a.ID, serviceID)
+	} else {
+		total = d.Traffic.At(a.ID, serviceID)
+	}
+	shape := services.Get(serviceID).Shape
+	sums := a.shapeWeightSums(d.Cal)
+	out := make([]float64, d.Cal.Hours())
+	if sums[shape] == 0 {
+		return out
+	}
+	for day := 0; day < d.Cal.Days(); day++ {
+		for h := 0; h < 24; h++ {
+			out[day*24+h] = total * a.shapeWeight(d.Cal, day, h, shape) / sums[shape]
+		}
+	}
+	return out
+}
+
+// The weight grid must reproduce the scalar shapeWeight derivations
+// bit-for-bit, event venues (post-event surge shift) included.
+func TestWeightGridMatchesScalarReference(t *testing.T) {
+	ds := Generate(Config{Seed: 17, Scale: 0.05, OutdoorCount: 20})
+	checked, eventful := 0, 0
+	ants := append(append([]*Antenna{}, ds.Indoor...), ds.Outdoor[:5]...)
+	for _, a := range ants {
+		if len(a.events) > 0 {
+			eventful++
+		} else if checked > 30 && eventful > 0 {
+			continue
+		}
+		checked++
+		got := ds.HourlyTotals(a)
+		want := referenceHourlyTotals(ds, a)
+		for h := range want {
+			if got[h] != want[h] {
+				t.Fatalf("antenna %q hour %d: grid total %v != reference %v", a.Name, h, got[h], want[h])
+			}
+		}
+		for _, j := range []int{0, 7, services.M - 1} {
+			gs := ds.HourlyService(a, j)
+			ws := referenceHourlyService(ds, a, j)
+			for h := range ws {
+				if gs[h] != ws[h] {
+					t.Fatalf("antenna %q service %d hour %d: grid %v != reference %v", a.Name, j, h, gs[h], ws[h])
+				}
+			}
+		}
+	}
+	if eventful == 0 {
+		t.Fatal("no event-driven antennas exercised; parity test lost its surge-shift coverage")
+	}
+}

@@ -24,6 +24,11 @@
 #   BENCH_GATE_TOLERANCE      allowed fractional slowdown (default 0.25 = +25%)
 #   BENCH_GATE_FLOOR_MS       per-stage noise floor in ms (default 120)
 #   BENCH_GATE_RUNS           reruns, best wall gated     (default 2)
+#   BENCH_GATE_MAX            absolute per-stage ceilings as stage=ms pairs
+#                             (default "temporal=300,selection=130" — the
+#                             rebuilt hot stages' budget at the default
+#                             scale-0.25 shape; set empty to disable, and
+#                             override when gating a non-default shape)
 #   BENCH_GATE_BASELINE       baseline JSON               (default BENCH_baseline.json)
 #   BENCH_GATE_SERVE_BASELINE serving baseline JSON       (default BENCH_serve.json;
 #                             set empty to skip the serving leg)
@@ -38,6 +43,7 @@ TREES="${BENCH_GATE_TREES:-100}"
 TOLERANCE="${BENCH_GATE_TOLERANCE:-0.25}"
 FLOOR_MS="${BENCH_GATE_FLOOR_MS:-120}"
 RUNS="${BENCH_GATE_RUNS:-2}"
+GATE_MAX="${BENCH_GATE_MAX-temporal=300,selection=130}"
 BASELINE="${BENCH_GATE_BASELINE:-BENCH_baseline.json}"
 SERVE_BASELINE="${BENCH_GATE_SERVE_BASELINE-BENCH_serve.json}"
 SHARD_BASELINE="${BENCH_GATE_SHARD_BASELINE-BENCH_shard.json}"
@@ -47,7 +53,8 @@ go run ./cmd/icnbench \
   -gate "$BASELINE" \
   -gatetolerance "$TOLERANCE" \
   -gatefloor "$FLOOR_MS" \
-  -gateruns "$RUNS"
+  -gateruns "$RUNS" \
+  -gatemax "$GATE_MAX"
 
 if [[ -n "$SERVE_BASELINE" && -f "$SERVE_BASELINE" ]]; then
   echo "bench gate: serving leg (baseline $SERVE_BASELINE)"
