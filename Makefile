@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build lint lint-fast test race bench bench-gate bench-baseline artifacts serve-smoke refresh-smoke serve-bench chaos-smoke shard-smoke shard-bench fuzz-short
+.PHONY: build lint lint-fast test race bench bench-gate bench-baseline artifacts serve-smoke refresh-smoke forecast-smoke serve-bench chaos-smoke shard-smoke shard-bench fuzz-short
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,16 @@ serve-smoke:
 refresh-smoke:
 	./scripts/refresh_smoke.sh
 
-# Sustained concurrent classify load against an in-process icnserve.
+# End-to-end smoke of the forecasting & planning surface: forecast/model
+# revision consistency, cache-hit bit-identity, a planning round-trip, and
+# a fresh forecast revision after a live ingest → refresh swap (see
+# DESIGN.md §16).
+forecast-smoke:
+	./scripts/forecast_smoke.sh
+
+# Sustained concurrent classify load against an in-process icnserve, plus
+# the forecast leg (training-time row and a /v1/forecast load with a
+# mid-run swap and per-revision bit-parity audit).
 serve-bench:
 	$(GO) run ./cmd/icnbench -serve -scale 0.1 -trees 25 -servejson BENCH_serve.json
 
@@ -94,3 +103,4 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzReadTraffic -fuzztime $(FUZZTIME) ./internal/dataio
 	$(GO) test -run '^$$' -fuzz FuzzIngestBody -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzClassifyBody -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzForecastBody -fuzztime $(FUZZTIME) ./internal/serve

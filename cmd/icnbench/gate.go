@@ -66,11 +66,59 @@ func parseGateMax(spec string) (map[string]float64, error) {
 	return out, nil
 }
 
+// parseGateExpect parses a -gateexpect spec — comma-separated stage names
+// — into the exact row schema the candidate record must carry.
+func parseGateExpect(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// validateGateRows checks a record against an expected row schema: every
+// expected stage must be present exactly once, and no unknown stage may
+// appear. It makes the gate's row set itself part of the contract — a leg
+// that silently stops emitting forecast_p99, or starts emitting a row
+// nothing ratchets, fails CI instead of drifting.
+func validateGateRows(rec benchRecord, expected []string) error {
+	if len(expected) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(expected))
+	for _, name := range expected {
+		want[name] = true
+	}
+	count := make(map[string]int, len(rec.Stages))
+	for _, st := range rec.Stages {
+		count[st.Name]++
+		if !want[st.Name] {
+			return fmt.Errorf("gate rows: unknown stage %q (expected: %s)", st.Name, strings.Join(expected, ","))
+		}
+	}
+	for _, name := range expected {
+		switch count[name] {
+		case 0:
+			return fmt.Errorf("gate rows: missing stage %q (expected: %s)", name, strings.Join(expected, ","))
+		case 1:
+		default:
+			return fmt.Errorf("gate rows: stage %q appears %d times", name, count[name])
+		}
+	}
+	return nil
+}
+
 // runGate loads the baseline record, measures (or loads, with comparePath)
 // a candidate record, prints the per-stage table and returns an error when
 // any baseline stage regressed beyond the tolerance, exceeded its
-// absolute maxMS ceiling, or disappeared.
-func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, tolerance, floorMS float64, runs int, maxMS map[string]float64) error {
+// absolute maxMS ceiling, or disappeared. A non-empty expect list also
+// pins the candidate's exact row schema (see validateGateRows).
+func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, tolerance, floorMS float64, runs int, maxMS map[string]float64, expect []string) error {
 	base, err := readBenchRecord(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench gate: baseline: %w", err)
@@ -85,6 +133,10 @@ func runGate(cfg analysis.Config, baselinePath, comparePath, benchPath string, t
 		if cand, err = measureBest(cfg, runs, benchPath); err != nil {
 			return err
 		}
+	}
+
+	if err := validateGateRows(cand, expect); err != nil {
+		return fmt.Errorf("bench gate: candidate schema: %w", err)
 	}
 
 	rows, regressed := compareBench(base, cand, tolerance, floorMS, maxMS)

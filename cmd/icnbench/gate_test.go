@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func gateFixture() (benchRecord, benchRecord) {
 	base := benchRecord{
@@ -148,6 +151,109 @@ func TestCompareBenchCeilingAboveLimitIsInert(t *testing.T) {
 	// than the 80ms ceiling, so the relative limit stands.
 	if r := findRow(t, rows, "outdoor"); r.LimitMS != 75 {
 		t.Fatalf("outdoor limit %v, want relative 75", r.LimitMS)
+	}
+}
+
+// serveGateFixture mirrors the BENCH_serve.json row set the serve leg
+// emits with the forecast leg on.
+func serveGateFixture() benchRecord {
+	return benchRecord{
+		TotalMS: 900,
+		Stages: []stageJSON{
+			{Name: "classify_p50", WallMS: 15},
+			{Name: "classify_p99", WallMS: 32},
+			{Name: "refresh_warm", WallMS: 40},
+			{Name: "forecast_train", WallMS: 18},
+			{Name: "forecast_p50", WallMS: 0.8},
+			{Name: "forecast_p99", WallMS: 30},
+		},
+	}
+}
+
+var serveExpectRows = []string{
+	"classify_p50", "classify_p99", "refresh_warm",
+	"forecast_train", "forecast_p50", "forecast_p99",
+}
+
+func TestValidateGateRowsAcceptsExactSchema(t *testing.T) {
+	if err := validateGateRows(serveGateFixture(), serveExpectRows); err != nil {
+		t.Fatal(err)
+	}
+	// An empty schema disables validation entirely.
+	if err := validateGateRows(benchRecord{Stages: []stageJSON{{Name: "whatever"}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateGateRowsRejectsMissingForecastRow(t *testing.T) {
+	rec := serveGateFixture()
+	kept := rec.Stages[:0]
+	for _, st := range rec.Stages {
+		if st.Name != "forecast_p99" {
+			kept = append(kept, st)
+		}
+	}
+	rec.Stages = kept
+	err := validateGateRows(rec, serveExpectRows)
+	if err == nil || !strings.Contains(err.Error(), "forecast_p99") {
+		t.Fatalf("dropped forecast_p99 not rejected: %v", err)
+	}
+}
+
+func TestValidateGateRowsRejectsUnknownRow(t *testing.T) {
+	rec := serveGateFixture()
+	rec.Stages = append(rec.Stages, stageJSON{Name: "forecast_p75", WallMS: 5})
+	err := validateGateRows(rec, serveExpectRows)
+	if err == nil || !strings.Contains(err.Error(), "forecast_p75") {
+		t.Fatalf("unknown row not rejected: %v", err)
+	}
+}
+
+func TestValidateGateRowsRejectsDuplicateRow(t *testing.T) {
+	rec := serveGateFixture()
+	rec.Stages = append(rec.Stages, stageJSON{Name: "forecast_train", WallMS: 19})
+	err := validateGateRows(rec, serveExpectRows)
+	if err == nil || !strings.Contains(err.Error(), "forecast_train") {
+		t.Fatalf("duplicate row not rejected: %v", err)
+	}
+}
+
+func TestForecastRowsGateLikeStages(t *testing.T) {
+	base := serveGateFixture()
+	cand := serveGateFixture()
+	// forecast_train regressing beyond max(base, floor)×(1+tol) =
+	// 25×1.25 = 31.25ms fails the gate like any pipeline stage.
+	for i := range cand.Stages {
+		if cand.Stages[i].Name == "forecast_train" {
+			cand.Stages[i].WallMS = 40
+		}
+	}
+	rows, regressed := compareBench(base, cand, 0.25, 25, nil)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1: %+v", regressed, rows)
+	}
+	if r := findRow(t, rows, "forecast_train"); r.Status != gateRegress {
+		t.Fatalf("forecast_train status %s, want %s", r.Status, gateRegress)
+	}
+	// Sub-floor forecast p50 noise is absorbed like any tiny stage.
+	cand = serveGateFixture()
+	for i := range cand.Stages {
+		if cand.Stages[i].Name == "forecast_p50" {
+			cand.Stages[i].WallMS = 3
+		}
+	}
+	if _, regressed := compareBench(base, cand, 0.25, 25, nil); regressed != 0 {
+		t.Fatalf("sub-floor forecast_p50 noise fired the gate")
+	}
+}
+
+func TestParseGateExpect(t *testing.T) {
+	got := parseGateExpect(" classify_p50, forecast_p99 ,")
+	if len(got) != 2 || got[0] != "classify_p50" || got[1] != "forecast_p99" {
+		t.Fatalf("parsed %v", got)
+	}
+	if got := parseGateExpect(""); got != nil {
+		t.Fatalf("empty spec parsed to %v", got)
 	}
 }
 

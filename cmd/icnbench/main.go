@@ -8,7 +8,7 @@
 //	icnbench [-seed N] [-scale F] [-k N] [-trees N] [-out DIR] [-quiet]
 //	         [-benchjson FILE]
 //	icnbench -serve [-serveclients N] [-servereqs N] [-servebatch N]
-//	         [-servejson FILE]
+//	         [-servejson FILE] [-forecast=false]
 //	icnbench -shards N [-replicas M] [-shardclients N] [-shardbatches N]
 //	         [-shardrecords N] [-shardjson FILE]
 //
@@ -16,7 +16,11 @@
 // an in-process icnserve instance around a freshly trained snapshot,
 // sustains a concurrent classify load over HTTP, drains the server
 // gracefully, and writes throughput plus p50/p99 latency to -servejson
-// (default BENCH_serve.json).
+// (default BENCH_serve.json). Unless -forecast=false, it also times the
+// forecast-set training and sustains a /v1/forecast load with a model swap
+// landing mid-run, auditing every sampled response bit-for-bit against an
+// offline refit of the echoed revision's series; the forecast_train,
+// forecast_p50 and forecast_p99 rows gate alongside the classify rows.
 //
 // With -shards the command benchmarks the sharded nationwide tier: N
 // ingest shards on a consistent-hash ring behind M replicated serve
@@ -62,6 +66,7 @@ func main() {
 	serveReqs := flag.Int("servereqs", 50, "requests per client (with -serve)")
 	serveBatch := flag.Int("servebatch", 64, "antennas per classify request (with -serve)")
 	serveJSON := flag.String("servejson", "BENCH_serve.json", "serving benchmark output path (with -serve)")
+	serveForecast := flag.Bool("forecast", true, "run the forecast leg — train-time row plus a /v1/forecast load with a mid-run model swap and per-revision parity audit (with -serve)")
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection soak against a live server instead of regenerating artifacts")
 	chaosSchedules := flag.Int("chaosschedules", 3, "number of seeded fault schedules (with -chaos)")
 	chaosSwaps := flag.Int("chaosswaps", 50, "refresh-driven snapshot swaps the swap-storm leg must complete with parity held (with -chaos; 0 disables the leg)")
@@ -79,6 +84,7 @@ func main() {
 	gateFloor := flag.Float64("gatefloor", 120, "baseline milliseconds floor — stages faster than this are held to the floor's limit, absorbing scheduler noise (with -gate)")
 	gateRuns := flag.Int("gateruns", 2, "pipeline reruns; the per-stage best wall time is gated (with -gate)")
 	gateMax := flag.String("gatemax", "", "absolute per-stage wall-time ceilings as stage=ms pairs, e.g. temporal=300,selection=130 — a listed stage fails above its ceiling even inside the relative tolerance (with -gate)")
+	gateExpect := flag.String("gateexpect", "", "comma-separated gate-row schema — the candidate must carry exactly these stage rows, each once; unknown or missing rows fail the gate (with -gate)")
 	flag.Parse()
 
 	// The sharded leg models the nationwide deployment: unless -scale was
@@ -121,14 +127,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := runGate(cfg, *gatePath, *gateCompare, *benchPath, *gateTolerance, *gateFloor, *gateRuns, maxMS); err != nil {
+		if err := runGate(cfg, *gatePath, *gateCompare, *benchPath, *gateTolerance, *gateFloor, *gateRuns, maxMS, parseGateExpect(*gateExpect)); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *serveBench {
-		if err := runServeBench(cfg, *serveClients, *serveReqs, *serveBatch, *serveJSON); err != nil {
+		if err := runServeBench(cfg, *serveClients, *serveReqs, *serveBatch, *serveJSON, *serveForecast); err != nil {
 			fmt.Fprintf(os.Stderr, "icnbench: %v\n", err)
 			os.Exit(1)
 		}

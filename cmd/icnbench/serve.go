@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/forecast"
 	"repro/internal/pipe"
 	"repro/internal/probe"
 	"repro/internal/serve"
@@ -44,16 +47,23 @@ type serveBenchRecord struct {
 	IngestRecords int64 `json:"ingest_records"`
 	CacheHits     int64 `json:"cache_hits"`
 
-	// Gate-comparable rows: classify_p50, classify_p99, refresh_warm.
+	// Forecast leg (omitted with -forecast=false).
+	ForecastRequests int     `json:"forecast_requests,omitempty"`
+	ForecastAudited  int     `json:"forecast_audited,omitempty"`
+	ForecastTrainMS  float64 `json:"forecast_train_ms,omitempty"`
+
+	// Gate-comparable rows: classify_p50, classify_p99, refresh_warm, and
+	// with the forecast leg forecast_train, forecast_p50, forecast_p99.
 	TotalMS float64     `json:"total_ms"`
 	Stages  []stageJSON `json:"stages"`
 }
 
 // runServeBench stands up an in-process icnserve instance around a freshly
 // trained snapshot and sustains a concurrent classify load against it over
-// real HTTP, then writes the latency/throughput record and drains the
-// server gracefully.
-func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath string) error {
+// real HTTP — plus, with forecastLeg, a forecast load with a mid-run model
+// swap and per-revision parity audit — then writes the latency/throughput
+// record and drains the server gracefully.
+func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath string, forecastLeg bool) error {
 	fmt.Fprintf(os.Stderr, "icnbench: training snapshot (seed=%d scale=%.2f trees=%d)...\n",
 		cfg.Seed, cfg.Scale, cfg.ForestTrees)
 	res, err := analysis.Run(cfg)
@@ -195,6 +205,22 @@ func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath st
 		{Name: "refresh_warm", WallMS: refreshMS},
 	}
 
+	if forecastLeg {
+		fc, err := runForecastLeg(srv, ref, res, url, clients, requests)
+		if err != nil {
+			return fmt.Errorf("icnbench: forecast leg: %w", err)
+		}
+		rec.ForecastRequests = fc.requests
+		rec.ForecastAudited = fc.audited
+		rec.ForecastTrainMS = fc.trainMS
+		rec.TotalMS += fc.trainMS + fc.wallMS
+		rec.Stages = append(rec.Stages,
+			stageJSON{Name: "forecast_train", WallMS: fc.trainMS},
+			stageJSON{Name: "forecast_p50", WallMS: fc.p50MS},
+			stageJSON{Name: "forecast_p99", WallMS: fc.p99MS},
+		)
+	}
+
 	shutdownStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -214,4 +240,204 @@ func runServeBench(cfg analysis.Config, clients, requests, batch int, outPath st
 	}
 	fmt.Fprintf(os.Stderr, "icnbench: wrote serving benchmark to %s\n", outPath)
 	return nil
+}
+
+// forecastLegResult carries the forecast leg's gate-row inputs.
+type forecastLegResult struct {
+	requests int
+	audited  int
+	trainMS  float64
+	wallMS   float64
+	p50MS    float64
+	p99MS    float64
+}
+
+// fcObs is one sampled /v1/forecast response held for the parity audit.
+type fcObs struct {
+	rev      uint64
+	cluster  int
+	horizon  int
+	forecast []float64
+}
+
+// runForecastLeg times the forecast-set training, then sustains a
+// concurrent /v1/forecast load with one warm refresh swapping the model
+// mid-run, and audits sampled responses bit-for-bit against an offline
+// refit of the echoed revision's hourly series (Refresher.ResultFor +
+// Result.RefitForecasts) — the chaos-style parity contract: a served
+// forecast is exactly what forecast.Fit produces on that revision's data,
+// across a snapshot swap.
+func runForecastLeg(srv *serve.Server, ref *serve.Refresher, res *analysis.Result, url string, clients, requests int) (forecastLegResult, error) {
+	var out forecastLegResult
+
+	// Train-time row: refit the forecast set offline from the base
+	// revision's series. The refit must reproduce the pipeline's published
+	// set bit-for-bit — the digest check makes the row meaningful (it
+	// times the exact computation the serve path's models came from).
+	trainStart := time.Now()
+	refit, err := res.RefitForecasts(context.Background())
+	if err != nil {
+		return out, err
+	}
+	out.trainMS = float64(time.Since(trainStart).Microseconds()) / 1000
+	if res.Forecasts == nil || refit.Digest() != res.Forecasts.Digest() {
+		return out, fmt.Errorf("offline refit diverged from the published forecast set")
+	}
+	fmt.Fprintf(os.Stderr, "icnbench: forecast training refit %d clusters in %.1fms (digest parity ok)\n",
+		refit.K(), out.trainMS)
+
+	horizons := []int{24, 48, 168}
+	var done atomic.Int64
+	latencies := make([][]float64, clients)
+	samples := make([][]fcObs, clients)
+	failures := make([]int, clients)
+	query := func(client *http.Client, cluster, horizon int) (fcObs, float64, error) {
+		body, err := json.Marshal(serve.ForecastRequest{Cluster: &cluster, Horizon: horizon})
+		if err != nil {
+			return fcObs{}, 0, err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(url+"/v1/forecast", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fcObs{}, 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return fcObs{}, 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var fr serve.ForecastResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			return fcObs{}, 0, err
+		}
+		lat := float64(time.Since(t0).Microseconds()) / 1000
+		return fcObs{rev: fr.ModelRevision, cluster: fr.Cluster, horizon: fr.Horizon, forecast: fr.Forecast}, lat, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "icnbench: forecast load — %d clients × %d requests with a mid-run swap\n",
+		clients, requests)
+	loadStart := time.Now()
+	var loaders pipe.Tasks
+	for c := 0; c < clients; c++ {
+		c := c
+		loaders.Go(func() {
+			client := &http.Client{Timeout: 30 * time.Second}
+			for r := 0; r < requests; r++ {
+				obs, lat, err := query(client, (c+r)%res.K, horizons[r%len(horizons)])
+				done.Add(1)
+				if err != nil {
+					failures[c]++
+					continue
+				}
+				latencies[c] = append(latencies[c], lat)
+				// Every 4th response is retained for the audit.
+				if r%4 == 0 {
+					samples[c] = append(samples[c], obs)
+				}
+			}
+		})
+	}
+
+	// Land a model swap mid-run: wait for a third of the load to complete,
+	// fold a fresh ingest batch and run one warm refresh. Requests issued
+	// after the swap echo (and must match) the new revision.
+	total := int64(clients * requests)
+	for done.Load() < total/3 {
+		time.Sleep(time.Millisecond)
+	}
+	nIndoor := res.Dataset.Traffic.Rows()
+	recs := make([]probe.Record, 0, 400)
+	for i := 0; i < 400; i++ {
+		recs = append(recs, probe.Record{
+			Hour: uint32((i + 7) % 24), AntennaID: uint32((i * 3) % nIndoor),
+			Protocol: probe.TCP, ServerPort: 443,
+			ServerName: probe.DomainOf((i + 2) % services.M),
+			DownBytes:  5 << 20, UpBytes: 1 << 18,
+		})
+	}
+	srv.Sink().AddBatch(recs)
+	rctx, rcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	rout, err := ref.RefreshOnce(rctx)
+	rcancel()
+	if err != nil {
+		return out, fmt.Errorf("mid-run refresh: %w", err)
+	}
+	if !rout.Swapped {
+		return out, fmt.Errorf("mid-run refresh published no new revision")
+	}
+	loaders.Wait()
+	out.wallMS = float64(time.Since(loadStart).Microseconds()) / 1000
+
+	// A slow swap can finish after fast clients drain; a handful of
+	// post-swap queries guarantees the audit covers the new revision.
+	tail := &http.Client{Timeout: 30 * time.Second}
+	for c := 0; c < res.K; c++ {
+		obs, _, err := query(tail, c, horizons[c%len(horizons)])
+		if err != nil {
+			return out, fmt.Errorf("post-swap query: %w", err)
+		}
+		samples[0] = append(samples[0], obs)
+	}
+
+	var all []float64
+	failed := 0
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		failed += failures[c]
+	}
+	if len(all) == 0 {
+		return out, fmt.Errorf("every forecast request failed")
+	}
+	sort.Float64s(all)
+	out.requests = len(all)
+	out.p50MS = all[int(0.50*float64(len(all)-1))]
+	out.p99MS = all[int(0.99*float64(len(all)-1))]
+
+	// Parity audit: refit each observed revision's forecast set from its
+	// offline result and require bit-equality with every sampled response.
+	refits := map[uint64]*forecast.Set{}
+	setFor := func(rev uint64) (*forecast.Set, error) {
+		if set, ok := refits[rev]; ok {
+			return set, nil
+		}
+		offline, ok := ref.ResultFor(rev)
+		if !ok {
+			return nil, fmt.Errorf("served revision %016x not resolvable to an offline result", rev)
+		}
+		set, err := offline.RefitForecasts(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		refits[rev] = set
+		return set, nil
+	}
+	for c := range samples {
+		for _, obs := range samples[c] {
+			set, err := setFor(obs.rev)
+			if err != nil {
+				return out, err
+			}
+			cm := set.Cluster(obs.cluster)
+			if cm == nil {
+				return out, fmt.Errorf("revision %016x refit has no cluster %d", obs.rev, obs.cluster)
+			}
+			want := cm.Model.Forecast(obs.horizon)
+			if len(want) != len(obs.forecast) {
+				return out, fmt.Errorf("cluster %d: served %d hours, refit %d", obs.cluster, len(obs.forecast), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(obs.forecast[i]) {
+					return out, fmt.Errorf("revision %016x cluster %d hour %d: served %v, offline refit %v",
+						obs.rev, obs.cluster, i, obs.forecast[i], want[i])
+				}
+			}
+			out.audited++
+		}
+	}
+	if len(refits) < 2 {
+		return out, fmt.Errorf("audit saw %d revision(s), want the pre- and post-swap pair", len(refits))
+	}
+	fmt.Fprintf(os.Stderr, "icnbench: forecast parity audit — %d responses bit-exact across %d revisions (%d failed requests), p50 %.2fms p99 %.2fms\n",
+		out.audited, len(refits), failed, out.p50MS, out.p99MS)
+	return out, nil
 }

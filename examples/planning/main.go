@@ -1,0 +1,113 @@
+// Planning: the capacity-planning surface on icnserve. Train a model
+// (every pipeline run now fits per-cluster busy-hour forecasters alongside
+// the forest), stand up the server, query /v1/forecast for each cluster's
+// predicted busy hour, then score two what-if scenarios through /v1/plan:
+// densifying the heaviest cluster, and shifting a venue cluster's event
+// calendar. The point of the exercise is the paper's Sections 6-7 argument
+// made operational: demand-cluster structure plus hour-of-week seasonality
+// is enough to answer "where do the new antennas go" before deploying them.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	icn "repro"
+)
+
+func post[T any](url string, body any) (T, error) {
+	var out T
+	data, err := json.Marshal(body)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func main() {
+	ctx := context.Background()
+
+	result, err := icn.Run(ctx, icn.Config{Seed: 5, Scale: 0.05, ForestTrees: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := icn.NewModelSnapshot(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := icn.NewServer(snap, icn.ServeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(ctx)
+	base := "http://" + srv.Addr().String()
+
+	// One busy-hour forecast per cluster. The served values are exactly the
+	// snapshot's fitted models — re-fitting the same revision offline
+	// reproduces them bit-for-bit, which is what the bench parity leg checks.
+	fmt.Printf("model revision %016x, %d clusters\n\n", snap.Revision, result.K)
+	fmt.Println("cluster  members  busy-hour  peak-MB")
+	heaviest, heaviestPeak := 0, 0.0
+	for c := 0; c < result.K; c++ {
+		cc := c
+		fc, err := post[icn.ForecastResponse](base+"/v1/forecast", icn.ForecastRequest{Cluster: &cc, Horizon: 168})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %7d  %4dh(%s)  %7.0f\n",
+			fc.Cluster, fc.Members, fc.BusyHour%24, [...]string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}[fc.BusyHour/24], fc.PeakMB)
+		if load := fc.PeakMB * float64(fc.Members); load > heaviestPeak {
+			heaviest, heaviestPeak = c, load
+		}
+	}
+
+	// Scenario 1: densify the heaviest cluster by 10% and pull two antennas
+	// over from the lightest-loaded one.
+	grow := max(1, snap.Forecasts.Cluster(heaviest).Members/10)
+	plan, err := post[icn.PlanResponse](base+"/v1/plan", icn.PlanRequest{
+		Horizon: 168,
+		Actions: []icn.PlanAction{
+			{Op: icn.OpAddAntennas, Cluster: heaviest, Count: grow},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscenario 1: +%d antennas in cluster %d\n", grow, heaviest)
+	for _, cp := range plan.Plan.Clusters {
+		if cp.Cluster == heaviest {
+			fmt.Printf("  cluster %d: %d -> %d antennas, busy-hour load %.0f -> %.0f MB (%+.0f)\n",
+				cp.Cluster, cp.AntennasBefore, cp.AntennasAfter, cp.BaselineMB, cp.PlannedMB, cp.DeltaMB)
+		}
+	}
+	fmt.Printf("  network busy-hour total %.0f -> %.0f MB\n",
+		plan.Plan.TotalBaselineMB, plan.Plan.TotalPlannedMB)
+
+	// Scenario 2: shift cluster 0's event calendar six hours later (a venue
+	// rescheduling its programming) and see the busy hour move with it.
+	shift, err := post[icn.PlanResponse](base+"/v1/plan", icn.PlanRequest{
+		Horizon: 168,
+		Actions: []icn.PlanAction{{Op: icn.OpShiftEvents, Cluster: 0, Hours: 6}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := plan.Plan.Clusters[0].BusyHour
+	after := shift.Plan.Clusters[0].BusyHour
+	fmt.Printf("\nscenario 2: shift cluster 0 events +6h: busy hour %dh -> %dh\n", before%168, after%168)
+}

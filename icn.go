@@ -25,6 +25,11 @@
 //     ServeConfig, ServeStats, ClassifyRequest, AntennaVector,
 //     ClassifyResponse, AntennaVerdict, and the continuous-refresh
 //     controller NewRefresher, Refresher, RefreshConfig, RefreshInfo.
+//   - Forecasting & planning: ForecastSet (per-cluster and per-antenna
+//     busy-hour forecasters trained by every pipeline run, from
+//     Result.Forecasts), ForecastRequest, ForecastResponse, PlanRequest,
+//     PlanResponse, PlanAction, PlanResult — the /v1/forecast and
+//     /v1/plan capacity-planning surface (see examples/planning).
 //   - Sharded serving: NewRouter, Router, ShardConfig, RouterStats,
 //     RingStats, ReplicaStats, ShardSinkStats, and the placement ring
 //     NewRing, Ring, DefaultVirtualNodes — nationwide-scale ingest
@@ -94,6 +99,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/forecast"
 	"repro/internal/obs"
 	"repro/internal/pipe"
 	"repro/internal/serve"
@@ -262,6 +268,45 @@ type RefreshInfo = serve.RefreshInfo
 func NewRefresher(srv *Server, base *Result, cfg RefreshConfig) (*Refresher, error) {
 	return serve.NewRefresher(srv, base, cfg)
 }
+
+// --- Forecasting & capacity planning ----------------------------------------
+
+// ForecastSet bundles the per-cluster and per-antenna Holt-Winters
+// busy-hour forecasters trained alongside a pipeline run's model
+// (Result.Forecasts); snapshots carry it to /v1/forecast and /v1/plan.
+type ForecastSet = forecast.Set
+
+// ForecastRequest is the POST /v1/forecast body: exactly one of Cluster
+// or Antenna, plus an optional horizon in hours.
+type ForecastRequest = serve.ForecastRequest
+
+// ForecastResponse is one model's horizon prediction with busy-hour and
+// peak-load metadata, echoing the served model revision.
+type ForecastResponse = serve.ForecastResponse
+
+// PlanRequest is the POST /v1/plan body: a what-if scenario (antenna
+// additions, removals, reassignments, event-calendar shifts) scored
+// against the served revision's forecasters.
+type PlanRequest = serve.PlanRequest
+
+// PlanResponse carries the scored scenario.
+type PlanResponse = serve.PlanResponse
+
+// PlanAction is one scenario edit; see the forecast.Op* constants mirrored
+// as OpAddAntennas, OpRemoveAntennas, OpReassign, OpShiftEvents.
+type PlanAction = forecast.Action
+
+// PlanResult is the per-cluster and aggregate busy-hour scoring of a
+// scenario.
+type PlanResult = forecast.PlanResult
+
+// Scenario edit operations accepted by PlanAction.Op.
+const (
+	OpAddAntennas    = forecast.OpAddAntennas
+	OpRemoveAntennas = forecast.OpRemoveAntennas
+	OpReassign       = forecast.OpReassign
+	OpShiftEvents    = forecast.OpShiftEvents
+)
 
 // --- Sharded serving --------------------------------------------------------
 

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/forecast"
+)
+
+func TestColdPipelineTrainsForecasts(t *testing.T) {
+	cold := warmBase(t)
+	set := cold.Forecasts
+	if set == nil {
+		t.Fatal("cold pipeline published no forecast set")
+	}
+	if set.K() != cold.K {
+		t.Fatalf("forecast set has %d cluster models, want %d", set.K(), cold.K)
+	}
+	if set.Season != forecast.SeasonLength || set.Hours != cold.Dataset.Cal.Hours() {
+		t.Fatalf("season %d hours %d, want %d/%d", set.Season, set.Hours,
+			forecast.SeasonLength, cold.Dataset.Cal.Hours())
+	}
+	sizes := cold.ClusterSizes()
+	var sampled int
+	for c := 0; c < cold.K; c++ {
+		cm := set.Cluster(c)
+		if cm.Members != sizes[c] {
+			t.Fatalf("cluster %d members %d, want %d", c, cm.Members, sizes[c])
+		}
+		if cm.Sampled > cm.Members || cm.Sampled > defaultTemporalCap {
+			t.Fatalf("cluster %d sampled %d of %d (cap %d)", c, cm.Sampled, cm.Members, defaultTemporalCap)
+		}
+		sampled += cm.Sampled
+	}
+	if len(set.Antennas) != sampled {
+		t.Fatalf("%d antenna models, want %d sampled", len(set.Antennas), sampled)
+	}
+}
+
+func TestRefitForecastsMatchesPublished(t *testing.T) {
+	cold := warmBase(t)
+	refit, err := cold.RefitForecasts(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit.Digest() != cold.Forecasts.Digest() {
+		t.Fatal("offline refit diverged from the published forecast set")
+	}
+}
+
+// TestWarmRefreshForecastParityDriftZero is the golden forecast parity
+// fixture: a warm refresh over bit-identical traffic must reproduce the
+// cold forecast models bit-for-bit (the digest covers every smoothing
+// factor, level, trend and seasonal component).
+func TestWarmRefreshForecastParityDriftZero(t *testing.T) {
+	cold := warmBase(t)
+	warm, st, err := WarmRefresh(cold, cold.Dataset.Traffic.Clone(), nil, WarmConfig{DriftThreshold: DefaultDriftThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Drift != 0 {
+		t.Fatalf("drift-0 refresh reported movement: %+v", st)
+	}
+	if warm.Forecasts == nil {
+		t.Fatal("warm refresh published no forecast set")
+	}
+	if warm.Forecasts.Digest() != cold.Forecasts.Digest() {
+		t.Fatal("warm forecast models diverged from cold at drift 0")
+	}
+}
+
+// TestWarmRefreshForecastTracksTraffic is the freshness contract: folding
+// changed traffic into a refresh must retrain the forecasters on the new
+// rows, not re-serve the generation-time series.
+func TestWarmRefreshForecastTracksTraffic(t *testing.T) {
+	cold := warmBase(t)
+	traffic := cold.Dataset.Traffic.Clone()
+	row := traffic.Row(0)
+	for j := range row {
+		row[j] *= 5
+	}
+	warm, _, err := WarmRefresh(cold, traffic, []int{0}, WarmConfig{DriftThreshold: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Forecasts.Digest() == cold.Forecasts.Digest() {
+		t.Fatal("forecast digest unchanged after a 5x traffic surge on a sampled antenna")
+	}
+}

@@ -42,6 +42,9 @@ type Config struct {
 	// SHAPSamplesPerCluster bounds the per-cluster explained sample count
 	// (default 30 members plus 15 contrast samples).
 	SHAPSamplesPerCluster int
+	// ForecastSample bounds the per-cluster antenna sample the forecast
+	// stage trains on (default 40, matching the temporal profile cap).
+	ForecastSample int
 	// TemporalExactSort computes temporal medians with the legacy
 	// sort-based stats.Median instead of the default counting-sort
 	// selection. The two are value-identical on every input (see
@@ -68,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SHAPSamplesPerCluster <= 0 {
 		c.SHAPSamplesPerCluster = 30
+	}
+	if c.ForecastSample <= 0 {
+		c.ForecastSample = defaultTemporalCap
 	}
 	return c
 }
@@ -112,9 +118,11 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 	feats := &FeatureArtifacts{}
 	clus := &ClusterArtifacts{}
 	model := &ModelArtifacts{}
+	fc := &ForecastArtifacts{}
 	AddFeatureStages(g, ds.Traffic, cfg.K, feats)
 	AddClusterStages(g, ds, cfg, feats, clus)
 	AddModelStages(g, ds, cfg, feats, clus, model, "labels")
+	AddForecastStage(g, ds, cfg, clus, fc, "labels")
 
 	// Section 6: warm the per-cluster temporal profile cache at the
 	// experiment suite's sample cap, overlapping the forest stage. The
@@ -129,7 +137,7 @@ func RunOnDatasetContext(ctx context.Context, ds *synth.Dataset, cfg Config) (*R
 	if err := g.Run(ctx, res.Trace()); err != nil {
 		return nil, err
 	}
-	res.publish(feats, clus, model)
+	res.publish(feats, clus, model, fc)
 	return res, nil
 }
 

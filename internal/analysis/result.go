@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/forecast"
 	"repro/internal/forest"
 	"repro/internal/geo"
 	"repro/internal/mat"
@@ -53,6 +54,11 @@ type Result struct {
 	// (Fig. 9) and OutdoorShare the per-cluster fraction.
 	OutdoorLabels []int
 	OutdoorShare  []float64
+
+	// Forecasts bundles the per-cluster and per-antenna busy-hour
+	// forecasters trained by the forecast stage on this result's traffic
+	// state (Sections 6-7 proactive management).
+	Forecasts *forecast.Set
 
 	// trace holds the per-stage execution records of the staged engine.
 	trace *obs.Trace
@@ -111,7 +117,7 @@ func (r *Result) adoptClusters(feats *FeatureArtifacts, clus *ClusterArtifacts) 
 
 // publish copies every artifact into the Result after the graph has
 // finished. Re-binding fields adoptClusters already set is idempotent.
-func (r *Result) publish(feats *FeatureArtifacts, clus *ClusterArtifacts, model *ModelArtifacts) {
+func (r *Result) publish(feats *FeatureArtifacts, clus *ClusterArtifacts, model *ModelArtifacts, fc *ForecastArtifacts) {
 	r.RSCA = feats.RSCA
 	r.Linkage = clus.Linkage
 	r.Selection = clus.Selection
@@ -124,6 +130,9 @@ func (r *Result) publish(feats *FeatureArtifacts, clus *ClusterArtifacts, model 
 	r.Contingency = model.Contingency
 	r.OutdoorLabels = model.OutdoorLabels
 	r.OutdoorShare = model.OutdoorShare
+	if fc != nil {
+		r.Forecasts = fc.Set
+	}
 	if feats.Dists != nil {
 		r.mu.Lock()
 		r.dists = feats.Dists

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/forecast"
 	"repro/internal/forest"
 	"repro/internal/mat"
 	"repro/internal/pipe"
@@ -169,6 +170,76 @@ func AddModelStages(g *pipe.Graph, ds *synth.Dataset, cfg Config, feats *Feature
 		out.OutdoorLabels, out.OutdoorShare = labels, share
 		return nil
 	})
+}
+
+// ForecastArtifacts carries the Section 6-7 proactive-management output:
+// the per-cluster and per-antenna busy-hour forecasters.
+type ForecastArtifacts struct {
+	// Set bundles the fitted Holt-Winters models for one revision.
+	Set *forecast.Set
+}
+
+// AddForecastStage registers the "forecast" stage: per-cluster and
+// per-antenna Holt-Winters busy-hour forecasters trained on the hourly
+// series implied by the live traffic matrix. labelsDep names the stage
+// that fills clus ("labels" on the cold path, "assign" on the warm path),
+// so the refresher keeps forecasts fresh per revision alongside the
+// forest. The stage runs concurrently with forest training.
+func AddForecastStage(g *pipe.Graph, ds *synth.Dataset, cfg Config, clus *ClusterArtifacts, out *ForecastArtifacts, labelsDep string) {
+	g.Add("forecast", []string{labelsDep}, func(ctx context.Context) error {
+		set, err := fitForecastSet(ctx, ds, cfg, clus.K, clus.Labels)
+		if err != nil {
+			return fmt.Errorf("forecast fit: %w", err)
+		}
+		out.Set = set
+		return nil
+	})
+}
+
+// fitForecastSet trains the forecast set for one (traffic, labels) state:
+// per cluster, up to cfg.ForecastSample member antennas are sampled
+// deterministically, their hourly series derived from the *current*
+// traffic matrix rows (synth.HourlyTotalsRow — bit-identical to the
+// generation series when the row is unchanged, live after a refresh
+// folds new aggregates in), reduced to the cluster median, and fitted.
+// The series fan-out runs on the context's worker pool; fitting itself is
+// serial and deterministic.
+func fitForecastSet(ctx context.Context, ds *synth.Dataset, cfg Config, k int, labels []int) (*forecast.Set, error) {
+	members := make([][]int, k)
+	for i, l := range labels {
+		if l >= 0 && l < k {
+			members[l] = append(members[l], i)
+		}
+	}
+	sampled := make([][]int, k)
+	var all []int
+	for c := 0; c < k; c++ {
+		sampled[c] = subsample(members[c], cfg.ForecastSample)
+		all = append(all, sampled[c]...)
+	}
+	series := make([][]float64, len(all))
+	err := pipe.FromContext(ctx).ForEach(ctx, len(all), func(i int) {
+		ant := ds.Indoor[all[i]]
+		series[i] = ds.HourlyTotalsRow(ant, ds.Traffic.Row(ant.ID))
+	})
+	if err != nil {
+		return nil, err
+	}
+	hours := ds.Cal.Hours()
+	clusters := make([]forecast.ClusterSeries, k)
+	pos := 0
+	for c := 0; c < k; c++ {
+		cs := forecast.ClusterSeries{Cluster: c, Members: len(members[c])}
+		perAntenna := make([][]float64, len(sampled[c]))
+		for i, idx := range sampled[c] {
+			perAntenna[i] = series[pos]
+			pos++
+			cs.Antennas = append(cs.Antennas, forecast.AntennaSeries{Antenna: idx, Series: perAntenna[i]})
+		}
+		cs.Series = medianWindow(perAntenna, 0, hours, cfg.TemporalExactSort)
+		clusters[c] = cs
+	}
+	return forecast.FitSet(clusters, forecast.Config{})
 }
 
 // classifyOutdoor computes Eq. 5 RSCA for the outdoor population and runs

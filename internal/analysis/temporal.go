@@ -3,6 +3,7 @@ package analysis
 import (
 	"context"
 
+	"repro/internal/forecast"
 	"repro/internal/pipe"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -260,6 +261,16 @@ func (r *Result) ClusterHourlySeries(clusterID, maxAntennas int) []float64 {
 		panic(err)
 	}
 	return out
+}
+
+// RefitForecasts retrains the busy-hour forecast set from scratch on this
+// result's current traffic and labels — the same deterministic fit the
+// forecast stage runs, so the returned set's Digest matches
+// Result.Forecasts bit-for-bit. Offline parity audits and the forecast
+// benchmark's training-time measurement use it; serving reads the
+// published Forecasts field instead.
+func (r *Result) RefitForecasts(ctx context.Context) (*forecast.Set, error) {
+	return fitForecastSet(ctx, r.Dataset, r.Config, r.K, r.Labels)
 }
 
 // DayNight splits a profile into per-day rows of 24 hours, for heatmap

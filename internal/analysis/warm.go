@@ -46,10 +46,13 @@ func WarmRefresh(prev *Result, traffic *mat.Dense, dirty []int, wcfg WarmConfig)
 // an "assign" stage that keeps clean antennas in their previous cluster
 // and moves only the rows listed in dirty to their nearest Ward centroid
 // (escalating to a full re-linkage plus archetype re-alignment when the
-// drift statistic exceeds wcfg.DriftThreshold), and the model stages —
+// drift statistic exceeds wcfg.DriftThreshold), the model stages —
 // surrogate forest retrain on the shared worker pool, environment
-// contingency and outdoor classification. The model-selection sweep and
-// temporal-cache warmup are cold-only and skipped.
+// contingency and outdoor classification — and the forecast stage, which
+// retrains the busy-hour forecasters on the updated traffic rows so every
+// revision serves forecasts matching its own ingest state. The
+// model-selection sweep and temporal-cache warmup are cold-only and
+// skipped.
 //
 // Determinism contract: with bit-identical traffic and no dirty rows, the
 // result is bit-identical to the cold pipeline that produced prev —
@@ -117,10 +120,12 @@ func WarmRefreshContext(ctx context.Context, prev *Result, traffic *mat.Dense, d
 	})
 
 	AddModelStages(g, &nds, cfg, feats, clus, model, "assign")
+	fc := &ForecastArtifacts{}
+	AddForecastStage(g, &nds, cfg, clus, fc, "assign")
 
 	if err := g.Run(ctx, res.Trace()); err != nil {
 		return nil, st, err
 	}
-	res.publish(feats, clus, model)
+	res.publish(feats, clus, model, fc)
 	return res, st, nil
 }

@@ -72,6 +72,11 @@ func Fit(series []float64, cfg Config) (*Model, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Beta <= 0 || cfg.Beta >= 1 || cfg.Gamma <= 0 || cfg.Gamma >= 1 {
 		return nil, fmt.Errorf("forecast: smoothing factors must lie in (0,1)")
 	}
+	for i, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("forecast: non-finite sample %v at index %d", v, i)
+		}
+	}
 
 	m := &Model{Alpha: cfg.Alpha, Beta: cfg.Beta, Gamma: cfg.Gamma, Season: s}
 

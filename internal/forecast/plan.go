@@ -1,0 +1,146 @@
+package forecast
+
+import "fmt"
+
+// Plan ops. An action edits the what-if scenario before scoring: antennas
+// join or leave a cluster, move between clusters, or a cluster's event
+// calendar shifts in time.
+const (
+	OpAddAntennas    = "add_antennas"
+	OpRemoveAntennas = "remove_antennas"
+	OpReassign       = "reassign"
+	OpShiftEvents    = "shift_events"
+)
+
+// Action is one edit in a capacity-planning scenario.
+type Action struct {
+	// Op is one of add_antennas, remove_antennas, reassign, shift_events.
+	Op string `json:"op"`
+	// Cluster the action applies to.
+	Cluster int `json:"cluster"`
+	// ToCluster is the reassign destination.
+	ToCluster int `json:"to_cluster,omitempty"`
+	// Count is how many antennas add/remove/reassign move (default 1).
+	Count int `json:"count,omitempty"`
+	// Hours shifts the cluster's demand pattern forward in time
+	// (shift_events only; negative shifts backward).
+	Hours int `json:"hours,omitempty"`
+}
+
+// ClusterPlan scores one cluster under the scenario.
+type ClusterPlan struct {
+	Cluster int `json:"cluster"`
+	// AntennasBefore/After are the cluster populations before and after
+	// the scenario's add/remove/reassign edits.
+	AntennasBefore int `json:"antennas_before"`
+	AntennasAfter  int `json:"antennas_after"`
+	// BusyHour is the hour-of-week index at which the planned aggregate
+	// load peaks within the horizon.
+	BusyHour int `json:"busy_hour"`
+	// BaselineMB and PlannedMB are the peak aggregate loads (median
+	// per-antenna forecast × population) without and with the scenario;
+	// DeltaMB is their difference.
+	BaselineMB float64 `json:"baseline_mb"`
+	PlannedMB  float64 `json:"planned_mb"`
+	DeltaMB    float64 `json:"delta_mb"`
+}
+
+// PlanResult is a scored capacity-planning scenario.
+type PlanResult struct {
+	Horizon         int           `json:"horizon"`
+	Clusters        []ClusterPlan `json:"clusters"`
+	TotalBaselineMB float64       `json:"total_baseline_mb"`
+	TotalPlannedMB  float64       `json:"total_planned_mb"`
+}
+
+// Plan scores a what-if scenario over the next horizon hours. Aggregate
+// cluster load at hour t is modeled as population × median-antenna
+// forecast; add/remove/reassign edit the population, shift_events rotates
+// the cluster's forecast within the horizon window. The baseline column
+// scores the unedited populations on the same forecasts.
+func (s *Set) Plan(actions []Action, horizon int) (*PlanResult, error) {
+	if s == nil || len(s.Clusters) == 0 {
+		return nil, fmt.Errorf("forecast: no fitted models to plan against")
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("forecast: horizon must be at least 1, got %d", horizon)
+	}
+	members := make([]int, len(s.Clusters))
+	shifts := make([]int, len(s.Clusters))
+	for i := range s.Clusters {
+		members[i] = s.Clusters[i].Members
+	}
+	for i, a := range actions {
+		if a.Cluster < 0 || a.Cluster >= len(s.Clusters) {
+			return nil, fmt.Errorf("forecast: action %d: cluster %d out of range [0, %d)", i, a.Cluster, len(s.Clusters))
+		}
+		count := a.Count
+		if count == 0 {
+			count = 1
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("forecast: action %d: negative count %d", i, a.Count)
+		}
+		switch a.Op {
+		case OpAddAntennas:
+			members[a.Cluster] += count
+		case OpRemoveAntennas:
+			if members[a.Cluster] < count {
+				return nil, fmt.Errorf("forecast: action %d: cluster %d has %d antennas, cannot remove %d",
+					i, a.Cluster, members[a.Cluster], count)
+			}
+			members[a.Cluster] -= count
+		case OpReassign:
+			if a.ToCluster < 0 || a.ToCluster >= len(s.Clusters) {
+				return nil, fmt.Errorf("forecast: action %d: to_cluster %d out of range [0, %d)", i, a.ToCluster, len(s.Clusters))
+			}
+			if a.ToCluster == a.Cluster {
+				return nil, fmt.Errorf("forecast: action %d: reassign to the same cluster %d", i, a.Cluster)
+			}
+			if members[a.Cluster] < count {
+				return nil, fmt.Errorf("forecast: action %d: cluster %d has %d antennas, cannot reassign %d",
+					i, a.Cluster, members[a.Cluster], count)
+			}
+			members[a.Cluster] -= count
+			members[a.ToCluster] += count
+		case OpShiftEvents:
+			shifts[a.Cluster] += a.Hours
+		default:
+			return nil, fmt.Errorf("forecast: action %d: unknown op %q", i, a.Op)
+		}
+	}
+
+	res := &PlanResult{Horizon: horizon}
+	for c := range s.Clusters {
+		cm := &s.Clusters[c]
+		pred := cm.Model.Forecast(horizon)
+		// Baseline peak on the unedited population.
+		bi := argmax(pred)
+		baseline := float64(cm.Members) * pred[bi]
+		// Planned: shift the demand pattern, then scale by the edited
+		// population.
+		planned := pred
+		if r := ((shifts[c] % horizon) + horizon) % horizon; r != 0 {
+			planned = make([]float64, horizon)
+			for t := 0; t < horizon; t++ {
+				// A +H shift delays demand: hour t shows what the
+				// unshifted forecast predicted H hours earlier.
+				planned[t] = pred[(t-r+horizon)%horizon]
+			}
+		}
+		pi := argmax(planned)
+		peak := float64(members[c]) * planned[pi]
+		res.Clusters = append(res.Clusters, ClusterPlan{
+			Cluster:        c,
+			AntennasBefore: cm.Members,
+			AntennasAfter:  members[c],
+			BusyHour:       (cm.Model.fitted + pi) % cm.Model.Season,
+			BaselineMB:     baseline,
+			PlannedMB:      peak,
+			DeltaMB:        peak - baseline,
+		})
+		res.TotalBaselineMB += baseline
+		res.TotalPlannedMB += peak
+	}
+	return res, nil
+}

@@ -1,0 +1,187 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClusterSeries is the training input for one cluster's forecasters: the
+// cluster-median hourly series plus the sampled per-antenna series it was
+// derived from. Members counts every antenna in the cluster, including
+// those the sampler skipped.
+type ClusterSeries struct {
+	Cluster  int
+	Members  int
+	Series   []float64
+	Antennas []AntennaSeries
+}
+
+// AntennaSeries is one sampled antenna's hourly totals series.
+type AntennaSeries struct {
+	Antenna int
+	Series  []float64
+}
+
+// ClusterModel is a fitted busy-hour forecaster for one cluster.
+type ClusterModel struct {
+	Cluster int
+	// Members is the cluster population; Sampled is how many antennas
+	// contributed series to the median (and got per-antenna models).
+	Members, Sampled int
+	Model            *Model
+	// BusyHour is the hour-of-week index (0 = Monday 00:00) at which the
+	// next full season's forecast peaks; PeakMB is the predicted median
+	// per-antenna load at that hour.
+	BusyHour int
+	PeakMB   float64
+}
+
+// AntennaModel is a fitted busy-hour forecaster for one sampled antenna.
+type AntennaModel struct {
+	Antenna  int
+	Cluster  int
+	Model    *Model
+	BusyHour int
+	PeakMB   float64
+}
+
+// Set bundles the per-cluster and per-antenna forecasters trained from one
+// model revision's hourly series. A Set is immutable after FitSet returns;
+// Forecast reads are safe for concurrent callers.
+type Set struct {
+	// Season is the shared seasonal period; Hours is the training series
+	// length in hours.
+	Season, Hours int
+	Clusters      []ClusterModel
+	Antennas      []AntennaModel
+}
+
+// FitSet trains one Holt-Winters forecaster per cluster (on the median
+// series) and one per sampled antenna. Cluster inputs must be sorted by
+// cluster ID and series must share a common length of at least two
+// seasons.
+func FitSet(clusters []ClusterSeries, cfg Config) (*Set, error) {
+	cfg = cfg.withDefaults()
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("forecast: FitSet needs at least one cluster series")
+	}
+	set := &Set{Season: cfg.Season, Hours: len(clusters[0].Series)}
+	for i, cs := range clusters {
+		if cs.Cluster != i {
+			return nil, fmt.Errorf("forecast: cluster series out of order: got %d at index %d", cs.Cluster, i)
+		}
+		if len(cs.Series) != set.Hours {
+			return nil, fmt.Errorf("forecast: cluster %d series length %d != %d", cs.Cluster, len(cs.Series), set.Hours)
+		}
+		m, err := Fit(cs.Series, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: cluster %d: %w", cs.Cluster, err)
+		}
+		busy, peak := busyHour(m)
+		set.Clusters = append(set.Clusters, ClusterModel{
+			Cluster: cs.Cluster,
+			Members: cs.Members,
+			Sampled: len(cs.Antennas),
+			Model:   m, BusyHour: busy, PeakMB: peak,
+		})
+		for _, as := range cs.Antennas {
+			if len(as.Series) != set.Hours {
+				return nil, fmt.Errorf("forecast: antenna %d series length %d != %d", as.Antenna, len(as.Series), set.Hours)
+			}
+			am, err := Fit(as.Series, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("forecast: antenna %d: %w", as.Antenna, err)
+			}
+			abusy, apeak := busyHour(am)
+			set.Antennas = append(set.Antennas, AntennaModel{
+				Antenna: as.Antenna, Cluster: cs.Cluster,
+				Model: am, BusyHour: abusy, PeakMB: apeak,
+			})
+		}
+	}
+	return set, nil
+}
+
+// busyHour forecasts one full season ahead and returns the hour-of-week
+// index of the peak plus its predicted value.
+func busyHour(m *Model) (int, float64) {
+	pred := m.Forecast(m.Season)
+	idx := argmax(pred)
+	return (m.fitted + idx) % m.Season, pred[idx]
+}
+
+// K returns the number of cluster models.
+func (s *Set) K() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Clusters)
+}
+
+// Cluster returns the model for one cluster, or nil if out of range.
+func (s *Set) Cluster(c int) *ClusterModel {
+	if s == nil || c < 0 || c >= len(s.Clusters) {
+		return nil
+	}
+	return &s.Clusters[c]
+}
+
+// Antenna returns the model for one sampled antenna, or nil if the
+// antenna was not sampled.
+func (s *Set) Antenna(id int) *AntennaModel {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Antennas {
+		if s.Antennas[i].Antenna == id {
+			return &s.Antennas[i]
+		}
+	}
+	return nil
+}
+
+// Digest returns an FNV-1a fingerprint over the full fitted state of every
+// model in the set — smoothing factors, level, trend, seasonal components
+// and sample counts — so any retrain that changes a forecast changes the
+// digest. A nil set digests to zero.
+func (s *Set) Digest() uint64 {
+	if s == nil {
+		return 0
+	}
+	const offset, prime = uint64(0xcbf29ce484222325), uint64(0x100000001b3)
+	h := offset
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mixModel := func(m *Model) {
+		mix(math.Float64bits(m.Alpha))
+		mix(math.Float64bits(m.Beta))
+		mix(math.Float64bits(m.Gamma))
+		mix(uint64(m.Season))
+		mix(math.Float64bits(m.level))
+		mix(math.Float64bits(m.trend))
+		for _, v := range m.seasonal {
+			mix(math.Float64bits(v))
+		}
+		mix(uint64(m.fitted))
+	}
+	mix(uint64(s.Season))
+	mix(uint64(s.Hours))
+	mix(uint64(len(s.Clusters)))
+	for i := range s.Clusters {
+		cm := &s.Clusters[i]
+		mix(uint64(cm.Cluster))
+		mix(uint64(cm.Members))
+		mix(uint64(cm.Sampled))
+		mixModel(cm.Model)
+	}
+	mix(uint64(len(s.Antennas)))
+	for i := range s.Antennas {
+		am := &s.Antennas[i]
+		mix(uint64(am.Antenna))
+		mix(uint64(am.Cluster))
+		mixModel(am.Model)
+	}
+	return h
+}

@@ -1,0 +1,236 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// setFixture builds a two-cluster training input with distinct diurnal
+// patterns plus one sampled antenna per cluster.
+func setFixture(t testing.TB) []ClusterSeries {
+	t.Helper()
+	morning := synthetic(3, 0, 0, 1)
+	evening := synthetic(3, 0.001, 0, 2)
+	// Shift the second cluster's series so its busy hour differs.
+	shifted := make([]float64, len(evening))
+	for i := range evening {
+		shifted[i] = evening[(i+6)%len(evening)]
+	}
+	return []ClusterSeries{
+		{Cluster: 0, Members: 40, Series: morning,
+			Antennas: []AntennaSeries{{Antenna: 3, Series: morning}}},
+		{Cluster: 1, Members: 25, Series: shifted,
+			Antennas: []AntennaSeries{{Antenna: 9, Series: shifted}}},
+	}
+}
+
+func TestFitSetShapes(t *testing.T) {
+	set, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.K() != 2 || len(set.Antennas) != 2 {
+		t.Fatalf("K=%d antennas=%d, want 2/2", set.K(), len(set.Antennas))
+	}
+	if set.Season != SeasonLength || set.Hours != 3*SeasonLength {
+		t.Fatalf("season %d hours %d", set.Season, set.Hours)
+	}
+	cm := set.Cluster(0)
+	if cm == nil || cm.Members != 40 || cm.Sampled != 1 {
+		t.Fatalf("cluster 0 model %+v", cm)
+	}
+	if cm.BusyHour < 0 || cm.BusyHour >= SeasonLength {
+		t.Fatalf("busy hour %d out of hour-of-week range", cm.BusyHour)
+	}
+	if cm.PeakMB <= 0 {
+		t.Fatalf("peak %v, want positive", cm.PeakMB)
+	}
+	if set.Cluster(-1) != nil || set.Cluster(2) != nil {
+		t.Fatal("out-of-range cluster lookup should be nil")
+	}
+	if am := set.Antenna(9); am == nil || am.Cluster != 1 {
+		t.Fatalf("antenna 9 model %+v", set.Antenna(9))
+	}
+	if set.Antenna(4) != nil {
+		t.Fatal("unsampled antenna lookup should be nil")
+	}
+}
+
+func TestFitSetValidation(t *testing.T) {
+	fix := setFixture(t)
+	if _, err := FitSet(nil, Config{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+	out := []ClusterSeries{fix[1], fix[0]}
+	if _, err := FitSet(out, Config{}); err == nil {
+		t.Fatal("out-of-order clusters must error")
+	}
+	short := []ClusterSeries{{Cluster: 0, Members: 1, Series: make([]float64, SeasonLength)}}
+	if _, err := FitSet(short, Config{}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short series: %v, want ErrTooShort", err)
+	}
+	ragged := []ClusterSeries{fix[0], {Cluster: 1, Members: 1, Series: make([]float64, 2*SeasonLength)}}
+	if _, err := FitSet(ragged, Config{}); err == nil {
+		t.Fatal("ragged series lengths must error")
+	}
+}
+
+func TestFitAllZeroSeries(t *testing.T) {
+	// An all-zero antenna (dark building, dead sector) must fit to an
+	// all-zero forecast, not NaN.
+	m, err := Fit(make([]float64, 2*SeasonLength), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Forecast(48) {
+		if v != 0 {
+			t.Fatalf("forecast[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFitRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		series := synthetic(2, 0, 0, 1)
+		series[100] = bad
+		if _, err := Fit(series, Config{}); err == nil {
+			t.Fatalf("sample %v must be rejected", bad)
+		}
+	}
+}
+
+func TestSetDigestDeterministicAndSensitive(t *testing.T) {
+	a, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical training inputs must digest identically")
+	}
+	// Perturb one training sample: the digest must move.
+	fix := setFixture(t)
+	fix[0].Series[7] += 1.0
+	c, err := FitSet(fix, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest() == a.Digest() {
+		t.Fatal("changed series produced an unchanged digest")
+	}
+	var nilSet *Set
+	if nilSet.Digest() != 0 {
+		t.Fatal("nil set must digest to 0")
+	}
+}
+
+func TestPlanBaselineIdentity(t *testing.T) {
+	set, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := set.Plan(nil, 168)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	for _, cp := range res.Clusters {
+		if cp.AntennasBefore != cp.AntennasAfter {
+			t.Fatalf("no actions but population moved: %+v", cp)
+		}
+		if cp.DeltaMB != 0 {
+			t.Fatalf("no actions but delta %v != 0", cp.DeltaMB)
+		}
+	}
+	if res.TotalPlannedMB != res.TotalBaselineMB {
+		t.Fatalf("totals diverged with no actions: %v vs %v", res.TotalPlannedMB, res.TotalBaselineMB)
+	}
+}
+
+func TestPlanAddRemoveReassign(t *testing.T) {
+	set, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := set.Plan([]Action{
+		{Op: OpAddAntennas, Cluster: 0, Count: 10},
+		{Op: OpRemoveAntennas, Cluster: 1, Count: 5},
+		{Op: OpReassign, Cluster: 1, ToCluster: 0, Count: 2},
+	}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := res.Clusters[0], res.Clusters[1]
+	if c0.AntennasAfter != 52 || c1.AntennasAfter != 18 {
+		t.Fatalf("populations %d/%d, want 52/18", c0.AntennasAfter, c1.AntennasAfter)
+	}
+	if c0.DeltaMB <= 0 {
+		t.Fatalf("adding antennas must raise peak load, delta %v", c0.DeltaMB)
+	}
+	if c1.DeltaMB >= 0 {
+		t.Fatalf("removing antennas must lower peak load, delta %v", c1.DeltaMB)
+	}
+	// Population scaling is exact: planned peak = after/before × baseline.
+	want := c0.BaselineMB * 52 / 40
+	if math.Abs(c0.PlannedMB-want) > 1e-9*want {
+		t.Fatalf("cluster 0 planned %v, want %v", c0.PlannedMB, want)
+	}
+}
+
+func TestPlanShiftEventsMovesBusyHour(t *testing.T) {
+	set, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := set.Plan(nil, 168)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := set.Plan([]Action{{Op: OpShiftEvents, Cluster: 0, Hours: 5}}, 168)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, s := base.Clusters[0], shifted.Clusters[0]
+	if got, want := s.BusyHour, (b.BusyHour+5)%SeasonLength; got != want {
+		t.Fatalf("busy hour %d after +5h shift, want %d", got, want)
+	}
+	// A pure rotation preserves the peak value over a full-season window.
+	if math.Float64bits(s.PlannedMB) != math.Float64bits(b.PlannedMB) {
+		t.Fatalf("rotation changed the peak: %v vs %v", s.PlannedMB, b.PlannedMB)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	set, err := FitSet(setFixture(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		actions []Action
+		horizon int
+	}{
+		{"zero horizon", nil, 0},
+		{"unknown op", []Action{{Op: "demolish", Cluster: 0}}, 24},
+		{"cluster out of range", []Action{{Op: OpAddAntennas, Cluster: 7}}, 24},
+		{"negative count", []Action{{Op: OpAddAntennas, Cluster: 0, Count: -3}}, 24},
+		{"remove too many", []Action{{Op: OpRemoveAntennas, Cluster: 1, Count: 999}}, 24},
+		{"reassign to self", []Action{{Op: OpReassign, Cluster: 0, ToCluster: 0}}, 24},
+		{"reassign out of range", []Action{{Op: OpReassign, Cluster: 0, ToCluster: 9}}, 24},
+	}
+	for _, tc := range cases {
+		if _, err := set.Plan(tc.actions, tc.horizon); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+	var nilSet *Set
+	if _, err := nilSet.Plan(nil, 24); err == nil {
+		t.Fatal("nil set must error")
+	}
+}

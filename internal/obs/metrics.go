@@ -70,6 +70,14 @@ var Catalog = []MetricDef{
 	{Name: "serve.classify.latency.ms", Kind: KindHistogram, Help: "classify handler latency"},
 	{Name: "serve.classify.requests", Kind: KindCounter, Help: "classify requests"},
 
+	// Serving: forecast + capacity planning.
+	{Name: "serve.forecast.cache.hits", Kind: KindCounter, Help: "forecasts served from the revision LRU"},
+	{Name: "serve.forecast.cache.misses", Kind: KindCounter, Help: "forecasts computed from the model set"},
+	{Name: "serve.forecast.latency.ms", Kind: KindHistogram, Help: "forecast handler latency"},
+	{Name: "serve.forecast.requests", Kind: KindCounter, Help: "forecast requests"},
+	{Name: "serve.plan.latency.ms", Kind: KindHistogram, Help: "plan handler latency"},
+	{Name: "serve.plan.requests", Kind: KindCounter, Help: "capacity-planning scenario requests"},
+
 	// Serving: model lifecycle.
 	{Name: "serve.model.swaps", Kind: KindCounter, Help: "snapshot swaps published"},
 	{Name: "serve.refresh.errors", Kind: KindCounter, Help: "refresh attempts that failed"},

@@ -17,10 +17,12 @@ var (
 
 // fuzzServer builds one shared server whose handler the fuzzer drives
 // directly (no network); its drain workers run for the process lifetime.
+// The snapshot carries forecast models so /v1/forecast fuzzing reaches the
+// real lookup paths instead of the 503 guard.
 func fuzzServer(f *testing.F) *Server {
 	f.Helper()
 	fuzzSrvOnce.Do(func() {
-		snap := tinySnapshot(f)
+		snap := forecastSnapshot(f)
 		var err error
 		fuzzSrv, err = New(snap, nil, Config{QueueDepth: 1024})
 		if err != nil {
@@ -80,6 +82,31 @@ func FuzzClassifyBody(f *testing.F) {
 		s.Handler().ServeHTTP(rr, req)
 		if rr.Code >= 500 && rr.Code != http.StatusServiceUnavailable {
 			t.Fatalf("classify answered %d for %q", rr.Code, data)
+		}
+	})
+}
+
+// FuzzForecastBody feeds arbitrary JSON to POST /v1/forecast; malformed
+// bodies, double selectors, and out-of-range horizons must come back 4xx,
+// never crash the model set or poison the LRU.
+func FuzzForecastBody(f *testing.F) {
+	s := fuzzServer(f)
+	f.Add([]byte(`{"cluster":0}`))
+	f.Add([]byte(`{"cluster":1,"horizon":168}`))
+	f.Add([]byte(`{"antenna":3,"horizon":1}`))
+	f.Add([]byte(`{"antenna":-1}`))
+	f.Add([]byte(`{"cluster":0,"antenna":3}`))
+	f.Add([]byte(`{"cluster":2147483647,"horizon":-5}`))
+	f.Add([]byte(`{"horizon":1e9}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/forecast", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, req)
+		if rr.Code >= 500 && rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("forecast answered %d for %q", rr.Code, data)
 		}
 	})
 }

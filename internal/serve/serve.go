@@ -13,6 +13,12 @@
 //	POST /v1/classify  antenna traffic vectors → Eq. 5 RSCA → forest
 //	                   cluster, batched on the shared worker pool with an
 //	                   LRU verdict cache keyed by (antenna, revision)
+//	POST /v1/forecast  cluster- or antenna-conditioned busy-hour horizon
+//	                   queries against the snapshot's Holt-Winters models,
+//	                   with an LRU keyed by (model, horizon, revision)
+//	POST /v1/plan      what-if capacity scenarios (add/remove/reassign
+//	                   antennas, shift an event calendar) scored by
+//	                   predicted busy-hour load
 //	GET  /v1/stats     JSON serving statistics
 //	GET  /v1/model     model snapshot metadata (vector length, k, revision)
 //	GET  /healthz      liveness
@@ -60,6 +66,9 @@ type Config struct {
 	// CacheSize bounds the classify LRU in entries; 0 selects the default
 	// 4096, negative disables caching.
 	CacheSize int
+	// ForecastCacheSize bounds the forecast LRU in entries; 0 selects the
+	// default 1024, negative disables caching.
+	ForecastCacheSize int
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
 	// MaxIngestRecords caps records per ingest batch (default 262144).
@@ -94,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
 	}
+	if c.ForecastCacheSize == 0 {
+		c.ForecastCacheSize = 1024
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
@@ -126,17 +138,24 @@ type Stats struct {
 	CacheHits         int64 `json:"cache_hits"`
 	CacheMisses       int64 `json:"cache_misses"`
 	CacheEntries      int   `json:"cache_entries"`
+	// Forecast side.
+	ForecastRequests     int64 `json:"forecast_requests"`
+	ForecastCacheHits    int64 `json:"forecast_cache_hits"`
+	ForecastCacheMisses  int64 `json:"forecast_cache_misses"`
+	ForecastCacheEntries int   `json:"forecast_cache_entries"`
+	PlanRequests         int64 `json:"plan_requests"`
 	// Aggregate holds the sink's collector-compatible statistics.
 	Aggregate collect.Stats `json:"aggregate"`
 }
 
 // Server is the online classification service.
 type Server struct {
-	cfg   Config
-	snap  atomic.Pointer[ModelSnapshot]
-	sink  *collect.Sink
-	pool  *pipe.Pool
-	cache *lruCache
+	cfg     Config
+	snap    atomic.Pointer[ModelSnapshot]
+	sink    *collect.Sink
+	pool    *pipe.Pool
+	cache   *lruCache
+	fcCache *forecastCache
 
 	queue chan []probe.Record
 	tasks pipe.Tasks
@@ -161,6 +180,11 @@ type Server struct {
 	classifiedVecs  atomic.Int64
 	cacheHits       atomic.Int64
 	cacheMisses     atomic.Int64
+
+	forecastReqs        atomic.Int64
+	forecastCacheHits   atomic.Int64
+	forecastCacheMisses atomic.Int64
+	planReqs            atomic.Int64
 }
 
 // New builds a server around a model snapshot. The sink may be shared with
@@ -178,16 +202,19 @@ func New(snap *ModelSnapshot, sink *collect.Sink, cfg Config) (*Server, error) {
 		pool = pipe.Shared()
 	}
 	s := &Server{
-		cfg:   cfg,
-		sink:  sink,
-		pool:  pool,
-		cache: newLRUCache(cfg.CacheSize),
-		queue: make(chan []probe.Record, cfg.QueueDepth),
+		cfg:     cfg,
+		sink:    sink,
+		pool:    pool,
+		cache:   newLRUCache(cfg.CacheSize),
+		fcCache: newForecastCache(cfg.ForecastCacheSize),
+		queue:   make(chan []probe.Record, cfg.QueueDepth),
 	}
 	s.snap.Store(snap)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/ingest", s.withDeadline(s.handleIngest))
 	s.mux.HandleFunc("/v1/classify", s.withDeadline(s.handleClassify))
+	s.mux.HandleFunc("/v1/forecast", s.withDeadline(s.handleForecast))
+	s.mux.HandleFunc("/v1/plan", s.withDeadline(s.handlePlan))
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -213,17 +240,18 @@ func (s *Server) Sink() *collect.Sink { return s.sink }
 func (s *Server) Snapshot() *ModelSnapshot { return s.snap.Load() }
 
 // SwapSnapshot atomically replaces the served model — the online half of a
-// retrain — and purges the verdict LRU so no verdict computed by the
-// previous snapshot lingers until it ages out. In-flight requests finish
-// against whichever snapshot they loaded at entry; because cache keys also
-// carry the model revision, a racing handler that inserts a verdict after
-// the purge still cannot have it served under the new model.
+// retrain — and purges the verdict and forecast LRUs so nothing computed
+// by the previous snapshot lingers until it ages out. In-flight requests
+// finish against whichever snapshot they loaded at entry; because cache
+// keys also carry the model revision, a racing handler that inserts an
+// entry after the purge still cannot have it served under the new model.
 func (s *Server) SwapSnapshot(next *ModelSnapshot) error {
 	if next == nil {
 		return errors.New("serve: nil model snapshot")
 	}
 	s.snap.Store(next)
 	s.cache.purge()
+	s.fcCache.purge()
 	obs.Add("serve.model.swaps", 1)
 	return nil
 }
@@ -517,7 +545,14 @@ func (s *Server) Stats() Stats {
 		CacheHits:         s.cacheHits.Load(),
 		CacheMisses:       s.cacheMisses.Load(),
 		CacheEntries:      s.cache.len(),
-		Aggregate:         s.sink.Snapshot(),
+
+		ForecastRequests:     s.forecastReqs.Load(),
+		ForecastCacheHits:    s.forecastCacheHits.Load(),
+		ForecastCacheMisses:  s.forecastCacheMisses.Load(),
+		ForecastCacheEntries: s.fcCache.len(),
+		PlanRequests:         s.planReqs.Load(),
+
+		Aggregate: s.sink.Snapshot(),
 	}
 }
 
@@ -526,10 +561,11 @@ func (s *Server) Stats() Stats {
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	payload := map[string]any{
-		"services": snap.Services,
-		"k":        snap.K,
-		"trees":    len(snap.Forest.Trees),
-		"revision": snap.Revision,
+		"services":          snap.Services,
+		"k":                 snap.K,
+		"trees":             len(snap.Forest.Trees),
+		"revision":          snap.Revision,
+		"forecast_clusters": snap.Forecasts.K(),
 	}
 	if ref := s.refresh.Load(); ref != nil {
 		payload["refresh"] = ref.Info()

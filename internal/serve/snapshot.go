@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/analysis"
+	"repro/internal/forecast"
 	"repro/internal/forest"
 	"repro/internal/mat"
 	"repro/internal/rca"
@@ -26,8 +27,14 @@ type ModelSnapshot struct {
 	K int
 	// Services is the expected traffic-vector length (the catalog size M).
 	Services int
-	// Revision fingerprints the snapshot (reference shares + model shape);
-	// classify responses echo it so clients can detect model swaps.
+	// Forecasts bundles the per-cluster and per-antenna busy-hour
+	// forecasters trained alongside this snapshot's model (nil when the
+	// producing pipeline predates the forecast stage); /v1/forecast and
+	// /v1/plan read it.
+	Forecasts *forecast.Set
+	// Revision fingerprints the snapshot (reference shares + model shape +
+	// forecast-set digest); classify and forecast responses echo it so
+	// clients can detect model swaps.
 	Revision uint64
 }
 
@@ -41,10 +48,11 @@ func NewModelSnapshot(res *analysis.Result) (*ModelSnapshot, error) {
 		return nil, fmt.Errorf("serve: indoor reference: %w", err)
 	}
 	m := &ModelSnapshot{
-		Ref:      ref,
-		Forest:   res.Surrogate,
-		K:        res.K,
-		Services: res.Dataset.Traffic.Cols(),
+		Ref:       ref,
+		Forest:    res.Surrogate,
+		K:         res.K,
+		Services:  res.Dataset.Traffic.Cols(),
+		Forecasts: res.Forecasts,
 	}
 	m.Revision = m.fingerprint()
 	return m, nil
@@ -81,6 +89,13 @@ func (m *ModelSnapshot) fingerprint() uint64 {
 				mix(math.Float64bits(p))
 			}
 		}
+	}
+	// Forecast models are served under the same revision, so a retrain
+	// that only moves the forecasters (e.g. traffic folded into an
+	// unchanged partition) still mints a fresh revision. Snapshots without
+	// a forecast set hash exactly as before.
+	if m.Forecasts != nil {
+		mix(m.Forecasts.Digest())
 	}
 	return h
 }

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/serve"
+)
+
+// TestRouterForecastPlanProxy: /v1/forecast and /v1/plan proxy through the
+// router with the same failover semantics as classify, and — because every
+// replica shares the snapshot pointer — any replica's answer is bit-equal
+// to the offline model set under the echoed revision.
+func TestRouterForecastPlanProxy(t *testing.T) {
+	res := goldenResult(t)
+	snap, err := serve.NewModelSnapshot(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Forecasts == nil {
+		t.Fatal("golden snapshot carries no forecast set")
+	}
+	rt := startRouter(t, snap, res, Config{Shards: 2, Replicas: 3, RingSeed: 11})
+
+	forecastCluster := func(cluster, horizon int) serve.ForecastResponse {
+		t.Helper()
+		body, err := json.Marshal(serve.ForecastRequest{Cluster: &cluster, Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpResp, err := http.Post(rt.URL()+"/v1/forecast", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			out, _ := io.ReadAll(httpResp.Body)
+			t.Fatalf("forecast status %d: %s", httpResp.StatusCode, out)
+		}
+		var resp serve.ForecastResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	assertParity := func(resp serve.ForecastResponse, horizon int) {
+		t.Helper()
+		if resp.ModelRevision != snap.Revision {
+			t.Fatalf("served revision %016x, want %016x", resp.ModelRevision, snap.Revision)
+		}
+		want := snap.Forecasts.Cluster(resp.Cluster).Model.Forecast(horizon)
+		if len(resp.Forecast) != len(want) {
+			t.Fatalf("forecast length %d, want %d", len(resp.Forecast), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(resp.Forecast[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("hour %d: served %v, offline %v", i, resp.Forecast[i], want[i])
+			}
+		}
+	}
+
+	assertParity(forecastCluster(0, 36), 36)
+
+	// Kill two replicas (including the refresh primary): proxied forecasts
+	// fail over to the survivor and stay bit-identical.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := rt.KillReplica(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillReplica(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		assertParity(forecastCluster(i%snap.Forecasts.K(), 36), 36)
+	}
+
+	// Plan round-trip through the proxy matches the offline scoring.
+	planReq := serve.PlanRequest{
+		Horizon: 24,
+		Actions: []forecast.Action{{Op: forecast.OpAddAntennas, Cluster: 0, Count: 3}},
+	}
+	body, err := json.Marshal(planReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(rt.URL()+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(httpResp.Body)
+		t.Fatalf("plan status %d: %s", httpResp.StatusCode, out)
+	}
+	var planResp serve.PlanResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&planResp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := snap.Forecasts.Plan(planReq.Actions, planReq.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planResp.ModelRevision != snap.Revision || planResp.Plan == nil {
+		t.Fatalf("plan response %+v", planResp)
+	}
+	if math.Float64bits(planResp.Plan.TotalPlannedMB) != math.Float64bits(want.TotalPlannedMB) {
+		t.Fatalf("proxied plan total %v, offline %v", planResp.Plan.TotalPlannedMB, want.TotalPlannedMB)
+	}
+
+	// Non-POST is rejected at the router, not proxied.
+	getResp, err := http.Get(rt.URL() + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET forecast: %d, want 405", getResp.StatusCode)
+	}
+}

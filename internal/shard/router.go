@@ -191,6 +191,8 @@ func NewRouter(snap *serve.ModelSnapshot, base *analysis.Result, cfg Config) (*R
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("/v1/ingest", rt.withDeadline(rt.handleIngest))
 	rt.mux.HandleFunc("/v1/classify", rt.withDeadline(rt.handleClassify))
+	rt.mux.HandleFunc("/v1/forecast", rt.withDeadline(rt.handleForecast))
+	rt.mux.HandleFunc("/v1/plan", rt.withDeadline(rt.handlePlan))
 	rt.mux.HandleFunc("/v1/model", rt.withDeadline(rt.handleModel))
 	rt.mux.HandleFunc("/v1/stats", rt.handleStats)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
@@ -453,6 +455,37 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.proxy(w, r, "/v1/classify", body)
+}
+
+// handleForecast proxies forecast queries to a live replica with the same
+// failover semantics as classify; because every replica serves the same
+// snapshot pointer, any of them answers with the same revision and the
+// same bit-exact forecast values.
+func (rt *Router) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a forecast request")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+	rt.proxy(w, r, "/v1/forecast", body)
+}
+
+// handlePlan proxies capacity-planning scenarios to a live replica.
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a plan request")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+	rt.proxy(w, r, "/v1/plan", body)
 }
 
 // handleModel proxies snapshot metadata from a live replica.

@@ -602,6 +602,40 @@ func (d *Dataset) HourlyTotals(a *Antenna) []float64 {
 	return out
 }
 
+// HourlyTotalsRow returns the antenna's total traffic per absolute hour
+// of the calendar derived from an explicit per-service traffic row rather
+// than the generation-time totals. For the antenna's own generated row it
+// is bit-identical to HourlyTotals (the shape totals are accumulated in
+// the same service order fillShapeTraffic uses); with a refreshed row it
+// yields the hourly series implied by the live traffic matrix, which is
+// what keeps warm-refreshed forecasts fresh.
+func (d *Dataset) HourlyTotalsRow(a *Antenna, row []float64) []float64 {
+	var shapeTraffic [numShapes]float64
+	for j, v := range row {
+		shapeTraffic[services.Get(j).Shape] += v
+	}
+	g := a.grid(d.Cal)
+	out := make([]float64, d.Cal.Hours())
+	for day := 0; day < d.Cal.Days(); day++ {
+		we := 0
+		if d.Cal.IsWeekend(day) {
+			we = 1
+		}
+		for h := 0; h < 24; h++ {
+			t := day*24 + h
+			var v float64
+			for s := 0; s < numShapes; s++ {
+				if g.sums[s] == 0 {
+					continue
+				}
+				v += shapeTraffic[s] * g.at(t, h, we, services.TemporalShape(s)) / g.sums[s]
+			}
+			out[t] = v
+		}
+	}
+	return out
+}
+
 // HourlyService returns the hourly series of one service at the antenna.
 // The series sums to the corresponding T matrix cell.
 func (d *Dataset) HourlyService(a *Antenna, serviceID int) []float64 {

@@ -167,6 +167,42 @@ func TestHourlyTotalsIntegrateToVolume(t *testing.T) {
 	}
 }
 
+func TestHourlyTotalsRowMatchesGeneratedRow(t *testing.T) {
+	// For the generation-time traffic row, HourlyTotalsRow must be
+	// bit-identical to HourlyTotals: same shape-total accumulation order,
+	// same grid loop. This is the parity contract the warm-refresh
+	// forecast path relies on at drift 0.
+	ds := Generate(testConfig())
+	for _, a := range ds.Indoor[:10] {
+		want := ds.HourlyTotals(a)
+		got := ds.HourlyTotalsRow(a, ds.Traffic.Row(a.ID))
+		for h := range want {
+			if math.Float64bits(got[h]) != math.Float64bits(want[h]) {
+				t.Fatalf("antenna %q hour %d: row-derived %v != generated %v", a.Name, h, got[h], want[h])
+			}
+		}
+	}
+}
+
+func TestHourlyTotalsRowTracksChangedRow(t *testing.T) {
+	// A scaled row must scale the series: the derivation reads the row,
+	// not the frozen generation-time totals.
+	ds := Generate(testConfig())
+	a := ds.Indoor[0]
+	row := ds.Traffic.Row(a.ID)
+	scaled := make([]float64, len(row))
+	for j, v := range row {
+		scaled[j] = 2 * v
+	}
+	base := ds.HourlyTotalsRow(a, row)
+	bumped := ds.HourlyTotalsRow(a, scaled)
+	for h := range base {
+		if math.Abs(bumped[h]-2*base[h]) > 1e-9*math.Max(base[h], 1e-9) {
+			t.Fatalf("hour %d: doubled row gave %v, want %v", h, bumped[h], 2*base[h])
+		}
+	}
+}
+
 func TestHourlyServiceIntegratesToCell(t *testing.T) {
 	ds := Generate(testConfig())
 	a := ds.Indoor[0]

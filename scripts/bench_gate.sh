@@ -7,9 +7,14 @@
 # reruns, and stages under the floor are held to the floor's limit, so
 # scheduler noise on shared runners doesn't trip the gate.
 #
-# A second leg reruns the serving benchmark (classify p50/p99 plus one
-# warm refresh cycle) and gates its latency rows against the committed
-# BENCH_serve.json through the same per-stage comparison (-gatecompare).
+# A second leg reruns the serving benchmark (classify p50/p99, one warm
+# refresh cycle, forecast training, and a /v1/forecast load with a mid-run
+# swap and bit-parity audit) and gates its latency rows against the
+# committed BENCH_serve.json through the same per-stage comparison
+# (-gatecompare). The candidate's row set is schema-validated: exactly
+# classify_p50, classify_p99, refresh_warm, forecast_train, forecast_p50,
+# forecast_p99 — a leg that stops emitting a gated row, or grows a row
+# nothing ratchets, fails here instead of drifting.
 #
 # A third leg reruns the sharded nationwide benchmark at scale 1.0 (4
 # shards, 2 replicas, 2M probe sessions with mid-run kills) and gates its
@@ -48,6 +53,10 @@ BASELINE="${BENCH_GATE_BASELINE:-BENCH_baseline.json}"
 SERVE_BASELINE="${BENCH_GATE_SERVE_BASELINE-BENCH_serve.json}"
 SHARD_BASELINE="${BENCH_GATE_SHARD_BASELINE-BENCH_shard.json}"
 
+# Pinned gate-row schemas for the serving and sharded records.
+SERVE_ROWS="classify_p50,classify_p99,refresh_warm,forecast_train,forecast_p50,forecast_p99"
+SHARD_ROWS="shard_ingest,shard_classify_p50,shard_classify_p99,shard_refresh"
+
 go run ./cmd/icnbench \
   -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
   -gate "$BASELINE" \
@@ -65,7 +74,8 @@ if [[ -n "$SERVE_BASELINE" && -f "$SERVE_BASELINE" ]]; then
   go run ./cmd/icnbench \
     -gate "$SERVE_BASELINE" -gatecompare "$serve_json" \
     -gatetolerance "$TOLERANCE" \
-    -gatefloor "$FLOOR_MS"
+    -gatefloor "$FLOOR_MS" \
+    -gateexpect "$SERVE_ROWS"
 fi
 
 if [[ -n "$SHARD_BASELINE" && -f "$SHARD_BASELINE" ]]; then
@@ -77,5 +87,6 @@ if [[ -n "$SHARD_BASELINE" && -f "$SHARD_BASELINE" ]]; then
   go run ./cmd/icnbench \
     -gate "$SHARD_BASELINE" -gatecompare "$shard_json" \
     -gatetolerance "$TOLERANCE" \
-    -gatefloor "$FLOOR_MS"
+    -gatefloor "$FLOOR_MS" \
+    -gateexpect "$SHARD_ROWS"
 fi

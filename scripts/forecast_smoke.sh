@@ -1,0 +1,239 @@
+#!/usr/bin/env bash
+# forecast_smoke.sh — end-to-end smoke of the forecasting & planning surface.
+#
+# Builds icnserve, starts it with a 1s refresh interval at a tiny training
+# scale, and drives the capacity-planning loop the way an operator would:
+# query /v1/forecast and check the echoed revision matches /v1/model, repeat
+# the query and require a cache hit with bit-identical values, score a
+# what-if scenario through /v1/plan and audit its population accounting,
+# then ingest a probe batch, wait for the background refresher to retrain
+# and swap, and require the next forecast to carry the fresh revision —
+# forecast/model revision consistency across a live swap. Finishes with
+# validation-error checks, a /metrics scrape, and a SIGTERM drain. Run via
+# `make forecast-smoke`.
+#
+# Set SMOKE_LOG_DIR to keep the server log and response bodies after the
+# run (CI uploads them as artifacts on failure); by default everything
+# lives and dies in a temp dir.
+set -euo pipefail
+
+ADDR="${ICNSERVE_ADDR:-127.0.0.1:9475}"
+SEED=1
+SCALE=0.05
+TREES=10
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  if [[ -n "${SMOKE_LOG_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_LOG_DIR"
+    cp -f "$tmp"/*.log "$tmp"/*.out "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "forecast-smoke: building icnserve"
+go build -o "$tmp/icnserve" ./cmd/icnserve
+
+echo "forecast-smoke: writing sample bodies"
+"$tmp/icnserve" -sample "$tmp" -seed "$SEED" -scale "$SCALE" -trees "$TREES"
+
+echo "forecast-smoke: starting icnserve on $ADDR (refresh every 1s)"
+"$tmp/icnserve" -addr "$ADDR" -seed "$SEED" -scale "$SCALE" -trees "$TREES" \
+  -refresh-interval 1s >"$tmp/server.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 120); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "forecast-smoke: FAIL — server exited before becoming healthy" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+  echo "forecast-smoke: FAIL — /healthz never came up" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "forecast-smoke: healthy"
+
+# Revisions are uint64 fingerprints; jq parses them as doubles and rounds,
+# so distinct revisions can compare equal. Extract them textually.
+revision_of() { grep -o "\"$2\":[0-9]*" "$1" | head -1 | cut -d: -f2; }
+
+post_json() { # out-file body path -> status
+  curl -s -o "$1" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' \
+    --data "$2" "http://$ADDR$3"
+}
+
+curl -fsS "http://$ADDR/v1/model" >"$tmp/model0.out"
+rev0=$(revision_of "$tmp/model0.out" revision)
+jq -e '.forecast_clusters >= 1' "$tmp/model0.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — /v1/model reports no forecast models: $(cat "$tmp/model0.out")" >&2
+  exit 1
+}
+echo "forecast-smoke: base revision $rev0, $(jq -r '.forecast_clusters' "$tmp/model0.out") forecast clusters"
+
+# Forecast revision consistency: the echoed model_revision must be the
+# served /v1/model revision, with a full-length horizon payload.
+status=$(post_json "$tmp/forecast1.out" '{"cluster":0,"horizon":24}' /v1/forecast)
+[[ "$status" == "200" ]] || {
+  echo "forecast-smoke: FAIL — forecast answered $status: $(cat "$tmp/forecast1.out")" >&2
+  exit 1
+}
+frev=$(revision_of "$tmp/forecast1.out" model_revision)
+[[ "$frev" == "$rev0" ]] || {
+  echo "forecast-smoke: FAIL — forecast revision $frev != model revision $rev0" >&2
+  exit 1
+}
+jq -e '(.forecast | length) == 24 and .busy_hour >= 0 and .busy_hour < 168' "$tmp/forecast1.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — malformed forecast payload: $(cat "$tmp/forecast1.out")" >&2
+  exit 1
+}
+
+# The repeat query must hit the revision LRU with identical values.
+status=$(post_json "$tmp/forecast2.out" '{"cluster":0,"horizon":24}' /v1/forecast)
+[[ "$status" == "200" ]] || {
+  echo "forecast-smoke: FAIL — repeat forecast answered $status" >&2
+  exit 1
+}
+jq -e '.cached == true' "$tmp/forecast2.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — repeat forecast was not served from the cache" >&2
+  exit 1
+}
+diff <(jq -S '{model_revision, cluster, horizon, busy_hour, forecast}' "$tmp/forecast1.out") \
+     <(jq -S '{model_revision, cluster, horizon, busy_hour, forecast}' "$tmp/forecast2.out") >/dev/null || {
+  echo "forecast-smoke: FAIL — cached forecast diverged from the computed one" >&2
+  exit 1
+}
+echo "forecast-smoke: forecast served and cached consistently under revision $frev"
+
+# Planning round-trip: densify cluster 0 by two antennas and check the
+# population accounting and the revision echo.
+status=$(post_json "$tmp/plan.out" '{"horizon":24,"actions":[{"op":"add_antennas","cluster":0,"count":2}]}' /v1/plan)
+[[ "$status" == "200" ]] || {
+  echo "forecast-smoke: FAIL — plan answered $status: $(cat "$tmp/plan.out")" >&2
+  exit 1
+}
+prev=$(revision_of "$tmp/plan.out" model_revision)
+[[ "$prev" == "$rev0" ]] || {
+  echo "forecast-smoke: FAIL — plan revision $prev != model revision $rev0" >&2
+  exit 1
+}
+jq -e '.plan.clusters[0] | .antennas_after == .antennas_before + 2' "$tmp/plan.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — plan did not add the antennas: $(jq -c '.plan.clusters[0]' "$tmp/plan.out")" >&2
+  exit 1
+}
+jq -e '.plan.total_planned_mb > .plan.total_baseline_mb' "$tmp/plan.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — densifying a cluster did not raise the planned busy-hour total" >&2
+  exit 1
+}
+echo "forecast-smoke: plan scored (+2 antennas in cluster 0) under revision $prev"
+
+# Ingest a probe batch; the background refresher folds it, retrains warm
+# (forecasters included), and swaps — observed as the revision advancing.
+status=$(curl -s -o "$tmp/ingest.out" -w '%{http_code}' \
+  -X POST --data-binary "@$tmp/ingest.bin" "http://$ADDR/v1/ingest")
+[[ "$status" == "202" ]] || {
+  echo "forecast-smoke: FAIL — ingest answered $status: $(cat "$tmp/ingest.out")" >&2
+  exit 1
+}
+rev1="$rev0"
+for i in $(seq 1 60); do
+  curl -fsS "http://$ADDR/v1/model" >"$tmp/model1.out" || true
+  rev1=$(revision_of "$tmp/model1.out" revision)
+  if [[ -n "$rev1" && "$rev1" != "$rev0" ]]; then
+    break
+  fi
+  sleep 0.5
+done
+[[ -n "$rev1" && "$rev1" != "$rev0" ]] || {
+  echo "forecast-smoke: FAIL — revision never advanced after ingest" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+# The batch may fold across several ticks; wait for convergence (revision
+# stable across three consecutive polls spanning the tick interval).
+stable=0
+for i in $(seq 1 60); do
+  sleep 1
+  curl -fsS "http://$ADDR/v1/model" >"$tmp/model1.out" || true
+  next=$(revision_of "$tmp/model1.out" revision)
+  if [[ "$next" == "$rev1" ]]; then
+    stable=$((stable + 1))
+    [[ "$stable" -ge 3 ]] && break
+  else
+    stable=0
+    rev1="$next"
+  fi
+done
+[[ "$stable" -ge 3 ]] || {
+  echo "forecast-smoke: FAIL — revision never settled after the ingest drained" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+}
+echo "forecast-smoke: refresh swapped in revision $rev1"
+
+# The swap must purge the forecast cache: the next query carries the fresh
+# revision, recomputed (not replayed from the old revision's LRU).
+status=$(post_json "$tmp/forecast3.out" '{"cluster":0,"horizon":24}' /v1/forecast)
+[[ "$status" == "200" ]] || {
+  echo "forecast-smoke: FAIL — post-swap forecast answered $status" >&2
+  exit 1
+}
+frev3=$(revision_of "$tmp/forecast3.out" model_revision)
+[[ "$frev3" == "$rev1" ]] || {
+  echo "forecast-smoke: FAIL — post-swap forecast revision $frev3 != refreshed $rev1" >&2
+  exit 1
+}
+jq -e '.cached != true' "$tmp/forecast3.out" >/dev/null || {
+  echo "forecast-smoke: FAIL — post-swap forecast replayed the purged cache" >&2
+  exit 1
+}
+echo "forecast-smoke: post-swap forecast recomputed under revision $frev3"
+
+# Validation surface: out-of-range cluster and double selectors are 400s.
+status=$(post_json "$tmp/bad1.out" '{"cluster":100000}' /v1/forecast)
+[[ "$status" == "400" ]] || {
+  echo "forecast-smoke: FAIL — out-of-range cluster answered $status, want 400" >&2
+  exit 1
+}
+status=$(post_json "$tmp/bad2.out" '{"cluster":0,"antenna":1}' /v1/forecast)
+[[ "$status" == "400" ]] || {
+  echo "forecast-smoke: FAIL — double selector answered $status, want 400" >&2
+  exit 1
+}
+status=$(post_json "$tmp/bad3.out" '{"actions":[{"op":"warp","cluster":0}]}' /v1/plan)
+[[ "$status" == "400" ]] || {
+  echo "forecast-smoke: FAIL — unknown plan op answered $status, want 400" >&2
+  exit 1
+}
+echo "forecast-smoke: validation errors answered 400"
+
+curl -fsS "http://$ADDR/metrics" >"$tmp/metrics.out"
+for metric in icn_serve_forecast_requests icn_serve_plan_requests; do
+  grep -q "^$metric " "$tmp/metrics.out" || {
+    echo "forecast-smoke: FAIL — /metrics missing $metric" >&2
+    exit 1
+  }
+done
+grep -q '^icn_serve_forecast_latency_ms_bucket' "$tmp/metrics.out" || {
+  echo "forecast-smoke: FAIL — /metrics missing forecast latency histogram" >&2
+  exit 1
+}
+echo "forecast-smoke: forecast metrics look sane"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "forecast-smoke: graceful SIGTERM shutdown OK"
+echo "forecast-smoke: PASS"
